@@ -1,0 +1,195 @@
+//! Fig. 4: rare branches have a wide spread in prediction accuracy.
+//!
+//! (a) scatters per-branch dynamic execution count against accuracy;
+//! (b) bins branches by execution count (bin width 100 at paper scale) and
+//! reports the standard deviation of accuracy within each bin.
+
+use crate::h2p::paper_equivalent;
+use crate::profile::BranchProfile;
+
+/// One scatter point of Fig. 4a.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpreadPoint {
+    /// Static branch IP.
+    pub ip: u64,
+    /// Dynamic executions, in 30M-instruction paper equivalents.
+    pub execs_equivalent: f64,
+    /// Prediction accuracy.
+    pub accuracy: f64,
+}
+
+/// One bin of Fig. 4b.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpreadBin {
+    /// Inclusive lower bound of the bin (paper-equivalent executions).
+    pub lo: f64,
+    /// Number of branches in the bin.
+    pub n: usize,
+    /// Mean accuracy in the bin.
+    pub mean: f64,
+    /// Standard deviation of accuracy in the bin.
+    pub stddev: f64,
+}
+
+/// Extracts the Fig. 4a scatter from a profile.
+#[must_use]
+pub fn spread_points(profile: &BranchProfile) -> Vec<SpreadPoint> {
+    let window = profile.instructions;
+    let mut pts: Vec<SpreadPoint> = profile
+        .iter()
+        .map(|(ip, s)| SpreadPoint {
+            ip,
+            execs_equivalent: paper_equivalent(s.execs, window),
+            accuracy: s.accuracy(),
+        })
+        .collect();
+    pts.sort_by_key(|a| a.ip);
+    pts
+}
+
+/// Bins Fig. 4a points by execution count and computes the per-bin
+/// standard deviation of accuracy (Fig. 4b). `bin_width` is in
+/// paper-equivalent executions (the paper uses 100); `max_execs` bounds
+/// the binned range (the paper plots up to ~15,000).
+///
+/// # Panics
+///
+/// Panics if `bin_width` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use bp_analysis::{accuracy_spread, BranchProfile};
+/// use bp_predictors::TageScL;
+/// use bp_workloads::lcf_suite;
+///
+/// let trace = lcf_suite()[1].trace(0, 30_000);
+/// let profile = BranchProfile::collect(&mut TageScL::kb8(), trace.insts());
+/// let bins = accuracy_spread(&profile, 100.0, 15_000.0);
+/// assert!(!bins.is_empty());
+/// ```
+#[must_use]
+pub fn accuracy_spread(profile: &BranchProfile, bin_width: f64, max_execs: f64) -> Vec<SpreadBin> {
+    accuracy_spread_from_points(&spread_points(profile), bin_width, max_execs)
+}
+
+/// Bins an arbitrary set of Fig. 4a points (e.g. pooled across several
+/// applications, as the paper does for the LCF dataset).
+///
+/// # Panics
+///
+/// Panics if `bin_width` is not positive.
+#[must_use]
+pub fn accuracy_spread_from_points(
+    points: &[SpreadPoint],
+    bin_width: f64,
+    max_execs: f64,
+) -> Vec<SpreadBin> {
+    assert!(bin_width > 0.0, "bin width must be positive");
+    let nbins = (max_execs / bin_width).ceil() as usize;
+    let mut sums = vec![(0usize, 0.0f64, 0.0f64); nbins]; // (n, sum, sum_sq)
+    for p in points {
+        let bin = (p.execs_equivalent / bin_width) as usize;
+        if bin < nbins {
+            let (n, s, s2) = &mut sums[bin];
+            *n += 1;
+            *s += p.accuracy;
+            *s2 += p.accuracy * p.accuracy;
+        }
+    }
+    sums.into_iter()
+        .enumerate()
+        .filter(|(_, (n, _, _))| *n > 0)
+        .map(|(i, (n, s, s2))| {
+            let mean = s / n as f64;
+            let var = (s2 / n as f64 - mean * mean).max(0.0);
+            SpreadBin {
+                lo: i as f64 * bin_width,
+                n,
+                mean,
+                stddev: var.sqrt(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_predictors::AlwaysTaken;
+    use bp_trace::RetiredInst;
+
+    /// Builds a profile where IP `ip` executes `n` times with `t` taken.
+    fn profile(spec: &[(u64, u64, u64)], pad_instructions: u64) -> BranchProfile {
+        let mut insts = Vec::new();
+        for &(ip, taken, not_taken) in spec {
+            for _ in 0..taken {
+                insts.push(RetiredInst::cond_branch(ip, true, 0, None, None));
+            }
+            for _ in 0..not_taken {
+                insts.push(RetiredInst::cond_branch(ip, false, 0, None, None));
+            }
+        }
+        let mut p = BranchProfile::collect(&mut AlwaysTaken, &insts);
+        p.instructions += pad_instructions;
+        p
+    }
+
+    #[test]
+    fn points_report_paper_equivalents() {
+        // Window of 3M instructions => scale x10.
+        let p = profile(&[(0x1, 5, 5)], 3_000_000 - 10);
+        let pts = spread_points(&p);
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].execs_equivalent - 100.0).abs() < 1e-6);
+        assert!((pts[0].accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_exec_bins_have_higher_spread() {
+        // Rare branches with wildly different accuracies; frequent branches
+        // all accurate.
+        let mut spec = Vec::new();
+        for i in 0..20u64 {
+            // Rare: 4 execs each, accuracy alternating 0 or 1.
+            if i % 2 == 0 {
+                spec.push((0x100 + i, 4, 0)); // all taken: acc 1.0
+            } else {
+                spec.push((0x100 + i, 0, 4)); // all not-taken: acc 0.0
+            }
+        }
+        for i in 0..10u64 {
+            spec.push((0x900 + i, 600, 0)); // frequent, acc 1.0
+        }
+        let total: u64 = spec.iter().map(|s| s.1 + s.2).sum();
+        let p = profile(&spec, 30_000_000 - total);
+        let bins = accuracy_spread(&p, 100.0, 15_000.0);
+        let first = bins.iter().find(|b| b.lo == 0.0).unwrap();
+        let later = bins.iter().find(|b| b.lo >= 500.0).unwrap();
+        assert!(
+            first.stddev > 0.4,
+            "rare bin stddev {} should be large",
+            first.stddev
+        );
+        assert!(
+            later.stddev < 0.05,
+            "frequent bin stddev {} should be small",
+            later.stddev
+        );
+    }
+
+    #[test]
+    fn out_of_range_execs_are_ignored() {
+        let p = profile(&[(0x1, 1000, 0)], 0);
+        // Window = 1000 instructions -> equivalent execs = 30M >> max.
+        let bins = accuracy_spread(&p, 100.0, 15_000.0);
+        assert!(bins.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_width_panics() {
+        let p = BranchProfile::new();
+        let _ = accuracy_spread(&p, 0.0, 100.0);
+    }
+}

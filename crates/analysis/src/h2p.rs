@@ -1,0 +1,175 @@
+//! Hard-to-predict (H2P) branch screening — the paper's §III-A criteria.
+//!
+//! Within each slice, a branch is H2P when it (1) has less than 99%
+//! prediction accuracy, (2) executes at least 15,000 times, and
+//! (3) generates at least 1,000 mispredictions — counts defined at the
+//! paper's 30M-instruction slice length and scaled proportionally here.
+
+use std::collections::HashSet;
+
+use bp_trace::SliceConfig;
+
+use crate::profile::BranchProfile;
+
+/// The screening thresholds, expressed at the paper's 30M-instruction
+/// slice scale.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct H2pCriteria {
+    /// Accuracy must be strictly below this (paper: 0.99).
+    pub max_accuracy: f64,
+    /// Minimum executions per 30M-instruction slice (paper: 15,000).
+    pub min_execs_paper: u64,
+    /// Minimum mispredictions per 30M-instruction slice (paper: 1,000).
+    pub min_mispredicts_paper: u64,
+}
+
+impl H2pCriteria {
+    /// The paper's §III-A values.
+    #[must_use]
+    pub fn paper() -> Self {
+        H2pCriteria {
+            max_accuracy: 0.99,
+            min_execs_paper: 15_000,
+            min_mispredicts_paper: 1_000,
+        }
+    }
+
+    /// Minimum executions at the given slice length.
+    #[must_use]
+    pub fn min_execs(&self, slice: SliceConfig) -> u64 {
+        scaled_threshold(self.min_execs_paper, slice)
+    }
+
+    /// Minimum mispredictions at the given slice length.
+    #[must_use]
+    pub fn min_mispredicts(&self, slice: SliceConfig) -> u64 {
+        scaled_threshold(self.min_mispredicts_paper, slice)
+    }
+
+    /// Screens a per-slice profile, returning the H2P branch IPs (sorted
+    /// for determinism).
+    #[must_use]
+    pub fn screen(&self, profile: &BranchProfile, slice: SliceConfig) -> Vec<u64> {
+        let min_execs = self.min_execs(slice);
+        let min_miss = self.min_mispredicts(slice);
+        let mut ips: Vec<u64> = profile
+            .iter()
+            .filter(|(_, s)| {
+                s.accuracy() < self.max_accuracy
+                    && s.execs >= min_execs
+                    && s.mispredicts >= min_miss
+            })
+            .map(|(ip, _)| ip)
+            .collect();
+        ips.sort_unstable();
+        ips
+    }
+
+    /// Screens and returns a set, for membership tests.
+    #[must_use]
+    pub fn screen_set(&self, profile: &BranchProfile, slice: SliceConfig) -> HashSet<u64> {
+        self.screen(profile, slice).into_iter().collect()
+    }
+}
+
+impl Default for H2pCriteria {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Scales a count threshold defined at the paper's 30M slice to `slice`,
+/// rounding up and never below 1.
+fn scaled_threshold(paper_value: u64, slice: SliceConfig) -> u64 {
+    let scaled = (paper_value as f64 * slice.paper_scale()).ceil() as u64;
+    scaled.max(1)
+}
+
+/// Converts an observed count to its 30M-instruction "paper-equivalent",
+/// used so histogram bins and Fig. 8 exec-count thresholds can keep the
+/// paper's axis labels at any trace scale.
+#[must_use]
+pub fn paper_equivalent(count: u64, window_len: u64) -> f64 {
+    if window_len == 0 {
+        0.0
+    } else {
+        count as f64 * SliceConfig::PAPER_LEN as f64 / window_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_predictors::AlwaysTaken;
+    use bp_trace::RetiredInst;
+
+    fn profile_from(spec: &[(u64, u64, u64)]) -> BranchProfile {
+        // (ip, taken_count, not_taken_count) under AlwaysTaken: mispredicts
+        // equal the not-taken count.
+        let mut insts = Vec::new();
+        for &(ip, t, nt) in spec {
+            for _ in 0..t {
+                insts.push(RetiredInst::cond_branch(ip, true, 0, None, None));
+            }
+            for _ in 0..nt {
+                insts.push(RetiredInst::cond_branch(ip, false, 0, None, None));
+            }
+        }
+        BranchProfile::collect(&mut AlwaysTaken, &insts)
+    }
+
+    #[test]
+    fn thresholds_scale_with_slice_length() {
+        let c = H2pCriteria::paper();
+        let paper_slice = SliceConfig::new(SliceConfig::PAPER_LEN);
+        assert_eq!(c.min_execs(paper_slice), 15_000);
+        assert_eq!(c.min_mispredicts(paper_slice), 1_000);
+        let small = SliceConfig::new(300_000); // 1/100 of 30M
+        assert_eq!(c.min_execs(small), 150);
+        assert_eq!(c.min_mispredicts(small), 10);
+        let tiny = SliceConfig::new(100);
+        assert_eq!(c.min_mispredicts(tiny), 1); // floor at 1
+    }
+
+    #[test]
+    fn screen_applies_all_three_criteria() {
+        let slice = SliceConfig::new(300_000); // min execs 150, min miss 10
+        // A: enough execs, enough mispredicts, low accuracy -> H2P.
+        // B: high accuracy (99.5%) -> excluded.
+        // C: too few execs -> excluded.
+        // D: enough execs but too few mispredicts -> excluded.
+        let p = profile_from(&[
+            (0xA, 150, 50),
+            (0xB, 995, 5),
+            (0xC, 10, 40),
+            (0xD, 400, 4),
+        ]);
+        let h2ps = H2pCriteria::paper().screen(&p, slice);
+        assert_eq!(h2ps, vec![0xA]);
+    }
+
+    #[test]
+    fn boundary_accuracy_is_excluded() {
+        let slice = SliceConfig::new(300_000);
+        // Exactly 99.0% accuracy must NOT pass the "< 99%" test.
+        let p = profile_from(&[(0xE, 990, 10)]);
+        assert!(H2pCriteria::paper().screen(&p, slice).is_empty());
+    }
+
+    #[test]
+    fn paper_equivalent_scaling() {
+        assert!((paper_equivalent(10, 2_000_000) - 150.0).abs() < 1e-9);
+        assert!((paper_equivalent(0, 100) - 0.0).abs() < 1e-12);
+        assert_eq!(paper_equivalent(5, 0), 0.0);
+    }
+
+    #[test]
+    fn screen_set_matches_screen() {
+        let slice = SliceConfig::new(300_000);
+        let p = profile_from(&[(0xA, 150, 50), (0xB, 150, 60)]);
+        let v = H2pCriteria::paper().screen(&p, slice);
+        let s = H2pCriteria::paper().screen_set(&p, slice);
+        assert_eq!(v.len(), s.len());
+        assert!(v.iter().all(|ip| s.contains(ip)));
+    }
+}

@@ -1,0 +1,135 @@
+//! Heavy-hitter analysis (Fig. 2): the cumulative fraction of dynamic
+//! mispredictions owned by the top-n H2P branches.
+
+use crate::profile::BranchProfile;
+
+/// One ranked heavy hitter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeavyHitter {
+    /// Static branch IP.
+    pub ip: u64,
+    /// Dynamic executions (the paper's ranking key).
+    pub execs: u64,
+    /// Mispredictions attributed to this IP.
+    pub mispredicts: u64,
+    /// Cumulative fraction of *all* mispredictions covered by this hitter
+    /// and every hitter ranked above it.
+    pub cumulative_fraction: f64,
+}
+
+/// Ranks `candidates` (typically the screened H2P set) by dynamic
+/// execution count, as in Fig. 2, and computes cumulative misprediction
+/// coverage against the profile's total mispredictions.
+///
+/// # Examples
+///
+/// ```
+/// use bp_analysis::{rank_heavy_hitters, BranchProfile};
+/// use bp_predictors::AlwaysTaken;
+/// use bp_trace::RetiredInst;
+///
+/// let mut insts = Vec::new();
+/// for _ in 0..100 {
+///     insts.push(RetiredInst::cond_branch(0x10, false, 0, None, None));
+/// }
+/// for _ in 0..10 {
+///     insts.push(RetiredInst::cond_branch(0x20, false, 0, None, None));
+/// }
+/// let profile = BranchProfile::collect(&mut AlwaysTaken, &insts);
+/// let ranked = rank_heavy_hitters(&profile, [0x10u64, 0x20].into_iter());
+/// assert_eq!(ranked[0].ip, 0x10);
+/// assert!((ranked[1].cumulative_fraction - 1.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn rank_heavy_hitters(
+    profile: &BranchProfile,
+    candidates: impl Iterator<Item = u64>,
+) -> Vec<HeavyHitter> {
+    let total = profile.total_mispredicts();
+    let mut hitters: Vec<HeavyHitter> = candidates
+        .filter_map(|ip| {
+            profile.get(ip).map(|s| HeavyHitter {
+                ip,
+                execs: s.execs,
+                mispredicts: s.mispredicts,
+                cumulative_fraction: 0.0,
+            })
+        })
+        .collect();
+    hitters.sort_by(|a, b| b.execs.cmp(&a.execs).then(a.ip.cmp(&b.ip)));
+    let mut cum = 0u64;
+    for h in &mut hitters {
+        cum += h.mispredicts;
+        h.cumulative_fraction = if total == 0 {
+            0.0
+        } else {
+            cum as f64 / total as f64
+        };
+    }
+    hitters
+}
+
+/// The fraction of all mispredictions covered by the top `n` hitters
+/// (Fig. 2's headline: the top five account for 37% on average).
+#[must_use]
+pub fn top_n_fraction(hitters: &[HeavyHitter], n: usize) -> f64 {
+    if hitters.is_empty() || n == 0 {
+        0.0
+    } else {
+        hitters[n.min(hitters.len()) - 1].cumulative_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_predictors::AlwaysTaken;
+    use bp_trace::RetiredInst;
+
+    fn profile(spec: &[(u64, u64)]) -> BranchProfile {
+        // Each (ip, n) contributes n never-taken branches, so AlwaysTaken
+        // mispredicts all of them.
+        let mut insts = Vec::new();
+        for &(ip, n) in spec {
+            for _ in 0..n {
+                insts.push(RetiredInst::cond_branch(ip, false, 0, None, None));
+            }
+        }
+        BranchProfile::collect(&mut AlwaysTaken, &insts)
+    }
+
+    #[test]
+    fn ranking_is_by_execs_descending() {
+        let p = profile(&[(0x1, 5), (0x2, 50), (0x3, 20)]);
+        let r = rank_heavy_hitters(&p, [0x1u64, 0x2, 0x3].into_iter());
+        let ips: Vec<u64> = r.iter().map(|h| h.ip).collect();
+        assert_eq!(ips, vec![0x2, 0x3, 0x1]);
+    }
+
+    #[test]
+    fn cumulative_fraction_is_monotone_to_one() {
+        let p = profile(&[(0x1, 10), (0x2, 30), (0x3, 60)]);
+        let r = rank_heavy_hitters(&p, [0x1u64, 0x2, 0x3].into_iter());
+        assert!((r[0].cumulative_fraction - 0.6).abs() < 1e-12);
+        assert!((r[1].cumulative_fraction - 0.9).abs() < 1e-12);
+        assert!((r[2].cumulative_fraction - 1.0).abs() < 1e-12);
+        assert!(r.windows(2).all(|w| w[0].cumulative_fraction <= w[1].cumulative_fraction));
+    }
+
+    #[test]
+    fn candidates_outside_profile_are_dropped() {
+        let p = profile(&[(0x1, 10)]);
+        let r = rank_heavy_hitters(&p, [0x1u64, 0x999].into_iter());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn top_n_fraction_saturates() {
+        let p = profile(&[(0x1, 10), (0x2, 30)]);
+        let r = rank_heavy_hitters(&p, [0x1u64, 0x2].into_iter());
+        assert!((top_n_fraction(&r, 1) - 0.75).abs() < 1e-12);
+        assert!((top_n_fraction(&r, 5) - 1.0).abs() < 1e-12);
+        assert_eq!(top_n_fraction(&r, 0), 0.0);
+        assert_eq!(top_n_fraction(&[], 3), 0.0);
+    }
+}

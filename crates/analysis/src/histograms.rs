@@ -1,0 +1,267 @@
+//! Histogram binning matching the paper's figure axes.
+//!
+//! Fig. 3 plots distributions of dynamic mispredictions, dynamic
+//! executions, and prediction accuracy over static branch IPs; Fig. 9 the
+//! median recurrence interval. All count axes use the paper's bin labels;
+//! observed counts are converted to 30M-instruction "paper equivalents"
+//! (see [`crate::paper_equivalent`]) so the labels remain meaningful at
+//! any trace scale.
+
+/// A labeled histogram over static branch IPs, storing the *fraction* of
+/// IPs per bin (the paper plots log-scale fractions).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    labels: Vec<String>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    fn new(labels: Vec<String>) -> Self {
+        let n = labels.len();
+        Histogram {
+            labels,
+            counts: vec![0; n],
+            total: 0,
+        }
+    }
+
+    fn add(&mut self, bin: usize) {
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Bin labels, in order.
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Raw count per bin.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fraction of the population per bin (zeros when empty).
+    #[must_use]
+    pub fn fractions(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| {
+                if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Total population size.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction in the bin with the given label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label does not exist.
+    #[must_use]
+    pub fn fraction_of(&self, label: &str) -> f64 {
+        let i = self
+            .labels
+            .iter()
+            .position(|l| l == label)
+            .unwrap_or_else(|| panic!("no bin labeled {label}"));
+        self.fractions()[i]
+    }
+}
+
+/// Bin edges (upper bounds, exclusive) with human labels, mirroring the
+/// paper's x-axes.
+#[derive(Clone, Debug)]
+pub struct BinSpec {
+    uppers: Vec<f64>,
+    labels: Vec<String>,
+}
+
+impl BinSpec {
+    /// Builds a bin spec from `(upper_bound, label)` pairs; values at or
+    /// above the last bound land in the final overflow bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn new(bounds: &[(f64, &str)], overflow_label: &str) -> Self {
+        assert!(!bounds.is_empty(), "need at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0].0 < w[1].0),
+            "bounds must be strictly increasing"
+        );
+        let mut uppers: Vec<f64> = bounds.iter().map(|b| b.0).collect();
+        let mut labels: Vec<String> = bounds.iter().map(|b| b.1.to_owned()).collect();
+        uppers.push(f64::INFINITY);
+        labels.push(overflow_label.to_owned());
+        BinSpec { uppers, labels }
+    }
+
+    /// Fig. 3 (left): dynamic mispredictions per static branch.
+    #[must_use]
+    pub fn mispredictions() -> Self {
+        BinSpec::new(
+            &[
+                (1.0, "0-1"),
+                (10.0, "1-10"),
+                (50.0, "10-50"),
+                (100.0, "50-100"),
+                (500.0, "100-500"),
+                (1_000.0, "500-1K"),
+            ],
+            "1K-5K",
+        )
+    }
+
+    /// Fig. 3 (middle): dynamic executions per static branch.
+    #[must_use]
+    pub fn executions() -> Self {
+        BinSpec::new(
+            &[
+                (100.0, "0-100"),
+                (1_000.0, "100-1K"),
+                (10_000.0, "1K-10K"),
+                (100_000.0, "10K-100K"),
+            ],
+            "100K-1M",
+        )
+    }
+
+    /// Fig. 3 (right): prediction accuracy per static branch.
+    #[must_use]
+    pub fn accuracy() -> Self {
+        BinSpec::new(
+            &[
+                (0.10, "0.00-0.10"),
+                (0.20, "0.10-0.20"),
+                (0.30, "0.20-0.30"),
+                (0.40, "0.30-0.40"),
+                (0.50, "0.40-0.50"),
+                (0.60, "0.50-0.60"),
+                (0.70, "0.60-0.70"),
+                (0.80, "0.70-0.80"),
+                (0.90, "0.80-0.90"),
+                (0.99, "0.90-0.99"),
+            ],
+            "0.99-1",
+        )
+    }
+
+    /// Fig. 9: median recurrence interval (instructions).
+    #[must_use]
+    pub fn recurrence_interval() -> Self {
+        BinSpec::new(
+            &[
+                (1.0, "0-1"),
+                (100.0, "1-100"),
+                (1_000.0, "100-1K"),
+                (10_000.0, "1K-10K"),
+                (100_000.0, "10K-100K"),
+                (1_000_000.0, "100K-1M"),
+                (2_000_000.0, "1M-2M"),
+                (4_000_000.0, "2M-4M"),
+                (8_000_000.0, "4M-8M"),
+                (16_000_000.0, "8M-16M"),
+            ],
+            "16M-32M",
+        )
+    }
+
+    /// Number of bins (including overflow).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.uppers.len()
+    }
+
+    /// True if the spec has no bins (never true for built-ins).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.uppers.is_empty()
+    }
+
+    fn bin_of(&self, value: f64) -> usize {
+        self.uppers
+            .iter()
+            .position(|&u| value < u)
+            .unwrap_or(self.uppers.len() - 1)
+    }
+
+    /// Builds a histogram over `values`.
+    #[must_use]
+    pub fn histogram(&self, values: impl Iterator<Item = f64>) -> Histogram {
+        let mut h = Histogram::new(self.labels.clone());
+        for v in values {
+            h.add(self.bin_of(v));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_expected_bins() {
+        let spec = BinSpec::executions();
+        let h = spec.histogram([0.0, 50.0, 99.9, 100.0, 999.0, 5e5, 1e9].into_iter());
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts()[0], 3); // 0, 50, 99.9
+        assert_eq!(h.counts()[1], 2); // 100, 999
+        assert_eq!(h.counts()[4], 2); // 5e5 and the out-of-range 1e9
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let spec = BinSpec::accuracy();
+        let h = spec.histogram((0..100).map(|i| i as f64 / 100.0));
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_edge_cases() {
+        let spec = BinSpec::accuracy();
+        let h = spec.histogram([0.99, 1.0, 0.989].into_iter());
+        assert_eq!(h.fraction_of("0.99-1"), 2.0 / 3.0);
+        assert!((h.fraction_of("0.90-0.99") - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let spec = BinSpec::mispredictions();
+        let h = spec.histogram(std::iter::empty());
+        assert_eq!(h.total(), 0);
+        assert!(h.fractions().iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no bin labeled")]
+    fn unknown_label_panics() {
+        let spec = BinSpec::mispredictions();
+        let h = spec.histogram(std::iter::empty());
+        let _ = h.fraction_of("nope");
+    }
+
+    #[test]
+    fn recurrence_bins_cover_paper_axis() {
+        let spec = BinSpec::recurrence_interval();
+        assert_eq!(spec.len(), 11);
+        let h = spec.histogram([5e5, 3e6, 2.5e7].into_iter());
+        assert_eq!(h.fraction_of("100K-1M"), 1.0 / 3.0);
+        assert_eq!(h.fraction_of("2M-4M"), 1.0 / 3.0);
+        assert_eq!(h.fraction_of("16M-32M"), 1.0 / 3.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Misprediction characterization analyses for `branch-lab`.
+//!
+//! Implements the paper's measurement pipeline:
+//!
+//! * [`BranchProfile`] — per-IP accuracy/execution statistics (§III);
+//! * [`H2pCriteria`] — hard-to-predict branch screening with
+//!   slice-scale-aware thresholds (§III-A);
+//! * [`rank_heavy_hitters`] — cumulative misprediction coverage (Fig. 2);
+//! * [`BinSpec`]/[`Histogram`] — the rare-branch distributions (Fig. 3);
+//! * [`accuracy_spread`] — accuracy spread vs execution count (Fig. 4);
+//! * [`cluster_slices`] — SimPoint-style phase clustering (Table I);
+//! * [`DependencyAnalysis`] — operand dependency branches and their
+//!   history-position distributions (§IV-A, Table III, Fig. 6);
+//! * [`compute_alloc_stats`] — TAGE allocation thrashing (§IV-A);
+//! * [`RecurrenceAnalysis`] — median recurrence intervals (Fig. 9);
+//! * [`RegValueAnalysis`] — register-value distributions (Fig. 10).
+
+mod accuracy_spread;
+mod alloc_stats;
+mod depgraph;
+mod h2p;
+mod heavy_hitters;
+mod histograms;
+mod phase;
+mod profile;
+mod recurrence;
+mod regvals;
+
+pub use accuracy_spread::{
+    accuracy_spread, accuracy_spread_from_points, spread_points, SpreadBin, SpreadPoint,
+};
+pub use alloc_stats::{compute_alloc_stats, AllocStats};
+pub use depgraph::{DepBranchReport, DependencyAnalysis, DEFAULT_WINDOW};
+pub use h2p::{paper_equivalent, H2pCriteria};
+pub use heavy_hitters::{rank_heavy_hitters, top_n_fraction, HeavyHitter};
+pub use histograms::{BinSpec, Histogram};
+pub use phase::{bbv, cluster_slices, kmeans, PhaseConfig, PhaseLabels};
+pub use profile::{BranchProfile, IpStats};
+pub use recurrence::RecurrenceAnalysis;
+pub use regvals::{RegValueAnalysis, RegValueDist, PAPER_TRACKED_REGS};

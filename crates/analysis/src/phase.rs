@@ -1,0 +1,277 @@
+//! SimPoint-style phase clustering (Sherwood et al.), used by Table I's
+//! "Avg # Phases" and by phase-conditioned helper predictors (§V-B).
+//!
+//! Each slice is summarized by a basic-block-vector (BBV) analogue — a
+//! normalized frequency vector of branch IPs hashed into a fixed number of
+//! dimensions — and slices are clustered with deterministic k-means using
+//! farthest-first seeding. The number of phases is chosen by the elbow
+//! criterion: the smallest k whose incremental distortion improvement
+//! falls below a threshold.
+
+use bp_trace::{RetiredInst, SliceConfig, Trace};
+
+/// Parameters for phase clustering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseConfig {
+    /// BBV dimensionality (branch IPs are hashed into this many buckets).
+    pub dims: usize,
+    /// Maximum number of phases considered.
+    pub max_phases: usize,
+    /// Elbow threshold: stop adding clusters when relative distortion
+    /// improvement drops below this.
+    pub improvement_threshold: f64,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig {
+            dims: 64,
+            max_phases: 16,
+            improvement_threshold: 0.05,
+        }
+    }
+}
+
+/// Result of clustering a trace's slices into phases.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseLabels {
+    /// Phase id per slice, in slice order.
+    pub labels: Vec<usize>,
+    /// Number of distinct phases found.
+    pub num_phases: usize,
+}
+
+/// Computes the normalized branch-frequency vector of one slice.
+#[must_use]
+pub fn bbv(insts: &[RetiredInst], dims: usize) -> Vec<f64> {
+    assert!(dims > 0, "dims must be positive");
+    let mut v = vec![0.0f64; dims];
+    let mut total = 0.0f64;
+    for inst in insts {
+        if inst.is_conditional_branch() {
+            // Multiplicative hash of the IP into a bucket.
+            let h = (inst.ip >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            v[(h >> 32) as usize % dims] += 1.0;
+            total += 1.0;
+        }
+    }
+    if total > 0.0 {
+        for x in &mut v {
+            *x /= total;
+        }
+    }
+    v
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Deterministic k-means with farthest-first initialization. Returns the
+/// per-point labels and the final distortion (sum of squared distances to
+/// assigned centroids).
+///
+/// # Panics
+///
+/// Panics if `k` is zero or greater than the number of points, or points
+/// have inconsistent dimensionality.
+#[must_use]
+pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize) -> (Vec<usize>, f64) {
+    assert!(k >= 1 && k <= points.len(), "k must be in 1..=#points");
+    let dims = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dims), "dim mismatch");
+
+    // Farthest-first seeding from point 0 (deterministic).
+    let mut centroids: Vec<Vec<f64>> = vec![points[0].clone()];
+    while centroids.len() < k {
+        let (far_idx, _) = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d = centroids
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min);
+                (i, d)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty points");
+        centroids.push(points[far_idx].clone());
+    }
+
+    let mut labels = vec![0usize; points.len()];
+    for _ in 0..iters {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| dist2(p, &centroids[a]).total_cmp(&dist2(p, &centroids[b])))
+                .expect("k >= 1");
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &l) in points.iter().zip(&labels) {
+            counts[l] += 1;
+            for (s, x) in sums[l].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for (ci, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *ci = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let distortion = points
+        .iter()
+        .zip(&labels)
+        .map(|(p, &l)| dist2(p, &centroids[l]))
+        .sum();
+    (labels, distortion)
+}
+
+/// Clusters the slices of `trace` into phases.
+///
+/// # Examples
+///
+/// ```
+/// use bp_analysis::{cluster_slices, PhaseConfig};
+/// use bp_trace::SliceConfig;
+/// use bp_workloads::specint_suite;
+///
+/// let spec = &specint_suite()[0];
+/// let trace = spec.trace(0, 200_000);
+/// let phases = cluster_slices(&trace, SliceConfig::new(20_000), PhaseConfig::default());
+/// assert_eq!(phases.labels.len(), 10);
+/// assert!(phases.num_phases >= 1);
+/// ```
+#[must_use]
+pub fn cluster_slices(trace: &Trace, slice: SliceConfig, config: PhaseConfig) -> PhaseLabels {
+    let points: Vec<Vec<f64>> = trace.slices(slice).map(|s| bbv(s, config.dims)).collect();
+    if points.is_empty() {
+        return PhaseLabels {
+            labels: Vec::new(),
+            num_phases: 0,
+        };
+    }
+    let kmax = config.max_phases.min(points.len());
+    let mut best = kmeans(&points, 1, 20);
+    let base_distortion = best.1;
+    let mut prev_distortion = best.1;
+    for k in 2..=kmax {
+        let trial = kmeans(&points, k, 20);
+        // Scree test: improvement is measured against the k=1 distortion,
+        // so self-similar micro-structure inside tight clusters does not
+        // keep splitting forever.
+        let improvement = if base_distortion > 0.0 {
+            (prev_distortion - trial.1) / base_distortion
+        } else {
+            0.0
+        };
+        if improvement < config.improvement_threshold {
+            break;
+        }
+        prev_distortion = trial.1;
+        best = trial;
+    }
+    // Renumber labels densely in order of first appearance.
+    let mut remap = std::collections::HashMap::new();
+    let mut labels = Vec::with_capacity(best.0.len());
+    for l in best.0 {
+        let next = remap.len();
+        labels.push(*remap.entry(l).or_insert(next));
+    }
+    PhaseLabels {
+        labels,
+        num_phases: remap.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbv_is_normalized() {
+        let insts: Vec<RetiredInst> = (0..50)
+            .map(|i| RetiredInst::cond_branch(0x100 + (i % 5) * 4, true, 0, None, None))
+            .collect();
+        let v = bbv(&insts, 16);
+        let sum: f64 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bbv_empty_slice_is_zero() {
+        let v = bbv(&[], 8);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+            pts.push(vec![10.0 + i as f64 * 0.01, 0.0]);
+        }
+        let (labels, distortion) = kmeans(&pts, 2, 50);
+        // Even indices in one cluster, odd in the other.
+        let l0 = labels[0];
+        assert!(labels.iter().step_by(2).all(|&l| l == l0));
+        assert!(labels.iter().skip(1).step_by(2).all(|&l| l != l0));
+        assert!(distortion < 1.0);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
+        let a = kmeans(&pts, 3, 30);
+        let b = kmeans(&pts, 3, 30);
+        assert_eq!(a.0, b.0);
+        assert!((a.1 - b.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elbow_finds_synthetic_phase_count() {
+        // 3 well-separated, internally-tight blobs of 8 points each.
+        let mut pts = Vec::new();
+        for c in 0..3 {
+            for i in 0..8 {
+                pts.push(vec![c as f64 * 100.0 + (i % 2) as f64 * 0.001, c as f64 * 50.0]);
+            }
+        }
+        // Emulate cluster_slices' selection loop directly.
+        let cfg = PhaseConfig::default();
+        let base = kmeans(&pts, 1, 20).1;
+        let mut prev = base;
+        let mut chosen = 1;
+        for k in 2..=6 {
+            let (_, d) = kmeans(&pts, k, 20);
+            let imp = (prev - d) / base.max(1e-12);
+            if imp < cfg.improvement_threshold {
+                break;
+            }
+            prev = d;
+            chosen = k;
+        }
+        assert_eq!(chosen, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn kmeans_rejects_bad_k() {
+        let _ = kmeans(&[vec![0.0]], 2, 5);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-branch prediction profiles — the raw material of every table in the
+//! paper.
+
+use std::collections::HashMap;
+
+use bp_predictors::DirectionPredictor;
+use bp_trace::RetiredInst;
+
+/// Accumulated statistics for one static branch IP.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IpStats {
+    /// Dynamic executions.
+    pub execs: u64,
+    /// Mispredictions.
+    pub mispredicts: u64,
+    /// Taken outcomes.
+    pub taken: u64,
+}
+
+impl IpStats {
+    /// Prediction accuracy for this IP (1.0 when never executed).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.execs == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.execs as f64
+        }
+    }
+}
+
+/// Per-IP prediction statistics over an instruction window (a slice or a
+/// whole trace).
+///
+/// # Examples
+///
+/// ```
+/// use bp_analysis::BranchProfile;
+/// use bp_predictors::TageScL;
+/// use bp_workloads::specint_suite;
+///
+/// let trace = specint_suite()[1].trace(0, 20_000);
+/// let mut bpu = TageScL::kb8();
+/// let profile = BranchProfile::collect(&mut bpu, trace.insts());
+/// assert!(profile.static_branch_count() > 10);
+/// assert!(profile.accuracy() > 0.5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BranchProfile {
+    per_ip: HashMap<u64, IpStats>,
+    /// Instructions covered by this profile.
+    pub instructions: u64,
+}
+
+impl BranchProfile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `predictor` over the conditional branches of `insts`,
+    /// accumulating per-IP statistics. The predictor's state persists
+    /// across calls, so per-slice profiles reflect a continuously-trained
+    /// BPU exactly as in the paper's methodology.
+    pub fn collect(predictor: &mut dyn DirectionPredictor, insts: &[RetiredInst]) -> Self {
+        let mut profile = BranchProfile::new();
+        profile.accumulate(predictor, insts);
+        profile
+    }
+
+    /// Adds the branches of `insts` to this profile (see
+    /// [`BranchProfile::collect`]).
+    pub fn accumulate(&mut self, predictor: &mut dyn DirectionPredictor, insts: &[RetiredInst]) {
+        self.instructions += insts.len() as u64;
+        for inst in insts {
+            if let Some(taken) = inst.taken() {
+                let pred = predictor.predict_and_train(inst.ip, taken);
+                let e = self.per_ip.entry(inst.ip).or_default();
+                e.execs += 1;
+                e.taken += u64::from(taken);
+                e.mispredicts += u64::from(pred != taken);
+            }
+        }
+    }
+
+    /// Merges another profile into this one (summing per-IP stats).
+    pub fn merge(&mut self, other: &BranchProfile) {
+        self.instructions += other.instructions;
+        for (ip, s) in &other.per_ip {
+            let e = self.per_ip.entry(*ip).or_default();
+            e.execs += s.execs;
+            e.mispredicts += s.mispredicts;
+            e.taken += s.taken;
+        }
+    }
+
+    /// Statistics for one IP, if it executed.
+    #[must_use]
+    pub fn get(&self, ip: u64) -> Option<&IpStats> {
+        self.per_ip.get(&ip)
+    }
+
+    /// Iterates over `(ip, stats)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &IpStats)> + '_ {
+        self.per_ip.iter().map(|(ip, s)| (*ip, s))
+    }
+
+    /// Number of distinct static branch IPs observed.
+    #[must_use]
+    pub fn static_branch_count(&self) -> usize {
+        self.per_ip.len()
+    }
+
+    /// Total dynamic conditional branches.
+    #[must_use]
+    pub fn total_execs(&self) -> u64 {
+        self.per_ip.values().map(|s| s.execs).sum()
+    }
+
+    /// Total mispredictions.
+    #[must_use]
+    pub fn total_mispredicts(&self) -> u64 {
+        self.per_ip.values().map(|s| s.mispredicts).sum()
+    }
+
+    /// Aggregate accuracy (1.0 when no branches executed).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total_execs();
+        if t == 0 {
+            1.0
+        } else {
+            1.0 - self.total_mispredicts() as f64 / t as f64
+        }
+    }
+
+    /// Aggregate accuracy with the given IPs excluded — Table I's
+    /// "Avg. Acc. excl. H2Ps" column.
+    #[must_use]
+    pub fn accuracy_excluding(&self, excluded: &std::collections::HashSet<u64>) -> f64 {
+        let mut execs = 0u64;
+        let mut miss = 0u64;
+        for (ip, s) in &self.per_ip {
+            if !excluded.contains(ip) {
+                execs += s.execs;
+                miss += s.mispredicts;
+            }
+        }
+        if execs == 0 {
+            1.0
+        } else {
+            1.0 - miss as f64 / execs as f64
+        }
+    }
+
+    /// Mean dynamic executions per static branch (Table II column).
+    #[must_use]
+    pub fn mean_execs_per_static_branch(&self) -> f64 {
+        if self.per_ip.is_empty() {
+            0.0
+        } else {
+            self.total_execs() as f64 / self.per_ip.len() as f64
+        }
+    }
+
+    /// Mean per-branch accuracy, each static branch weighted equally
+    /// (Table II's "Avg. Acc. per Static Branch").
+    #[must_use]
+    pub fn mean_accuracy_per_static_branch(&self) -> f64 {
+        if self.per_ip.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self.per_ip.values().map(IpStats::accuracy).sum();
+        sum / self.per_ip.len() as f64
+    }
+}
+
+impl<'a> IntoIterator for &'a BranchProfile {
+    type Item = (&'a u64, &'a IpStats);
+    type IntoIter = std::collections::hash_map::Iter<'a, u64, IpStats>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.per_ip.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_predictors::{AlwaysTaken, PerfectPredictor};
+    use bp_trace::RetiredInst;
+
+    fn branches(spec: &[(u64, bool)]) -> Vec<RetiredInst> {
+        spec.iter()
+            .map(|&(ip, t)| RetiredInst::cond_branch(ip, t, 0, None, None))
+            .collect()
+    }
+
+    #[test]
+    fn collects_per_ip_counts() {
+        let insts = branches(&[(0x10, true), (0x10, false), (0x20, true)]);
+        let p = BranchProfile::collect(&mut PerfectPredictor, &insts);
+        assert_eq!(p.static_branch_count(), 2);
+        assert_eq!(p.get(0x10).unwrap().execs, 2);
+        assert_eq!(p.get(0x10).unwrap().taken, 1);
+        assert_eq!(p.total_mispredicts(), 0);
+        assert!((p.accuracy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mispredictions_attributed_to_ips() {
+        let insts = branches(&[(0x10, false), (0x10, false), (0x20, true)]);
+        let p = BranchProfile::collect(&mut AlwaysTaken, &insts);
+        assert_eq!(p.get(0x10).unwrap().mispredicts, 2);
+        assert_eq!(p.get(0x20).unwrap().mispredicts, 0);
+        assert!((p.get(0x10).unwrap().accuracy() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_excluding_removes_bad_ips() {
+        let insts = branches(&[(0x10, false), (0x10, false), (0x20, true), (0x20, true)]);
+        let p = BranchProfile::collect(&mut AlwaysTaken, &insts);
+        let mut excl = std::collections::HashSet::new();
+        excl.insert(0x10u64);
+        assert!((p.accuracy() - 0.5).abs() < 1e-12);
+        assert!((p.accuracy_excluding(&excl) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let a = BranchProfile::collect(&mut PerfectPredictor, &branches(&[(0x10, true)]));
+        let mut b = BranchProfile::collect(&mut PerfectPredictor, &branches(&[(0x10, false)]));
+        b.merge(&a);
+        assert_eq!(b.get(0x10).unwrap().execs, 2);
+        assert_eq!(b.instructions, 2);
+    }
+
+    #[test]
+    fn mean_statistics() {
+        let insts = branches(&[(0x10, true), (0x10, true), (0x20, false)]);
+        let p = BranchProfile::collect(&mut AlwaysTaken, &insts);
+        assert!((p.mean_execs_per_static_branch() - 1.5).abs() < 1e-12);
+        // 0x10 accuracy 1.0, 0x20 accuracy 0.0 -> mean 0.5.
+        assert!((p.mean_accuracy_per_static_branch() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_defaults() {
+        let p = BranchProfile::new();
+        assert_eq!(p.accuracy(), 1.0);
+        assert_eq!(p.mean_execs_per_static_branch(), 0.0);
+        assert_eq!(p.static_branch_count(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Branch recurrence intervals (Fig. 9).
+//!
+//! The recurrence interval of a static branch IP is the number of
+//! instructions between two consecutive dynamic executions of it. The
+//! distribution of per-IP *median* recurrence intervals reveals
+//! phase-like behaviour on long timescales — an exploitable signal for
+//! helper predictors (§V-B).
+
+use std::collections::HashMap;
+
+use bp_trace::Trace;
+
+use crate::h2p::paper_equivalent;
+use crate::histograms::{BinSpec, Histogram};
+
+/// Per-IP median recurrence interval, in instructions.
+#[derive(Clone, Debug, Default)]
+pub struct RecurrenceAnalysis {
+    /// `ip -> median interval` (instructions, at native trace scale).
+    /// Singleton branches (one execution) get interval 0, matching the
+    /// paper's first bin.
+    medians: HashMap<u64, u64>,
+}
+
+impl RecurrenceAnalysis {
+    /// Computes per-IP median recurrence intervals over `trace`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bp_analysis::RecurrenceAnalysis;
+    /// use bp_workloads::lcf_suite;
+    ///
+    /// let trace = lcf_suite()[0].trace(0, 30_000);
+    /// let rec = RecurrenceAnalysis::compute(&trace);
+    /// assert!(rec.len() > 10);
+    /// ```
+    #[must_use]
+    pub fn compute(trace: &Trace) -> Self {
+        let mut last_seen: HashMap<u64, u64> = HashMap::new();
+        let mut intervals: HashMap<u64, Vec<u64>> = HashMap::new();
+        for br in trace.conditional_branches() {
+            let pos = br.index as u64;
+            if let Some(prev) = last_seen.insert(br.ip, pos) {
+                intervals.entry(br.ip).or_default().push(pos - prev);
+            } else {
+                intervals.entry(br.ip).or_default();
+            }
+        }
+        let medians = intervals
+            .into_iter()
+            .map(|(ip, mut v)| {
+                if v.is_empty() {
+                    (ip, 0)
+                } else {
+                    v.sort_unstable();
+                    (ip, v[v.len() / 2])
+                }
+            })
+            .collect();
+        RecurrenceAnalysis { medians }
+    }
+
+    /// Median recurrence interval of one IP.
+    #[must_use]
+    pub fn median(&self, ip: u64) -> Option<u64> {
+        self.medians.get(&ip).copied()
+    }
+
+    /// Number of static branch IPs tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.medians.len()
+    }
+
+    /// True when no branches were observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.medians.is_empty()
+    }
+
+    /// The Fig. 9 histogram: fraction of static branch IPs per median
+    /// recurrence interval bin. Intervals are converted to paper
+    /// equivalents using `trace_len` so the bins carry the paper's labels.
+    #[must_use]
+    pub fn histogram(&self, trace_len: u64) -> Histogram {
+        BinSpec::recurrence_interval().histogram(
+            self.medians
+                .values()
+                .map(|&m| paper_equivalent(m, trace_len)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_trace::{RetiredInst, TraceMeta};
+
+    fn trace_with_positions(spec: &[(u64, &[usize])], len: usize) -> Trace {
+        // Build a trace of `len` nops, replacing the given positions with
+        // conditional branches at each IP.
+        let mut t = Trace::new(TraceMeta::new("rec", 0));
+        let mut at: HashMap<usize, u64> = HashMap::new();
+        for &(ip, positions) in spec {
+            for &p in positions {
+                at.insert(p, ip);
+            }
+        }
+        for i in 0..len {
+            match at.get(&i) {
+                Some(&ip) => t.push(RetiredInst::cond_branch(ip, true, 0, None, None)),
+                None => t.push(RetiredInst::op(
+                    0x1,
+                    bp_trace::InstClass::Nop,
+                    None,
+                    None,
+                    None,
+                    0,
+                )),
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn median_of_regular_branch() {
+        let t = trace_with_positions(&[(0x10, &[0, 100, 200, 300])], 400);
+        let r = RecurrenceAnalysis::compute(&t);
+        assert_eq!(r.median(0x10), Some(100));
+    }
+
+    #[test]
+    fn singleton_branch_has_zero_interval() {
+        let t = trace_with_positions(&[(0x10, &[5])], 10);
+        let r = RecurrenceAnalysis::compute(&t);
+        assert_eq!(r.median(0x10), Some(0));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        // Intervals 10, 10, 10, 500 -> median 10.
+        let t = trace_with_positions(&[(0x10, &[0, 10, 20, 30, 530])], 600);
+        let r = RecurrenceAnalysis::compute(&t);
+        assert_eq!(r.median(0x10), Some(10));
+    }
+
+    #[test]
+    fn histogram_scales_to_paper_units() {
+        // Interval 100 in a 30,000-instruction trace -> x1000 scale ->
+        // 100,000 paper-equivalent, landing in "10K-100K"? No: 100 * 1000
+        // = 100_000, which is the lower edge of "100K-1M".
+        let t = trace_with_positions(&[(0x10, &[0, 100, 200])], 30_000);
+        let r = RecurrenceAnalysis::compute(&t);
+        let h = r.histogram(30_000);
+        assert!((h.fraction_of("100K-1M") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(TraceMeta::new("e", 0));
+        let r = RecurrenceAnalysis::compute(&t);
+        assert!(r.is_empty());
+        assert_eq!(r.histogram(0).total(), 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Register-value distributions preceding H2P executions (Fig. 10).
+//!
+//! For each dynamic execution of a branch, the paper records the bottom
+//! 32 bits of the most recent value written to each of 18 tracked
+//! registers. The per-register value distributions show branch-specific,
+//! recognizable structure — motivating register values as an additional
+//! correlative input for offline-trained helper predictors (§V-B).
+
+use std::collections::HashMap;
+
+use bp_trace::Trace;
+
+/// Number of registers the paper tracks.
+pub const PAPER_TRACKED_REGS: usize = 18;
+
+/// Value distribution for one tracked register.
+#[derive(Clone, Debug, Default)]
+pub struct RegValueDist {
+    counts: HashMap<u32, u64>,
+    total: u64,
+}
+
+impl RegValueDist {
+    /// Number of distinct values observed.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The most frequent `(value, count)` pairs, descending.
+    #[must_use]
+    pub fn top(&self, n: usize) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Shannon entropy of the distribution in bits — low entropy means
+    /// recognizable structure a learned model can exploit.
+    #[must_use]
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        -self
+            .counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+}
+
+/// Fig. 10 for one branch: per-register distributions of the value written
+/// immediately preceding each dynamic execution.
+#[derive(Clone, Debug)]
+pub struct RegValueAnalysis {
+    dists: Vec<RegValueDist>,
+    /// Dynamic executions sampled.
+    pub executions: u64,
+}
+
+impl RegValueAnalysis {
+    /// Collects the distributions for `branch_ip` over `trace`, tracking
+    /// registers `0..tracked_regs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tracked_regs` is 0 or exceeds the ISA register count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bp_analysis::{RegValueAnalysis, PAPER_TRACKED_REGS};
+    /// use bp_workloads::specint_suite;
+    ///
+    /// let trace = specint_suite()[1].trace(0, 20_000);
+    /// let ip = trace.conditional_branches().next().unwrap().ip;
+    /// let rv = RegValueAnalysis::collect(&trace, ip, PAPER_TRACKED_REGS);
+    /// assert!(rv.executions > 0);
+    /// ```
+    #[must_use]
+    pub fn collect(trace: &Trace, branch_ip: u64, tracked_regs: usize) -> Self {
+        assert!(
+            (1..=bp_trace::NUM_REGS).contains(&tracked_regs),
+            "tracked_regs out of range"
+        );
+        let mut dists = vec![RegValueDist::default(); tracked_regs];
+        let mut last_value = vec![None::<u32>; tracked_regs];
+        let mut executions = 0u64;
+        for inst in trace.iter() {
+            if inst.ip == branch_ip && inst.is_conditional_branch() {
+                executions += 1;
+                for (d, v) in dists.iter_mut().zip(&last_value) {
+                    if let Some(v) = v {
+                        *d.counts.entry(*v).or_default() += 1;
+                        d.total += 1;
+                    }
+                }
+            }
+            if let Some(r) = inst.dst {
+                if r.index() < tracked_regs {
+                    last_value[r.index()] = Some(inst.dst_value as u32);
+                }
+            }
+        }
+        RegValueAnalysis { dists, executions }
+    }
+
+    /// Distribution for register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of the tracked range.
+    #[must_use]
+    pub fn register(&self, r: usize) -> &RegValueDist {
+        &self.dists[r]
+    }
+
+    /// Number of registers tracked.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Mean per-register entropy (bits) across registers with samples —
+    /// a one-number summary of how much structure the distributions have.
+    #[must_use]
+    pub fn mean_entropy_bits(&self) -> f64 {
+        let active: Vec<&RegValueDist> = self.dists.iter().filter(|d| d.total > 0).collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().map(|d| d.entropy_bits()).sum::<f64>() / active.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_trace::{InstClass, Reg, RetiredInst, TraceMeta};
+
+    fn trace_writing_then_branching() -> Trace {
+        let mut t = Trace::new(TraceMeta::new("rv", 0));
+        for lap in 0..10u64 {
+            // r1 takes value lap % 3; r2 constant 7.
+            t.push(RetiredInst::op(0x10, InstClass::Alu, None, None, Some(Reg::new(1)), lap % 3));
+            t.push(RetiredInst::op(0x14, InstClass::Alu, None, None, Some(Reg::new(2)), 7));
+            t.push(RetiredInst::cond_branch(0x20, true, 0, Some(1), None));
+        }
+        t
+    }
+
+    #[test]
+    fn captures_last_written_values() {
+        let t = trace_writing_then_branching();
+        let rv = RegValueAnalysis::collect(&t, 0x20, 4);
+        assert_eq!(rv.executions, 10);
+        assert_eq!(rv.register(1).distinct(), 3); // 0, 1, 2
+        assert_eq!(rv.register(2).distinct(), 1); // constant 7
+        assert_eq!(rv.register(3).total(), 0); // never written
+    }
+
+    #[test]
+    fn entropy_reflects_structure() {
+        let t = trace_writing_then_branching();
+        let rv = RegValueAnalysis::collect(&t, 0x20, 4);
+        assert!(rv.register(2).entropy_bits() < 1e-9); // constant: 0 bits
+        let e1 = rv.register(1).entropy_bits();
+        assert!(e1 > 1.0 && e1 <= (3.0f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn top_values_sorted_by_count() {
+        let t = trace_writing_then_branching();
+        let rv = RegValueAnalysis::collect(&t, 0x20, 4);
+        let top = rv.register(1).top(2);
+        assert_eq!(top.len(), 2);
+        // Values 0 and 1 occur 4 and 3 times (laps 0,3,6,9 / 1,4,7).
+        assert_eq!(top[0], (0, 4));
+        assert_eq!(top[1], (1, 3));
+    }
+
+    #[test]
+    fn values_before_first_write_are_skipped() {
+        let mut t = Trace::new(TraceMeta::new("rv2", 0));
+        t.push(RetiredInst::cond_branch(0x20, true, 0, None, None));
+        t.push(RetiredInst::op(0x10, InstClass::Alu, None, None, Some(Reg::new(1)), 5));
+        t.push(RetiredInst::cond_branch(0x20, true, 0, None, None));
+        let rv = RegValueAnalysis::collect(&t, 0x20, 2);
+        assert_eq!(rv.executions, 2);
+        assert_eq!(rv.register(1).total(), 1); // only the second execution
+    }
+
+    #[test]
+    fn mean_entropy_ignores_untouched_registers() {
+        let t = trace_writing_then_branching();
+        let rv = RegValueAnalysis::collect(&t, 0x20, 8);
+        // Only r1 and r2 are active; mean is their average.
+        let expect = (rv.register(1).entropy_bits() + rv.register(2).entropy_bits()) / 2.0;
+        assert!((rv.mean_entropy_bits() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! predictor-component cost (TAGE vs TAGE-L vs TAGE-SC-L), history-length
+//! limits, and float vs 2-bit CNN inference. Accuracy-side ablations live
+//! in `cargo run -p bp-experiments --bin ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use bp_helpers::{CnnNet, HistoryEncoder};
+use bp_predictors::{Predictor, TageConfig, TageScL, TageSclConfig};
+use bp_workloads::specint_suite;
+
+fn bench_component_cost(c: &mut Criterion) {
+    let spec = &specint_suite()[6];
+    let stream: Vec<(u64, bool)> = spec
+        .trace(0, 150_000)
+        .conditional_branches()
+        .map(|b| (b.ip, b.taken))
+        .collect();
+
+    let mut group = c.benchmark_group("ablation-components");
+    group
+        .throughput(Throughput::Elements(stream.len() as u64))
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let configs = [
+        ("tage-only", TageSclConfig::tage_only(8)),
+        ("tage-l", TageSclConfig::tage_l(8)),
+        ("tage-sc-l", TageSclConfig::storage_kb(8)),
+    ];
+    for (name, cfg) in configs {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut p = TageScL::new(cfg.clone());
+                let mut wrong = 0u64;
+                for &(ip, taken) in &stream {
+                    let pred = p.predict(ip);
+                    p.update(ip, taken, pred);
+                    wrong += u64::from(pred != taken);
+                }
+                wrong
+            });
+        });
+    }
+    group.finish();
+
+    // History-length limit at fixed storage.
+    let mut group = c.benchmark_group("ablation-history-limit");
+    group
+        .throughput(Throughput::Elements(stream.len() as u64))
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for max_hist in [500usize, 1000, 3000] {
+        group.bench_function(BenchmarkId::from_parameter(max_hist), |b| {
+            b.iter(|| {
+                let mut cfg = TageSclConfig::storage_kb(8);
+                cfg.tage = TageConfig {
+                    max_hist,
+                    ..cfg.tage
+                };
+                let mut p = TageScL::new(cfg);
+                let mut wrong = 0u64;
+                for &(ip, taken) in &stream {
+                    let pred = p.predict(ip);
+                    p.update(ip, taken, pred);
+                    wrong += u64::from(pred != taken);
+                }
+                wrong
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnn_precision(c: &mut Criterion) {
+    let mut net = CnnNet::new(12, 64, 4);
+    let window: Vec<u16> = (0..32)
+        .map(|i| HistoryEncoder::bucket_of(0x400 + i * 4, i % 3 == 0, 64))
+        .collect();
+    for _ in 0..200 {
+        net.train_step(&window, true, 0.05);
+    }
+    let quant = net.quantize();
+
+    let mut group = c.benchmark_group("ablation-cnn-precision");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench_function("f32-forward", |b| b.iter(|| net.forward(&window).score));
+    group.bench_function("2bit-forward", |b| b.iter(|| quant.forward(&window).score));
+    group.finish();
+}
+
+criterion_group!(benches, bench_component_cost, bench_cnn_precision);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Predictor lookup+update throughput over a realistic branch stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use bp_predictors::{
+    Bimodal, GShare, Perceptron, Ppm, PpmConfig, Predictor, TageScL, TageSclConfig, TwoLevelLocal,
+};
+use bp_workloads::specint_suite;
+
+fn branch_stream(len: usize) -> Vec<(u64, bool)> {
+    let spec = &specint_suite()[6]; // leela-like: branchy
+    let trace = spec.trace(0, len);
+    trace
+        .conditional_branches()
+        .map(|b| (b.ip, b.taken))
+        .collect()
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let stream = branch_stream(200_000);
+    let mut group = c.benchmark_group("predictors");
+    group
+        .throughput(Throughput::Elements(stream.len() as u64))
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    let run = |group: &mut criterion::BenchmarkGroup<'_, _>, name: &str, make: &dyn Fn() -> Box<dyn Predictor>| {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut p = make();
+                let mut wrong = 0u64;
+                for &(ip, taken) in &stream {
+                    let pred = p.predict(ip);
+                    p.update(ip, taken, pred);
+                    wrong += u64::from(pred != taken);
+                }
+                wrong
+            });
+        });
+    };
+
+    run(&mut group, "bimodal", &|| Box::new(Bimodal::new(12)));
+    run(&mut group, "gshare", &|| Box::new(GShare::new(13, 16)));
+    run(&mut group, "two-level-local", &|| {
+        Box::new(TwoLevelLocal::new(11, 10))
+    });
+    run(&mut group, "perceptron", &|| Box::new(Perceptron::new(10, 32)));
+    run(&mut group, "ppm", &|| Box::new(Ppm::new(PpmConfig::default())));
+    run(&mut group, "tage-sc-l-8kb", &|| Box::new(TageScL::kb8()));
+    run(&mut group, "tage-sc-l-64kb", &|| Box::new(TageScL::kb64()));
+    run(&mut group, "tage-sc-l-1024kb", &|| {
+        Box::new(TageScL::new(TageSclConfig::storage_kb(1024)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

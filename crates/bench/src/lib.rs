@@ -1,0 +1,1 @@
+//! Criterion benchmarks for branch-lab (see benches/).

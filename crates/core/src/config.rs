@@ -1,0 +1,98 @@
+//! Experiment-wide configuration.
+
+use bp_trace::SliceConfig;
+
+/// How much of each workload to trace and how to slice it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatasetConfig {
+    /// Instructions per workload trace.
+    pub trace_len: usize,
+    /// Slice configuration for per-slice statistics.
+    pub slice: SliceConfig,
+    /// Cap on application inputs per workload (`None` = use the spec's
+    /// declared input count).
+    pub max_inputs: Option<u32>,
+}
+
+impl DatasetConfig {
+    /// The default experiment scale: 1M-instruction traces in
+    /// 100K-instruction slices (paper: 10B traces in 30M slices — all
+    /// count thresholds scale automatically; see `bp-analysis`).
+    #[must_use]
+    pub fn standard() -> Self {
+        DatasetConfig {
+            trace_len: 1_000_000,
+            slice: SliceConfig::new(100_000),
+            max_inputs: None,
+        }
+    }
+
+    /// A reduced scale for tests and quick runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        DatasetConfig {
+            trace_len: 120_000,
+            slice: SliceConfig::new(30_000),
+            max_inputs: Some(2),
+        }
+    }
+
+    /// Overrides the trace length, keeping ten slices per trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 10`.
+    #[must_use]
+    pub fn with_trace_len(self, len: usize) -> Self {
+        assert!(len >= 10, "trace length too small");
+        DatasetConfig {
+            trace_len: len,
+            slice: SliceConfig::new(len / 10),
+            ..self
+        }
+    }
+
+    /// Number of inputs to actually trace for a workload declaring
+    /// `declared` inputs.
+    #[must_use]
+    pub fn inputs_for(&self, declared: u32) -> u32 {
+        match self.max_inputs {
+            Some(cap) => declared.min(cap),
+            None => declared,
+        }
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_has_ten_slices() {
+        let c = DatasetConfig::standard();
+        assert_eq!(c.trace_len / c.slice.len(), 10);
+    }
+
+    #[test]
+    fn with_trace_len_rescales_slices() {
+        let c = DatasetConfig::standard().with_trace_len(500_000);
+        assert_eq!(c.slice.len(), 50_000);
+    }
+
+    #[test]
+    fn inputs_cap() {
+        let c = DatasetConfig {
+            max_inputs: Some(3),
+            ..DatasetConfig::standard()
+        };
+        assert_eq!(c.inputs_for(10), 3);
+        assert_eq!(c.inputs_for(2), 2);
+        assert_eq!(DatasetConfig::standard().inputs_for(10), 10);
+    }
+}

@@ -1,0 +1,339 @@
+//! The IPC limit studies: Figs. 1, 5, 7 and 8.
+//!
+//! All studies share one structure: run predictors over a trace once to
+//! get misprediction streams, then replay those streams through the
+//! pipeline timing model at several capacity scalings. Misprediction
+//! streams are scale-independent, so each predictor pass is reused across
+//! all pipeline configurations.
+
+use std::collections::HashSet;
+
+use bp_analysis::{BranchProfile, H2pCriteria};
+use bp_pipeline::{simulate, PipelineConfig};
+use bp_predictors::{
+    misprediction_flags, DirectionPredictor, PerfectSetOracle, TageScL, TageSclConfig,
+};
+use bp_trace::Trace;
+use bp_workloads::WorkloadSpec;
+
+use crate::config::DatasetConfig;
+
+/// IPC of one predictor across pipeline scales, relative to a baseline.
+#[derive(Clone, Debug)]
+pub struct ScalingSeries {
+    /// Series label, e.g. `"TAGE-SC-L 8KB"`.
+    pub label: String,
+    /// Mean relative IPC per scale (geometric mean across workloads),
+    /// aligned with [`ScalingStudy::scales`].
+    pub relative_ipc: Vec<f64>,
+}
+
+/// The Fig. 1 / Fig. 5 study result.
+#[derive(Clone, Debug)]
+pub struct ScalingStudy {
+    /// Pipeline capacity scaling factors.
+    pub scales: Vec<u32>,
+    /// One series per predictor configuration.
+    pub series: Vec<ScalingSeries>,
+}
+
+impl ScalingStudy {
+    /// The relative IPC of `label` at `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label or scale is unknown.
+    #[must_use]
+    pub fn value(&self, label: &str, scale: u32) -> f64 {
+        let si = self
+            .scales
+            .iter()
+            .position(|&s| s == scale)
+            .unwrap_or_else(|| panic!("unknown scale {scale}"));
+        let series = self
+            .series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("unknown series {label}"));
+        series.relative_ipc[si]
+    }
+}
+
+/// Per-workload mispredict streams for the four Fig. 1 predictor
+/// configurations.
+struct WorkloadStreams {
+    trace: Trace,
+    tage8: Vec<bool>,
+    tage64: Vec<bool>,
+    perfect_h2p: Vec<bool>,
+    perfect: Vec<bool>,
+}
+
+fn streams_for(spec: &WorkloadSpec, config: &DatasetConfig) -> WorkloadStreams {
+    let trace = spec.trace(0, config.trace_len);
+
+    // TAGE-SC-L 8KB, with a per-slice H2P screen for the oracle set.
+    let mut tage8 = TageScL::kb8();
+    let criteria = H2pCriteria::paper();
+    let mut h2ps: HashSet<u64> = HashSet::new();
+    {
+        let mut screen_pred = TageScL::kb8();
+        for slice in trace.slices(config.slice) {
+            let profile = BranchProfile::collect(&mut screen_pred, slice);
+            h2ps.extend(criteria.screen(&profile, config.slice));
+        }
+    }
+    let tage8_flags = misprediction_flags(&mut tage8, &trace);
+    let mut tage64 = TageScL::kb64();
+    let tage64_flags = misprediction_flags(&mut tage64, &trace);
+    let mut oracle = PerfectSetOracle::new(TageScL::kb8(), h2ps);
+    let perfect_h2p_flags = misprediction_flags(&mut oracle, &trace);
+    let perfect = vec![false; trace.conditional_branch_count()];
+    WorkloadStreams {
+        trace,
+        tage8: tage8_flags,
+        tage64: tage64_flags,
+        perfect_h2p: perfect_h2p_flags,
+        perfect,
+    }
+}
+
+/// Runs the Fig. 1 (SPECint) / Fig. 5 (LCF) pipeline-scaling study over
+/// `specs`, reporting IPC relative to TAGE-SC-L 8KB at 1x (geometric mean
+/// across workloads).
+#[must_use]
+pub fn scaling_study(specs: &[WorkloadSpec], config: &DatasetConfig) -> ScalingStudy {
+    let scales = PipelineConfig::SCALES.to_vec();
+    let base_cfg = PipelineConfig::skylake();
+    let labels = [
+        "TAGE-SC-L 8KB",
+        "TAGE-SC-L 64KB",
+        "Perfect H2Ps",
+        "Perfect BP",
+    ];
+    // relative_ipc[series][scale] accumulates log(ipc ratio).
+    let mut acc = vec![vec![0.0f64; scales.len()]; labels.len()];
+    for spec in specs {
+        let st = streams_for(spec, config);
+        let base_ipc = simulate(&st.trace, &st.tage8, &base_cfg).ipc();
+        let flags = [&st.tage8, &st.tage64, &st.perfect_h2p, &st.perfect];
+        for (si, &scale) in scales.iter().enumerate() {
+            let cfg = base_cfg.scaled(scale);
+            for (li, f) in flags.iter().enumerate() {
+                let ipc = simulate(&st.trace, f, &cfg).ipc();
+                acc[li][si] += (ipc / base_ipc).ln();
+            }
+        }
+    }
+    let n = specs.len().max(1) as f64;
+    ScalingStudy {
+        scales,
+        series: labels
+            .iter()
+            .zip(acc)
+            .map(|(label, logs)| ScalingSeries {
+                label: (*label).to_owned(),
+                relative_ipc: logs.into_iter().map(|l| (l / n).exp()).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// One application's Fig. 7 result: fraction of the TAGE8→perfect IPC gap
+/// closed by each storage configuration, at each pipeline scale.
+#[derive(Clone, Debug)]
+pub struct StorageScalingRow {
+    /// Workload name.
+    pub name: String,
+    /// `gap_closed[scale_index][storage_index]`.
+    pub gap_closed: Vec<Vec<f64>>,
+}
+
+/// The Fig. 7 study result.
+#[derive(Clone, Debug)]
+pub struct StorageScalingStudy {
+    /// Pipeline scaling factors.
+    pub scales: Vec<u32>,
+    /// Storage budgets in KB.
+    pub storages_kb: Vec<usize>,
+    /// One row per application.
+    pub rows: Vec<StorageScalingRow>,
+}
+
+/// Runs the Fig. 7 limit study: TAGE-SC-L storage from 8KB to 1024KB
+/// across pipeline scales, reporting the fraction of the 8KB→perfect IPC
+/// gap closed.
+#[must_use]
+pub fn storage_scaling_study(
+    specs: &[WorkloadSpec],
+    config: &DatasetConfig,
+) -> StorageScalingStudy {
+    let scales = PipelineConfig::SCALES.to_vec();
+    let storages = TageSclConfig::STORAGE_POINTS_KB.to_vec();
+    let base_cfg = PipelineConfig::skylake();
+    let mut rows = Vec::new();
+    for spec in specs {
+        let trace = spec.trace(0, config.trace_len);
+        let perfect = vec![false; trace.conditional_branch_count()];
+        let flags_per_storage: Vec<Vec<bool>> = storages
+            .iter()
+            .map(|&kb| {
+                let mut p = TageScL::new(TageSclConfig::storage_kb(kb));
+                misprediction_flags(&mut p, &trace)
+            })
+            .collect();
+        let mut gap_closed = Vec::with_capacity(scales.len());
+        for &scale in &scales {
+            let cfg = base_cfg.scaled(scale);
+            let ipc8 = simulate(&trace, &flags_per_storage[0], &cfg).ipc();
+            let ipc_perfect = simulate(&trace, &perfect, &cfg).ipc();
+            let gap = (ipc_perfect - ipc8).max(1e-9);
+            gap_closed.push(
+                flags_per_storage
+                    .iter()
+                    .map(|f| {
+                        let ipc = simulate(&trace, f, &cfg).ipc();
+                        ((ipc - ipc8) / gap).max(0.0)
+                    })
+                    .collect(),
+            );
+        }
+        rows.push(StorageScalingRow {
+            name: spec.name.clone(),
+            gap_closed,
+        });
+    }
+    StorageScalingStudy {
+        scales,
+        storages_kb: storages,
+        rows,
+    }
+}
+
+/// One application's Fig. 8 result.
+#[derive(Clone, Debug)]
+pub struct RareOracleRow {
+    /// Workload name.
+    pub name: String,
+    /// Fraction of the TAGE8 IPC opportunity remaining after perfectly
+    /// predicting all branches with more than 1,000 (paper-equivalent)
+    /// dynamic executions.
+    pub remaining_after_1000: f64,
+    /// Same with the >100 threshold.
+    pub remaining_after_100: f64,
+}
+
+/// Runs the Fig. 8 study: on a TAGE-SC-L 1024KB baseline, perfectly
+/// predict all branches above a dynamic-execution threshold and measure
+/// how much of the TAGE8 IPC opportunity remains (attributable to the
+/// rare branches below the threshold).
+#[must_use]
+pub fn rare_oracle_study(specs: &[WorkloadSpec], config: &DatasetConfig) -> Vec<RareOracleRow> {
+    let cfg = PipelineConfig::skylake();
+    let mut rows = Vec::new();
+    for spec in specs {
+        let trace = spec.trace(0, config.trace_len);
+        // Dynamic execution counts over the whole trace, converted to the
+        // paper's 30M-instruction scale for the >1000/>100 thresholds.
+        let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for b in trace.conditional_branches() {
+            *counts.entry(b.ip).or_default() += 1;
+        }
+        let scale = trace.len() as f64 / bp_trace::SliceConfig::PAPER_LEN as f64;
+        let ips_above = |paper_threshold: f64| -> HashSet<u64> {
+            let native = paper_threshold * scale;
+            counts
+                .iter()
+                .filter(|(_, &c)| c as f64 > native)
+                .map(|(&ip, _)| ip)
+                .collect()
+        };
+
+        let mut tage8 = TageScL::kb8();
+        let flags8 = misprediction_flags(&mut tage8, &trace);
+        let perfect = vec![false; trace.conditional_branch_count()];
+        let ipc8 = simulate(&trace, &flags8, &cfg).ipc();
+        let ipc_perfect = simulate(&trace, &perfect, &cfg).ipc();
+        let opportunity = (ipc_perfect - ipc8).max(1e-9);
+
+        let remaining = |threshold: f64| -> f64 {
+            let big = TageScL::new(TageSclConfig::storage_kb(1024));
+            let mut oracle = PerfectSetOracle::new(big, ips_above(threshold));
+            let flags = misprediction_flags(&mut oracle, &trace);
+            let ipc = simulate(&trace, &flags, &cfg).ipc();
+            ((ipc_perfect - ipc) / opportunity).clamp(0.0, 1.0)
+        };
+        rows.push(RareOracleRow {
+            name: spec.name.clone(),
+            remaining_after_1000: remaining(1000.0),
+            remaining_after_100: remaining(100.0),
+        });
+    }
+    rows
+}
+
+/// Computes the IPC of an arbitrary predictor on a workload at a given
+/// pipeline scale — a convenience for examples and ablations.
+#[must_use]
+pub fn ipc_of(
+    spec: &WorkloadSpec,
+    config: &DatasetConfig,
+    predictor: &mut dyn DirectionPredictor,
+    scale: u32,
+) -> f64 {
+    let trace = spec.trace(0, config.trace_len);
+    let flags = misprediction_flags(predictor, &trace);
+    simulate(&trace, &flags, &PipelineConfig::skylake().scaled(scale)).ipc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_workloads::{lcf_suite, specint_suite};
+
+    fn tiny() -> DatasetConfig {
+        DatasetConfig::quick()
+    }
+
+    #[test]
+    fn scaling_study_orders_series() {
+        let specs = vec![specint_suite()[1].clone()];
+        let study = scaling_study(&specs, &tiny());
+        // At 1x, TAGE8 is the baseline (1.0) and perfect is above it.
+        assert!((study.value("TAGE-SC-L 8KB", 1) - 1.0).abs() < 1e-9);
+        assert!(study.value("Perfect BP", 1) > 1.0);
+        // Perfect H2P sits between TAGE8 and perfect.
+        let ph = study.value("Perfect H2Ps", 1);
+        assert!(ph >= 1.0 && ph <= study.value("Perfect BP", 1) + 1e-9);
+        // Perfect BP keeps scaling: 32x much higher than 1x.
+        assert!(study.value("Perfect BP", 32) > 2.0 * study.value("Perfect BP", 1));
+    }
+
+    #[test]
+    fn storage_scaling_fractions_are_sane() {
+        let specs = vec![lcf_suite()[5].clone()];
+        let study = storage_scaling_study(&specs, &tiny());
+        let row = &study.rows[0];
+        for per_scale in &row.gap_closed {
+            // 8KB closes zero gap by definition.
+            assert!(per_scale[0].abs() < 1e-9);
+            for &v in per_scale {
+                assert!((0.0..=1.5).contains(&v), "fraction {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rare_oracle_thresholds_nest() {
+        let specs = vec![lcf_suite()[1].clone()]; // game-like
+        let rows = rare_oracle_study(&specs, &tiny());
+        let r = &rows[0];
+        // Fixing more branches (>100 covers more than >1000) leaves less
+        // opportunity remaining.
+        assert!(
+            r.remaining_after_100 <= r.remaining_after_1000 + 1e-9,
+            "{r:?}"
+        );
+        assert!((0.0..=1.0).contains(&r.remaining_after_1000));
+    }
+}

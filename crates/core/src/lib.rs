@@ -1,0 +1,36 @@
+//! High-level experiment API for `branch-lab`.
+//!
+//! Ties the workspace together: dataset construction at a configurable
+//! scale ([`DatasetConfig`]), the Table I/II characterization runner
+//! ([`characterize_workload`]), the IPC limit studies of Figs. 1/5/7/8
+//! ([`scaling_study`], [`storage_scaling_study`], [`rare_oracle_study`]),
+//! and plain-text/CSV reporting ([`Table`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_core::{characterize_workload, DatasetConfig};
+//! use bp_predictors::TageScL;
+//! use bp_workloads::specint_suite;
+//!
+//! let leela = &specint_suite()[6];
+//! let c = characterize_workload(leela, &DatasetConfig::quick(), || TageScL::kb8());
+//! // leela-like is the least predictable SPECint workload.
+//! assert!(c.avg_accuracy < 0.97);
+//! assert!(!c.h2p_union.is_empty());
+//! ```
+
+mod characterize;
+mod config;
+mod experiment;
+mod report;
+
+pub use characterize::{
+    characterize_input, characterize_workload, InputCharacterization, WorkloadCharacterization,
+};
+pub use config::DatasetConfig;
+pub use experiment::{
+    ipc_of, rare_oracle_study, scaling_study, storage_scaling_study, RareOracleRow, ScalingSeries,
+    ScalingStudy, StorageScalingRow, StorageScalingStudy,
+};
+pub use report::{f3, pct, Table};

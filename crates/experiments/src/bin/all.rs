@@ -1,0 +1,21 @@
+//! Runs every experiment binary in sequence (same CLI flags forwarded).
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1", "fig1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "fig6",
+        "alloc_stats", "fig7", "fig8", "fig9", "fig10", "helpers", "ablation",
+    ];
+    let self_path = std::env::current_exe().expect("current exe");
+    let dir = self_path.parent().expect("exe dir");
+    for bin in bins {
+        println!("\n########## {bin} ##########");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+}

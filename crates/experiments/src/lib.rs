@@ -1,0 +1,98 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the
+//! paper. They share a tiny CLI:
+//!
+//! * `--len N` — instructions per workload trace (default 1,000,000);
+//! * `--quick` — reduced scale for smoke runs;
+//! * `--csv DIR` — also write each table as CSV under `DIR`.
+
+use std::path::PathBuf;
+
+use bp_core::{DatasetConfig, Table};
+
+/// Parsed command-line options common to all experiment binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Cli {
+    /// Override for instructions per trace.
+    pub len: Option<usize>,
+    /// Use the reduced [`DatasetConfig::quick`] scale.
+    pub quick: bool,
+    /// Directory for CSV output.
+    pub csv: Option<PathBuf>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut cli = Cli::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--len" => {
+                    let v = args.next().expect("--len needs a value");
+                    cli.len = Some(v.parse().expect("--len must be an integer"));
+                }
+                "--quick" => cli.quick = true,
+                "--csv" => {
+                    let v = args.next().expect("--csv needs a directory");
+                    cli.csv = Some(PathBuf::from(v));
+                }
+                other => panic!("unknown argument {other}; supported: --len N --quick --csv DIR"),
+            }
+        }
+        cli
+    }
+
+    /// The dataset configuration implied by the options.
+    #[must_use]
+    pub fn dataset(&self) -> DatasetConfig {
+        let base = if self.quick {
+            DatasetConfig::quick()
+        } else {
+            DatasetConfig::standard()
+        };
+        match self.len {
+            Some(len) => base.with_trace_len(len),
+            None => base,
+        }
+    }
+
+    /// Prints a table under a heading and optionally writes CSV.
+    pub fn emit(&self, heading: &str, name: &str, table: &Table) {
+        println!("\n== {heading} ==");
+        print!("{}", table.render());
+        if let Some(dir) = &self.csv {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            println!("(csv written to {})", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_respects_quick_and_len() {
+        let cli = Cli {
+            quick: true,
+            len: None,
+            csv: None,
+        };
+        assert_eq!(cli.dataset().trace_len, DatasetConfig::quick().trace_len);
+        let cli = Cli {
+            quick: false,
+            len: Some(50_000),
+            csv: None,
+        };
+        assert_eq!(cli.dataset().trace_len, 50_000);
+    }
+}

@@ -1,0 +1,443 @@
+//! A small 1-D convolutional network over encoded branch history, with
+//! full-precision offline training and 2-bit quantized online inference.
+//!
+//! Architecture (mirroring the companion paper's CNN helper predictors):
+//! width-1 convolution filters over the one-hot `(IP, direction)` bucket at
+//! each history position, ReLU, average pooling across positions, and a
+//! linear classifier. Pooling makes detection *position-tolerant*: a
+//! predictive dependency branch is recognized wherever it lands in the
+//! history — exactly the invariance that defeats TAGE's exact matching on
+//! variable-gap H2Ps (§IV-A).
+
+use crate::encoder::EMPTY_BUCKET;
+
+/// Trainable full-precision network.
+#[derive(Clone, Debug)]
+pub struct CnnNet {
+    /// `filters x buckets` convolution weights.
+    conv: Vec<Vec<f32>>,
+    /// Per-filter bias.
+    conv_bias: Vec<f32>,
+    /// Classifier weights, one per `(filter, segment)` feature.
+    fc: Vec<f32>,
+    /// Classifier bias.
+    fc_bias: f32,
+    buckets: usize,
+    /// Positional pooling segments: activations are averaged within each
+    /// of `segments` contiguous position ranges, so the network is
+    /// position-tolerant *within* a segment but can still distinguish
+    /// recent from old history across segments.
+    segments: usize,
+}
+
+/// Output of a forward pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CnnOutput {
+    /// Decision score; taken iff `score >= 0`.
+    pub score: f32,
+}
+
+impl CnnOutput {
+    /// Predicted direction.
+    #[must_use]
+    pub fn taken(self) -> bool {
+        self.score >= 0.0
+    }
+
+    /// Confidence magnitude.
+    #[must_use]
+    pub fn confidence(self) -> f32 {
+        self.score.abs()
+    }
+}
+
+impl CnnNet {
+    /// Creates a network with deterministic small initial weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filters`, `buckets`, or `segments` is zero.
+    #[must_use]
+    pub fn new(filters: usize, buckets: usize, segments: usize) -> Self {
+        assert!(
+            filters > 0 && buckets > 0 && segments > 0,
+            "filters, buckets, and segments must be positive"
+        );
+        // Deterministic pseudo-random init.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1 << 24) as f32 - 0.5) * 0.2
+        };
+        CnnNet {
+            conv: (0..filters)
+                .map(|_| (0..buckets).map(|_| next()).collect())
+                .collect(),
+            conv_bias: (0..filters).map(|_| next()).collect(),
+            fc: (0..filters * segments).map(|_| next()).collect(),
+            fc_bias: 0.0,
+            buckets,
+            segments,
+        }
+    }
+
+    fn segment_of(&self, pos: usize, window_len: usize) -> usize {
+        (pos * self.segments / window_len.max(1)).min(self.segments - 1)
+    }
+
+    /// Number of convolution filters.
+    #[must_use]
+    pub fn filters(&self) -> usize {
+        self.conv.len()
+    }
+
+    /// Pooled filter activations per `(filter, segment)` feature.
+    fn pooled(&self, window: &[u16]) -> Vec<f32> {
+        let seg_len = (window.len().max(1) as f32 / self.segments as f32).max(1.0);
+        let mut z = vec![0.0f32; self.conv.len() * self.segments];
+        for (f, (filter, &bias)) in self.conv.iter().zip(&self.conv_bias).enumerate() {
+            for (pos, &b) in window.iter().enumerate() {
+                if b != EMPTY_BUCKET {
+                    let a = filter[b as usize] + bias;
+                    if a > 0.0 {
+                        z[f * self.segments + self.segment_of(pos, window.len())] += a;
+                    }
+                }
+            }
+        }
+        for x in &mut z {
+            *x /= seg_len;
+        }
+        z
+    }
+
+    /// Forward pass over a bucketized history window.
+    #[must_use]
+    pub fn forward(&self, window: &[u16]) -> CnnOutput {
+        let z = self.pooled(window);
+        let score = self
+            .fc
+            .iter()
+            .zip(&z)
+            .map(|(v, zf)| v * zf)
+            .sum::<f32>()
+            + self.fc_bias;
+        CnnOutput { score }
+    }
+
+    /// One SGD step on a labeled sample with logistic loss. Returns the
+    /// pre-update score.
+    pub fn train_step(&mut self, window: &[u16], taken: bool, lr: f32) -> f32 {
+        let z = self.pooled(window);
+        let score: f32 = self.fc.iter().zip(&z).map(|(v, zf)| v * zf).sum::<f32>() + self.fc_bias;
+        let y = if taken { 1.0f32 } else { -1.0 };
+        // dL/ds for L = ln(1 + exp(-y s)).
+        let g = -y / (1.0 + (y * score).exp());
+        let seg_len = (window.len().max(1) as f32 / self.segments as f32).max(1.0);
+
+        // Classifier gradients (need old fc for conv backprop).
+        let fc_old = self.fc.clone();
+        for (v, zf) in self.fc.iter_mut().zip(&z) {
+            *v -= lr * g * zf;
+        }
+        self.fc_bias -= lr * g;
+
+        // Convolution gradients through ReLU and segmented avg pooling.
+        let segments = self.segments;
+        let window_len = window.len();
+        for (f, filter) in self.conv.iter_mut().enumerate() {
+            let bias = self.conv_bias[f];
+            let mut dbias = 0.0f32;
+            for (pos, &b) in window.iter().enumerate() {
+                if b != EMPTY_BUCKET {
+                    let idx = b as usize;
+                    if filter[idx] + bias > 0.0 {
+                        let seg = (pos * segments / window_len.max(1)).min(segments - 1);
+                        let upstream = g * fc_old[f * segments + seg] / seg_len;
+                        filter[idx] -= lr * upstream;
+                        dbias += upstream;
+                    }
+                }
+            }
+            self.conv_bias[f] -= lr * dbias;
+        }
+        score
+    }
+
+    /// Quantizes the network for cheap online inference.
+    ///
+    /// Weights are mapped to the symmetric 2-bit code {-2, -1, 0, +1, +2}
+    /// \ {±2 together}: concretely `round(w / scale)` clamped to
+    /// `[-2, 2]` with `scale = maxabs / 2`, then `±2` encoded in the
+    /// second bit — symmetric, so positive- and negative-dominated
+    /// classifiers quantize without direction skew.
+    #[must_use]
+    pub fn quantize(&self) -> QuantizedCnn {
+        let quant_layer = |w: &[f32]| -> (Vec<i8>, f32) {
+            let maxabs = w.iter().fold(0.0f32, |m, &x| m.max(x.abs())).max(1e-6);
+            let scale = maxabs / 2.0;
+            (
+                w.iter()
+                    .map(|&x| (x / scale).round().clamp(-2.0, 2.0) as i8)
+                    .collect(),
+                scale,
+            )
+        };
+        let mut conv_q = Vec::with_capacity(self.conv.len());
+        let mut conv_scales = Vec::with_capacity(self.conv.len());
+        for f in &self.conv {
+            let (q, s) = quant_layer(f);
+            conv_q.push(q);
+            conv_scales.push(s);
+        }
+        let (fc_q, fc_scale) = quant_layer(&self.fc);
+        QuantizedCnn {
+            conv: conv_q,
+            conv_scales,
+            conv_bias: self.conv_bias.clone(),
+            fc: fc_q,
+            fc_scale,
+            fc_bias: self.fc_bias,
+            buckets: self.buckets,
+            segments: self.segments,
+        }
+    }
+}
+
+impl CnnNet {
+    /// Quantization-aware deployment: quantize the convolution to 2-bit
+    /// weights, then retrain the (tiny, 8-bit) classifier on the frozen
+    /// quantized features so the decision boundary adapts to quantization
+    /// error. This mirrors the companion paper's recipe of training in
+    /// full precision and deploying low-precision weights.
+    #[must_use]
+    pub fn quantize_finetuned(
+        &self,
+        samples: &[(Vec<u16>, bool)],
+        epochs: usize,
+        lr: f32,
+    ) -> QuantizedCnn {
+        let mut q = self.quantize();
+        let mut fc: Vec<f32> = self.fc.clone();
+        let mut fc_bias = self.fc_bias;
+        for _ in 0..epochs {
+            for (win, taken) in samples {
+                let z = q.pooled(win);
+                let score: f32 =
+                    fc.iter().zip(&z).map(|(v, zf)| v * zf).sum::<f32>() + fc_bias;
+                let y = if *taken { 1.0f32 } else { -1.0 };
+                let g = -y / (1.0 + (y * score).exp());
+                for (v, zf) in fc.iter_mut().zip(&z) {
+                    *v -= lr * g * zf;
+                }
+                fc_bias -= lr * g;
+            }
+        }
+        // 8-bit classifier (48-odd weights; negligible storage next to the
+        // 2-bit convolution).
+        let maxabs = fc.iter().fold(0.0f32, |m, &x| m.max(x.abs())).max(1e-6);
+        let scale = maxabs / 127.0;
+        q.fc = fc.iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+        q.fc_scale = scale;
+        q.fc_bias = fc_bias;
+        q
+    }
+}
+
+/// The 2-bit-weight inference network deployed on-BPU (§V-C: low-precision
+/// networks reduce the forward pass to a handful of narrow integer
+/// operations).
+#[derive(Clone, Debug)]
+pub struct QuantizedCnn {
+    conv: Vec<Vec<i8>>,
+    conv_scales: Vec<f32>,
+    conv_bias: Vec<f32>,
+    fc: Vec<i8>,
+    fc_scale: f32,
+    fc_bias: f32,
+    buckets: usize,
+    segments: usize,
+}
+
+impl QuantizedCnn {
+    /// Pooled `(filter, segment)` features computed with the quantized
+    /// convolution — used by forward inference and by quantization-aware
+    /// classifier fine-tuning.
+    fn pooled(&self, window: &[u16]) -> Vec<f32> {
+        let seg_len = (window.len().max(1) as f32 / self.segments as f32).max(1.0);
+        let mut z = vec![0.0f32; self.conv.len() * self.segments];
+        for (f, filter) in self.conv.iter().enumerate() {
+            let scale = self.conv_scales[f];
+            let bias = self.conv_bias[f];
+            for (pos, &b) in window.iter().enumerate() {
+                if b != EMPTY_BUCKET {
+                    let a = f32::from(filter[b as usize]) * scale + bias;
+                    if a > 0.0 {
+                        let seg =
+                            (pos * self.segments / window.len().max(1)).min(self.segments - 1);
+                        z[f * self.segments + seg] += a;
+                    }
+                }
+            }
+        }
+        for x in &mut z {
+            *x /= seg_len;
+        }
+        z
+    }
+
+    /// Forward pass using the quantized weights.
+    #[must_use]
+    pub fn forward(&self, window: &[u16]) -> CnnOutput {
+        let z = self.pooled(window);
+        let mut score = self.fc_bias;
+        for (v, zf) in self.fc.iter().zip(&z) {
+            score += f32::from(*v) * self.fc_scale * zf;
+        }
+        CnnOutput { score }
+    }
+
+    /// Number of embedding buckets expected in inputs.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Storage for the deployed weights in bits: 2 bits per convolution
+    /// weight, 8 bits per classifier weight, plus 32-bit scales/biases.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        let conv_w: usize = self.conv.iter().map(|f| f.len() * 2).sum();
+        conv_w + self.fc.len() * 8 + (self.conv_scales.len() + self.conv_bias.len() + 2) * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::HistoryEncoder;
+
+    /// Builds a labeled dataset where the outcome equals the presence of a
+    /// "signal" bucket anywhere in the window, amid random noise buckets.
+    fn presence_dataset(n: usize, window: usize, buckets: usize) -> Vec<(Vec<u16>, bool)> {
+        let signal = HistoryEncoder::bucket_of(0xDEAD, true, buckets);
+        let mut state = 777u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let label = rnd() % 2 == 0;
+                let pos = (rnd() % window as u64) as usize;
+                let mut win: Vec<u16> = (0..window)
+                    .map(|_| {
+                        // Noise buckets, excluding the signal bucket.
+                        let mut b = (rnd() % buckets as u64) as u16;
+                        if b == signal {
+                            b = (b + 1) % buckets as u16;
+                        }
+                        b
+                    })
+                    .collect();
+                if label {
+                    win[pos] = signal;
+                }
+                (win, label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_position_tolerant_presence() {
+        let (window, buckets) = (16, 32);
+        let data = presence_dataset(3000, window, buckets);
+        let mut net = CnnNet::new(8, buckets, 4);
+        for _ in 0..6 {
+            for (win, label) in &data {
+                net.train_step(win, *label, 0.05);
+            }
+        }
+        let correct = data
+            .iter()
+            .filter(|(win, label)| net.forward(win).taken() == *label)
+            .count();
+        let acc = correct as f64 / data.len() as f64;
+        assert!(acc > 0.95, "presence-detection accuracy {acc}");
+    }
+
+    #[test]
+    fn quantized_network_tracks_float_network() {
+        let (window, buckets) = (16, 32);
+        let data = presence_dataset(2000, window, buckets);
+        let mut net = CnnNet::new(8, buckets, 4);
+        for _ in 0..6 {
+            for (win, label) in &data {
+                net.train_step(win, *label, 0.05);
+            }
+        }
+        let q = net.quantize();
+        let agree = data
+            .iter()
+            .filter(|(win, _)| net.forward(win).taken() == q.forward(win).taken())
+            .count();
+        let rate = agree as f64 / data.len() as f64;
+        assert!(rate > 0.9, "quantized agreement {rate}");
+        let qacc = data
+            .iter()
+            .filter(|(win, label)| q.forward(win).taken() == *label)
+            .count() as f64
+            / data.len() as f64;
+        assert!(qacc > 0.85, "quantized accuracy {qacc}");
+    }
+
+    #[test]
+    fn quantized_weights_are_two_bit() {
+        let net = CnnNet::new(4, 16, 2);
+        let q = net.quantize();
+        assert!(q.conv.iter().flatten().all(|&w| (-2..=2).contains(&w)));
+        assert!(q.fc.iter().all(|&w| (-2..=2).contains(&w)));
+        assert!(q.storage_bits() < 4 * 16 * 32); // far below f32 storage
+    }
+
+    #[test]
+    fn quantization_is_direction_symmetric() {
+        // A positive-dominated and a negative-dominated classifier must
+        // quantize without flipping predictions.
+        for sign in [1.0f32, -1.0] {
+            let mut net = CnnNet::new(4, 8, 2);
+            let win: Vec<u16> = vec![1, 3, 5, 7];
+            for _ in 0..200 {
+                net.train_step(&win, sign > 0.0, 0.1);
+            }
+            let q = net.quantize();
+            assert_eq!(
+                net.forward(&win).taken(),
+                q.forward(&win).taken(),
+                "sign {sign} flipped under quantization"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_window_is_neutral() {
+        let net = CnnNet::new(4, 16, 2);
+        let win = vec![EMPTY_BUCKET; 8];
+        // Must not panic, and bias-only output.
+        let out = net.forward(&win);
+        assert!(out.score.abs() < 1.0);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_constant_label() {
+        let mut net = CnnNet::new(4, 16, 2);
+        let win: Vec<u16> = vec![3, 5, 7, 9];
+        let before = net.forward(&win).score;
+        for _ in 0..50 {
+            net.train_step(&win, true, 0.1);
+        }
+        let after = net.forward(&win).score;
+        assert!(after > before, "score should move toward taken");
+        assert!(net.forward(&win).taken());
+    }
+}

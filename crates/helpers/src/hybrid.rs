@@ -1,0 +1,179 @@
+//! The §V deployment model: a baseline TAGE-SC-L augmented with
+//! offline-trained helper predictors for designated branches.
+//!
+//! Helpers are frozen models loaded "as application metadata" (§V-D); the
+//! baseline predictor keeps running — and training — for every branch, but
+//! the final prediction for a helped IP comes from its helper.
+
+use std::collections::HashMap;
+
+use bp_predictors::Predictor;
+
+use crate::phase_helper::PhaseHelper;
+use crate::trainer::CnnHelper;
+
+/// A baseline predictor plus per-IP helper overrides.
+///
+/// Implements [`Predictor`] honestly: helpers only see retired outcomes
+/// through `update`, never the outcome being predicted.
+#[derive(Clone, Debug)]
+pub struct HybridPredictor<P> {
+    baseline: P,
+    cnn_helpers: HashMap<u64, CnnHelper>,
+    phase_helper: Option<PhaseHelper>,
+    name: String,
+    /// Dynamic predictions served by a helper rather than the baseline.
+    pub helper_overrides: u64,
+}
+
+impl<P: Predictor> HybridPredictor<P> {
+    /// Wraps `baseline` with no helpers attached.
+    #[must_use]
+    pub fn new(baseline: P) -> Self {
+        let name = format!("hybrid({})", baseline.name());
+        HybridPredictor {
+            baseline,
+            cnn_helpers: HashMap::new(),
+            phase_helper: None,
+            name,
+            helper_overrides: 0,
+        }
+    }
+
+    /// Attaches a CNN helper for its target IP.
+    pub fn attach_cnn(&mut self, helper: CnnHelper) {
+        self.cnn_helpers.insert(helper.target_ip, helper);
+    }
+
+    /// Attaches a phase-conditioned rare-branch helper (consulted for any
+    /// IP without a CNN helper).
+    pub fn attach_phase_helper(&mut self, helper: PhaseHelper) {
+        self.phase_helper = Some(helper);
+    }
+
+    /// Number of attached CNN helpers.
+    #[must_use]
+    pub fn cnn_helper_count(&self) -> usize {
+        self.cnn_helpers.len()
+    }
+
+    /// Access to the wrapped baseline predictor.
+    #[must_use]
+    pub fn baseline(&self) -> &P {
+        &self.baseline
+    }
+}
+
+impl<P: Predictor> Predictor for HybridPredictor<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict(&mut self, ip: u64) -> bool {
+        let base = self.baseline.predict(ip);
+        if let Some(h) = self.cnn_helpers.get(&ip) {
+            self.helper_overrides += 1;
+            return h.predict();
+        }
+        if let Some(ph) = &self.phase_helper {
+            if let Some(p) = ph.predict(ip) {
+                self.helper_overrides += 1;
+                return p;
+            }
+        }
+        base
+    }
+
+    fn update(&mut self, ip: u64, taken: bool, pred: bool) {
+        self.baseline.update(ip, taken, pred);
+        for h in self.cnn_helpers.values_mut() {
+            h.observe(ip, taken);
+        }
+        if let Some(ph) = &mut self.phase_helper {
+            ph.observe(ip, taken);
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.baseline.storage_bits()
+            + self
+                .cnn_helpers
+                .values()
+                .map(CnnHelper::storage_bits)
+                .sum::<usize>()
+            + self.phase_helper.as_ref().map_or(0, PhaseHelper::storage_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train_helper, TrainerConfig};
+    use bp_predictors::{measure, Bimodal};
+    use bp_trace::{RetiredInst, Trace, TraceMeta};
+
+    fn alternating_pair_trace(laps: usize) -> Trace {
+        // D random-ish, target mirrors D after two fixed branches.
+        let mut t = Trace::new(TraceMeta::new("h", 0));
+        let mut state = 5u64;
+        for _ in 0..laps {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let d = (state >> 30) & 1 == 1;
+            t.push(RetiredInst::cond_branch(0x100, d, 0, None, None));
+            t.push(RetiredInst::cond_branch(0x110, true, 0, None, None));
+            t.push(RetiredInst::cond_branch(0x200, d, 0, None, None));
+        }
+        t
+    }
+
+    #[test]
+    fn hybrid_beats_weak_baseline_on_target_ip() {
+        let train = vec![alternating_pair_trace(1500)];
+        let cfg = TrainerConfig {
+            window: 8,
+            buckets: 32,
+            filters: 8,
+            segments: 4,
+            epochs: 4,
+            learning_rate: 0.05,
+        };
+        let helper = train_helper(&train, 0x200, &cfg);
+
+        let test = alternating_pair_trace(1500);
+        // Baseline alone: bimodal can't predict a random-mirroring branch.
+        let base_acc = measure(&mut Bimodal::new(10), &test).accuracy();
+        let mut hybrid = HybridPredictor::new(Bimodal::new(10));
+        hybrid.attach_cnn(helper);
+        let hybrid_acc = measure(&mut hybrid, &test).accuracy();
+        assert!(
+            hybrid_acc > base_acc + 0.1,
+            "hybrid {hybrid_acc:.3} vs baseline {base_acc:.3}"
+        );
+        assert!(hybrid.helper_overrides > 0);
+    }
+
+    #[test]
+    fn baseline_keeps_training_under_hybrid() {
+        // For non-helped IPs the hybrid must behave exactly like the
+        // baseline.
+        let test = alternating_pair_trace(500);
+        let plain = measure(&mut Bimodal::new(10), &test);
+        let mut hybrid = HybridPredictor::new(Bimodal::new(10));
+        let hybrid_stats = measure(&mut hybrid, &test);
+        assert_eq!(plain.total, hybrid_stats.total);
+        assert_eq!(plain.correct, hybrid_stats.correct);
+        assert_eq!(hybrid.helper_overrides, 0);
+    }
+
+    #[test]
+    fn storage_includes_helpers() {
+        let train = vec![alternating_pair_trace(200)];
+        let helper = train_helper(&train, 0x200, &TrainerConfig::default());
+        let mut hybrid = HybridPredictor::new(Bimodal::new(10));
+        let base_bits = hybrid.storage_bits();
+        hybrid.attach_cnn(helper);
+        assert!(hybrid.storage_bits() > base_bits);
+        assert_eq!(hybrid.cnn_helper_count(), 1);
+        assert!(hybrid.name().contains("bimodal"));
+    }
+}

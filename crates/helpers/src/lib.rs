@@ -1,0 +1,24 @@
+//! Offline-trained helper predictors — the paper's §V future directions,
+//! implemented end-to-end.
+//!
+//! * [`HistoryEncoder`] — one-hot hashed `(IP, direction)` history input;
+//! * [`CnnNet`]/[`QuantizedCnn`] — a small 1-D CNN trained offline in
+//!   full precision and deployed with 2-bit weights (§V-C);
+//! * [`train_helper`] — the offline training pipeline over multi-input
+//!   trace sets (§V-B), producing per-branch [`CnnHelper`]s;
+//! * [`PhaseHelper`] — phase-conditioned long-term statistics for rare
+//!   branches (§V-B);
+//! * [`HybridPredictor`] — the deployment model: TAGE-SC-L left in place,
+//!   helpers overriding designated IPs (§V-D).
+
+mod cnn;
+mod encoder;
+mod hybrid;
+mod phase_helper;
+mod trainer;
+
+pub use cnn::{CnnNet, CnnOutput, QuantizedCnn};
+pub use encoder::{HistoryEncoder, EMPTY_BUCKET};
+pub use hybrid::HybridPredictor;
+pub use phase_helper::{PhaseHelper, PhaseHelperConfig};
+pub use trainer::{evaluate_helper, train_helper, CnnHelper, TrainerConfig};

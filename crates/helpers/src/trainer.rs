@@ -1,0 +1,226 @@
+//! Offline training of per-branch CNN helper predictors (§V).
+//!
+//! Training data is gathered from *multiple application inputs* of the
+//! same workload — the paper's key departure from CBP-style single-trace
+//! methodology (§V-B): aggregating over inputs yields predictive
+//! signatures that generalize to unseen inputs.
+
+use bp_trace::Trace;
+
+use crate::cnn::{CnnNet, QuantizedCnn};
+use crate::encoder::HistoryEncoder;
+
+/// Hyper-parameters for offline helper training.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainerConfig {
+    /// History window length `W`.
+    pub window: usize,
+    /// Embedding buckets `E`.
+    pub buckets: usize,
+    /// Convolution filters.
+    pub filters: usize,
+    /// Positional pooling segments.
+    pub segments: usize,
+    /// Training epochs over the gathered samples.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            window: 32,
+            buckets: 64,
+            filters: 12,
+            segments: 4,
+            epochs: 4,
+            learning_rate: 0.05,
+        }
+    }
+}
+
+/// A trained, frozen helper predictor for one branch IP.
+///
+/// Deployed alongside a baseline predictor: it observes every retired
+/// conditional branch (to maintain its history window) and predicts only
+/// its target IP using the 2-bit quantized network.
+#[derive(Clone, Debug)]
+pub struct CnnHelper {
+    /// The branch this helper predicts.
+    pub target_ip: u64,
+    net: QuantizedCnn,
+    encoder: HistoryEncoder,
+}
+
+impl CnnHelper {
+    /// Observes a retired conditional branch (any IP).
+    pub fn observe(&mut self, ip: u64, taken: bool) {
+        self.encoder.push(ip, taken);
+    }
+
+    /// Predicts the target branch from the current history window.
+    #[must_use]
+    pub fn predict(&self) -> bool {
+        self.net.forward(&self.encoder.buckets()).taken()
+    }
+
+    /// Storage of the deployed model in bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.net.storage_bits()
+    }
+}
+
+/// Gathers `(window, outcome)` samples for `target_ip` from a trace.
+fn gather_samples(
+    trace: &Trace,
+    target_ip: u64,
+    config: &TrainerConfig,
+    out: &mut Vec<(Vec<u16>, bool)>,
+) {
+    let mut enc = HistoryEncoder::new(config.window, config.buckets);
+    for br in trace.conditional_branches() {
+        if br.ip == target_ip {
+            out.push((enc.buckets(), br.taken));
+        }
+        enc.push(br.ip, br.taken);
+    }
+}
+
+/// Trains a [`CnnHelper`] for `target_ip` on the given training traces
+/// (typically several application inputs of one workload).
+///
+/// # Panics
+///
+/// Panics if no training samples are found for `target_ip`.
+///
+/// # Examples
+///
+/// ```
+/// use bp_helpers::{train_helper, TrainerConfig};
+/// use bp_workloads::specint_suite;
+///
+/// let spec = &specint_suite()[1]; // mcf-like
+/// let trace = spec.trace(0, 15_000);
+/// // Pick some frequently-executed branch as the target.
+/// let mut counts = std::collections::HashMap::new();
+/// for b in trace.conditional_branches() {
+///     *counts.entry(b.ip).or_insert(0u64) += 1;
+/// }
+/// let (&ip, _) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+/// let cfg = TrainerConfig { epochs: 1, ..TrainerConfig::default() };
+/// let helper = train_helper(&[trace], ip, &cfg);
+/// assert_eq!(helper.target_ip, ip);
+/// ```
+#[must_use]
+pub fn train_helper(traces: &[Trace], target_ip: u64, config: &TrainerConfig) -> CnnHelper {
+    let mut samples = Vec::new();
+    for t in traces {
+        gather_samples(t, target_ip, config, &mut samples);
+    }
+    assert!(
+        !samples.is_empty(),
+        "no executions of {target_ip:#x} in the training traces"
+    );
+    let mut net = CnnNet::new(config.filters, config.buckets, config.segments);
+    for _ in 0..config.epochs {
+        for (win, taken) in &samples {
+            net.train_step(win, *taken, config.learning_rate);
+        }
+    }
+    // Deploy with 2-bit convolution weights, fine-tuning the classifier on
+    // the quantized features (see `CnnNet::quantize_finetuned`).
+    CnnHelper {
+        target_ip,
+        net: net.quantize_finetuned(&samples, 2.max(config.epochs / 2), config.learning_rate),
+        encoder: HistoryEncoder::new(config.window, config.buckets),
+    }
+}
+
+/// Evaluates a helper on a held-out trace, returning its accuracy on the
+/// target IP (None when the IP never executes there).
+#[must_use]
+pub fn evaluate_helper(helper: &CnnHelper, trace: &Trace) -> Option<f64> {
+    let mut h = helper.clone();
+    h.encoder.reset();
+    let mut total = 0u64;
+    let mut correct = 0u64;
+    for br in trace.conditional_branches() {
+        if br.ip == h.target_ip {
+            total += 1;
+            correct += u64::from(h.predict() == br.taken);
+        }
+        h.observe(br.ip, br.taken);
+    }
+    (total > 0).then(|| correct as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_trace::{RetiredInst, TraceMeta};
+
+    /// A synthetic variable-gap workload: branch D (random), then 1..=4
+    /// noise branches, then the target mirroring D.
+    fn var_gap_trace(seed: u64, laps: usize) -> Trace {
+        let mut t = Trace::new(TraceMeta::new("vg", 0));
+        let mut state = seed;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        for _ in 0..laps {
+            let d = rnd() % 2 == 0;
+            t.push(RetiredInst::cond_branch(0x100, d, 0, None, None));
+            let gap = 1 + (rnd() % 4) as usize;
+            for k in 0..gap {
+                let n = rnd() % 100 < 70;
+                t.push(RetiredInst::cond_branch(0x200 + k as u64 * 4, n, 0, None, None));
+            }
+            t.push(RetiredInst::cond_branch(0x300, d, 0, None, None));
+        }
+        t
+    }
+
+    #[test]
+    fn helper_learns_variable_gap_correlation_and_generalizes() {
+        let cfg = TrainerConfig {
+            window: 12,
+            buckets: 32,
+            filters: 8,
+            segments: 4,
+            epochs: 5,
+            learning_rate: 0.05,
+        };
+        let train: Vec<Trace> = vec![var_gap_trace(1, 1200), var_gap_trace(2, 1200)];
+        let helper = train_helper(&train, 0x300, &cfg);
+        // Held-out input (different seed).
+        let test = var_gap_trace(99, 1200);
+        let acc = evaluate_helper(&helper, &test).unwrap();
+        assert!(acc > 0.9, "held-out accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no executions")]
+    fn training_without_samples_panics() {
+        let t = var_gap_trace(1, 10);
+        let _ = train_helper(&[t], 0xDEAD_BEEF, &TrainerConfig::default());
+    }
+
+    #[test]
+    fn evaluate_returns_none_for_absent_ip() {
+        let train = vec![var_gap_trace(1, 100)];
+        let helper = train_helper(&train, 0x300, &TrainerConfig::default());
+        let empty = Trace::new(TraceMeta::new("none", 0));
+        assert!(evaluate_helper(&helper, &empty).is_none());
+    }
+
+    #[test]
+    fn helper_storage_is_small() {
+        let train = vec![var_gap_trace(1, 200)];
+        let helper = train_helper(&train, 0x300, &TrainerConfig::default());
+        // Under 1 KB of weights per helper.
+        assert!(helper.storage_bits() < 8 * 1024);
+    }
+}

@@ -1,0 +1,391 @@
+//! The trace-driven out-of-order scoreboard timing model.
+//!
+//! A dependency-aware first-order model of a superscalar OoO core:
+//!
+//! * the front end inserts instructions into the window in program order at
+//!   `fetch_width` per cycle, stalling when the ROB is full;
+//! * execution is dataflow-limited — an instruction starts when its source
+//!   registers (and, for loads, any earlier store to the same address) are
+//!   ready, with per-class latencies;
+//! * retirement is in order at `retire_width` per cycle;
+//! * a mispredicted conditional branch redirects the front end: no younger
+//!   instruction enters the window until the branch *resolves* (executes)
+//!   plus a constant refill penalty.
+//!
+//! This captures exactly the mechanism behind the paper's Figs. 1/5/7:
+//! with mispredictions present, scaling capacity saturates because fetch
+//! keeps waiting on branch resolution, while perfect prediction scales.
+
+use bp_trace::{InstClass, Trace, NUM_REGS};
+
+use crate::cache::CacheModel;
+use crate::config::PipelineConfig;
+
+/// Results of one timing simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Instructions simulated.
+    pub instructions: u64,
+    /// Total cycles to retire them all.
+    pub cycles: u64,
+    /// Dynamic conditional branches seen.
+    pub cond_branches: u64,
+    /// Mispredicted conditional branches (pipeline flushes).
+    pub mispredictions: u64,
+}
+
+impl SimStats {
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mispredictions per kilo-instruction.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// A fixed-size ring of recent cycle timestamps, used for bandwidth and
+/// ROB-occupancy constraints.
+#[derive(Clone, Debug)]
+struct CycleRing {
+    buf: Vec<u64>,
+    len: usize,
+}
+
+impl CycleRing {
+    fn new(len: usize) -> Self {
+        CycleRing {
+            buf: vec![0; len.max(1)],
+            len: len.max(1),
+        }
+    }
+
+    /// Timestamp of the event `self.len` positions ago (0 if not yet seen).
+    fn oldest(&self, i: u64) -> u64 {
+        self.buf[(i % self.len as u64) as usize]
+    }
+
+    fn record(&mut self, i: u64, cycle: u64) {
+        self.buf[(i % self.len as u64) as usize] = cycle;
+    }
+}
+
+/// Simulates `trace` with the given per-branch misprediction flags.
+///
+/// `mispredicted` must contain one entry per dynamic *conditional* branch
+/// of the trace, in retirement order — exactly the output of
+/// [`bp_predictors::misprediction_flags`].
+///
+/// # Panics
+///
+/// Panics if `mispredicted` has fewer entries than the trace has
+/// conditional branches.
+///
+/// # Examples
+///
+/// ```
+/// use bp_pipeline::{simulate, PipelineConfig};
+/// use bp_predictors::{misprediction_flags, PerfectPredictor, AlwaysTaken};
+/// use bp_workloads::specint_suite;
+///
+/// let trace = specint_suite()[1].trace(0, 20_000);
+/// let cfg = PipelineConfig::skylake();
+/// let perfect = simulate(&trace, &misprediction_flags(&mut PerfectPredictor, &trace), &cfg);
+/// let poor = simulate(&trace, &misprediction_flags(&mut AlwaysTaken, &trace), &cfg);
+/// assert!(perfect.ipc() > poor.ipc());
+/// ```
+#[must_use]
+pub fn simulate(trace: &Trace, mispredicted: &[bool], config: &PipelineConfig) -> SimStats {
+    assert!(
+        mispredicted.len() >= trace.conditional_branch_count(),
+        "need one misprediction flag per conditional branch"
+    );
+    let n = trace.len() as u64;
+    let mut stats = SimStats {
+        instructions: n,
+        ..SimStats::default()
+    };
+    if trace.is_empty() {
+        return stats;
+    }
+
+    // Per-register ready cycles.
+    let mut reg_ready = [0u64; NUM_REGS];
+    // Data-cache model: load latency depends on the footprint.
+    let mut cache = CacheModel::new(config.cache.clone());
+    // Store-to-load forwarding through memory: ready cycle per word.
+    let mut mem_ready: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+
+    // Front-end bandwidth ring (fetch_width per cycle) and ROB ring.
+    let mut fetch_ring = CycleRing::new(config.fetch_width as usize);
+    let mut retire_ring = CycleRing::new(config.rob_size as usize);
+    let mut retire_bw_ring = CycleRing::new(config.retire_width as usize);
+
+    // Earliest cycle the front end may deliver the next instruction
+    // (advanced by misprediction redirects).
+    let mut fetch_base = 0u64;
+    let mut last_retire = 0u64;
+    let mut flag_idx = 0usize;
+
+    for (i64idx, inst) in trace.iter().enumerate() {
+        let i = i64idx as u64;
+
+        // Enter the window: front-end bandwidth, redirect stall, ROB space.
+        let enter = fetch_base
+            .max(fetch_ring.oldest(i) + 1)
+            .max(retire_ring.oldest(i)); // ROB slot frees at old retire
+        fetch_ring.record(i, enter);
+
+        // Dataflow: sources ready?
+        let mut ready = enter;
+        if let Some(r) = inst.src1 {
+            ready = ready.max(reg_ready[r.index()]);
+        }
+        if let Some(r) = inst.src2 {
+            ready = ready.max(reg_ready[r.index()]);
+        }
+        let latency = match inst.class {
+            InstClass::Load => cache.access(inst.mem_addr),
+            InstClass::Mul => config.mul_latency,
+            InstClass::Store => {
+                // Stores retire from the store buffer; they still allocate
+                // the line so later loads hit.
+                let _ = cache.access(inst.mem_addr);
+                1
+            }
+            _ => 1,
+        };
+        let mut done = ready + u64::from(latency);
+        match inst.class {
+            InstClass::Load => {
+                if let Some(&m) = mem_ready.get(&inst.mem_addr) {
+                    done = done.max(m + 1);
+                }
+            }
+            InstClass::Store => {
+                mem_ready.insert(inst.mem_addr, done);
+            }
+            _ => {}
+        }
+        if let Some(r) = inst.dst {
+            reg_ready[r.index()] = done;
+        }
+
+        // Branch handling: a mispredicted conditional branch stalls the
+        // front end until it resolves plus the refill penalty.
+        if inst.is_conditional_branch() {
+            stats.cond_branches += 1;
+            let wrong = mispredicted[flag_idx];
+            flag_idx += 1;
+            if wrong {
+                stats.mispredictions += 1;
+                fetch_base = fetch_base.max(done + u64::from(config.mispredict_penalty));
+            }
+        }
+
+        // In-order retirement with bandwidth.
+        let retire = done
+            .max(last_retire)
+            .max(retire_bw_ring.oldest(i) + 1);
+        retire_bw_ring.record(i, retire);
+        retire_ring.record(i, retire);
+        last_retire = retire;
+    }
+
+    // Finite L2/DRAM bandwidth floors total execution time; this is what
+    // ultimately bounds perfect-BP pipeline scaling (Fig. 1's ceiling).
+    stats.cycles = last_retire.max(cache.bandwidth_floor_cycles()).max(1);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_trace::{RetiredInst, Reg, TraceMeta};
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig::skylake()
+    }
+
+    fn alu(ip: u64, src: Option<u8>, dst: Option<u8>) -> RetiredInst {
+        RetiredInst::op(
+            ip,
+            InstClass::Alu,
+            src.map(Reg::new),
+            None,
+            dst.map(Reg::new),
+            0,
+        )
+    }
+
+    #[test]
+    fn independent_stream_hits_fetch_width() {
+        // Independent ALU ops: IPC should approach fetch_width.
+        let mut t = Trace::new(TraceMeta::new("ind", 0));
+        for i in 0..40_000u64 {
+            // Rotate destinations, never reading them.
+            t.push(alu(i * 4, None, Some((i % 8) as u8)));
+        }
+        let s = simulate(&t, &[], &cfg());
+        let ipc = s.ipc();
+        assert!(
+            (3.5..=4.0).contains(&ipc),
+            "independent stream IPC {ipc} should approach 4"
+        );
+    }
+
+    #[test]
+    fn dependency_chain_serializes() {
+        // r1 = r1 + 1 chain: IPC must be ~1 (1-cycle latency).
+        let mut t = Trace::new(TraceMeta::new("chain", 0));
+        for i in 0..10_000u64 {
+            t.push(alu(i * 4, Some(1), Some(1)));
+        }
+        let s = simulate(&t, &[], &cfg());
+        let ipc = s.ipc();
+        assert!((0.9..=1.1).contains(&ipc), "chain IPC {ipc} should be ~1");
+    }
+
+    #[test]
+    fn load_latency_slows_chains() {
+        // A pointer-chasing-style chain through loads.
+        let mut t = Trace::new(TraceMeta::new("loads", 0));
+        for i in 0..10_000u64 {
+            t.push(RetiredInst::mem(
+                i * 4,
+                InstClass::Load,
+                (i % 64) * 8,
+                Some(Reg::new(1)),
+                None,
+                Some(Reg::new(1)),
+                0,
+            ));
+        }
+        let s = simulate(&t, &[], &cfg());
+        let ipc = s.ipc();
+        // The 64-line working set fits L1 after warmup: chain IPC is
+        // bounded by the L1 hit latency.
+        let expect = 1.0 / f64::from(cfg().cache.l1_latency);
+        assert!(
+            (ipc - expect).abs() < 0.05,
+            "load chain IPC {ipc}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn mispredictions_cost_cycles() {
+        let mut t = Trace::new(TraceMeta::new("br", 0));
+        let mut flags = Vec::new();
+        for i in 0..20_000u64 {
+            if i % 10 == 0 {
+                t.push(RetiredInst::cond_branch(i * 4, true, 0, Some(1), None));
+                flags.push(i % 20 == 0); // every other branch mispredicted
+            } else {
+                t.push(alu(i * 4, None, Some((i % 8) as u8)));
+            }
+        }
+        let with_miss = simulate(&t, &flags, &cfg());
+        let no_miss = simulate(&t, &vec![false; flags.len()], &cfg());
+        assert!(with_miss.cycles > no_miss.cycles * 2);
+        assert_eq!(with_miss.mispredictions, 1000);
+        assert_eq!(no_miss.mispredictions, 0);
+    }
+
+    #[test]
+    fn perfect_prediction_scales_but_mispredicted_saturates() {
+        // Mixed stream: branches every 8 instructions, all mispredicted in
+        // one run, none in the other.
+        let mut t = Trace::new(TraceMeta::new("scale", 0));
+        let mut nbr = 0;
+        for i in 0..40_000u64 {
+            if i % 8 == 0 {
+                t.push(RetiredInst::cond_branch(i * 4, true, 0, Some(1), None));
+                nbr += 1;
+            } else {
+                t.push(alu(i * 4, None, Some((i % 8) as u8)));
+            }
+        }
+        let base = cfg();
+        let big = base.scaled(8);
+        let all_wrong = vec![true; nbr];
+        let none_wrong = vec![false; nbr];
+
+        let perfect_1x = simulate(&t, &none_wrong, &base).ipc();
+        let perfect_8x = simulate(&t, &none_wrong, &big).ipc();
+        let bad_1x = simulate(&t, &all_wrong, &base).ipc();
+        let bad_8x = simulate(&t, &all_wrong, &big).ipc();
+
+        let perfect_gain = perfect_8x / perfect_1x;
+        let bad_gain = bad_8x / bad_1x;
+        assert!(perfect_gain > 3.0, "perfect should scale ({perfect_gain:.2}x)");
+        assert!(bad_gain < 1.5, "mispredicted must saturate ({bad_gain:.2}x)");
+    }
+
+    #[test]
+    fn store_load_forwarding_orders_memory() {
+        // store to addr X, then a load from X: load can't finish before
+        // the store's data is ready.
+        let mut t = Trace::new(TraceMeta::new("stld", 0));
+        // Long-latency producer chain for the store data.
+        for i in 0..10u64 {
+            t.push(RetiredInst::op(
+                i * 4,
+                InstClass::Mul,
+                Some(Reg::new(2)),
+                None,
+                Some(Reg::new(2)),
+                0,
+            ));
+        }
+        t.push(RetiredInst::mem(
+            100,
+            InstClass::Store,
+            0x40,
+            Some(Reg::new(2)),
+            None,
+            None,
+            0,
+        ));
+        t.push(RetiredInst::mem(
+            104,
+            InstClass::Load,
+            0x40,
+            None,
+            None,
+            Some(Reg::new(3)),
+            0,
+        ));
+        let with_fwd = simulate(&t, &[], &cfg());
+        // Without the store, the load would retire much earlier; total
+        // cycles must reflect the mul chain (10 * 3 cycles) + forwarding.
+        assert!(with_fwd.cycles >= 30);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let t = Trace::new(TraceMeta::new("empty", 0));
+        let s = simulate(&t, &[], &cfg());
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "misprediction flag")]
+    fn missing_flags_panic() {
+        let mut t = Trace::new(TraceMeta::new("b", 0));
+        t.push(RetiredInst::cond_branch(4, true, 0, None, None));
+        let _ = simulate(&t, &[], &cfg());
+    }
+}

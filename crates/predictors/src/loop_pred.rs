@@ -1,0 +1,232 @@
+//! The loop predictor — the "L" of TAGE-SC-L.
+//!
+//! Recognizes branches that are taken a constant number of times and then
+//! exit (or vice versa), and predicts the exit exactly once confidence is
+//! established. Domain-specific models like this one are derived from
+//! expert analysis of design-time benchmarks (§II).
+
+/// One loop-table entry.
+#[derive(Clone, Copy, Debug, Default)]
+struct LoopEntry {
+    tag: u16,
+    /// Learned trip count: number of `dir` outcomes before the exit.
+    trip: u16,
+    /// Current iteration count within the loop.
+    current: u16,
+    /// Confidence: consecutive confirmations of `trip`.
+    confidence: u8,
+    /// The loop's body direction (usually taken).
+    dir: bool,
+    /// Entry age for replacement.
+    age: u8,
+    valid: bool,
+}
+
+/// Outcome of a loop-predictor lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopPrediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// True when the entry has confirmed its trip count enough times to be
+    /// trusted over TAGE.
+    pub confident: bool,
+}
+
+/// A small associatively-tagged loop predictor.
+///
+/// # Examples
+///
+/// ```
+/// use bp_predictors::LoopPredictor;
+///
+/// let mut lp = LoopPredictor::new(64);
+/// // Branch taken 7 times then not taken, repeatedly.
+/// let mut confident_wrong = 0;
+/// let mut confident_seen = 0;
+/// for lap in 0..40 {
+///     for i in 0..8 {
+///         let taken = i != 7;
+///         if let Some(pred) = lp.predict(0x40) {
+///             if lap >= 20 && pred.confident {
+///                 confident_seen += 1;
+///                 if pred.taken != taken { confident_wrong += 1; }
+///             }
+///         }
+///         lp.update(0x40, taken);
+///     }
+/// }
+/// assert!(confident_seen > 0);
+/// assert_eq!(confident_wrong, 0, "confident loop predictions must be exact");
+/// ```
+#[derive(Clone, Debug)]
+pub struct LoopPredictor {
+    entries: Vec<LoopEntry>,
+    /// Confidence required before `confident` is reported.
+    threshold: u8,
+}
+
+/// Maximum trip count the table can represent.
+const MAX_TRIP: u16 = u16::MAX - 1;
+
+impl LoopPredictor {
+    /// Creates a loop predictor with `entries` direct-mapped entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
+        LoopPredictor {
+            entries: vec![LoopEntry::default(); entries],
+            threshold: 3,
+        }
+    }
+
+    fn index(&self, ip: u64) -> usize {
+        ((ip >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    fn tag(&self, ip: u64) -> u16 {
+        ((ip >> 2) >> self.entries.len().trailing_zeros()) as u16
+    }
+
+    /// Looks up a prediction for `ip`. Returns `None` when the branch is
+    /// not being tracked as a loop.
+    #[must_use]
+    pub fn predict(&self, ip: u64) -> Option<LoopPrediction> {
+        let e = &self.entries[self.index(ip)];
+        if !e.valid || e.tag != self.tag(ip) || e.trip == 0 {
+            return None;
+        }
+        // Predict the exit on the iteration matching the learned trip.
+        let taken = if e.current >= e.trip { !e.dir } else { e.dir };
+        Some(LoopPrediction {
+            taken,
+            confident: e.confidence >= self.threshold,
+        })
+    }
+
+    /// Trains the table with the resolved outcome of `ip`.
+    pub fn update(&mut self, ip: u64, taken: bool) {
+        let idx = self.index(ip);
+        let tag = self.tag(ip);
+        let e = &mut self.entries[idx];
+        if !e.valid || e.tag != tag {
+            // Replace only aged-out entries, so hot loops are sticky.
+            if e.valid && e.age > 0 {
+                e.age -= 1;
+                return;
+            }
+            // Treat the first observed outcome as the loop body direction,
+            // with one body iteration already seen.
+            *e = LoopEntry {
+                tag,
+                trip: 0,
+                current: 1,
+                confidence: 0,
+                dir: taken,
+                age: 7,
+                valid: true,
+            };
+            return;
+        }
+        if taken == e.dir {
+            if e.current < MAX_TRIP {
+                e.current += 1;
+            } else {
+                // Not a loop at a representable scale; invalidate.
+                e.valid = false;
+            }
+        } else {
+            // Exit observed: confirm or relearn the trip count.
+            if e.trip == e.current && e.trip > 0 {
+                e.confidence = (e.confidence + 1).min(15);
+                e.age = 7;
+            } else {
+                e.trip = e.current;
+                e.confidence = 0;
+            }
+            e.current = 0;
+        }
+    }
+
+    /// Approximate storage in bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        // tag 16 + trip 16 + current 16 + conf 4 + dir 1 + age 3 + valid 1
+        self.entries.len() * 57
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_loop(lp: &mut LoopPredictor, ip: u64, trip: usize, laps: usize) -> (usize, usize) {
+        // Branch is taken (trip) times then not-taken once per lap.
+        let mut confident_correct = 0;
+        let mut confident_total = 0;
+        for lap in 0..laps {
+            for i in 0..=trip {
+                let taken = i != trip;
+                if let Some(p) = lp.predict(ip) {
+                    if p.confident && lap >= laps / 2 {
+                        confident_total += 1;
+                        confident_correct += usize::from(p.taken == taken);
+                    }
+                }
+                lp.update(ip, taken);
+            }
+        }
+        (confident_correct, confident_total)
+    }
+
+    #[test]
+    fn constant_trip_loop_is_perfect_once_confident() {
+        let mut lp = LoopPredictor::new(64);
+        let (correct, total) = run_loop(&mut lp, 0x80, 9, 30);
+        assert!(total > 0, "should reach confidence");
+        assert_eq!(correct, total);
+    }
+
+    #[test]
+    fn variable_trip_loop_never_confident() {
+        let mut lp = LoopPredictor::new(64);
+        // Alternate trip counts 3 and 5: confidence must not build.
+        for lap in 0..50 {
+            let trip = if lap % 2 == 0 { 3 } else { 5 };
+            for i in 0..=trip {
+                lp.update(0x90, i != trip);
+            }
+        }
+        let p = lp.predict(0x90);
+        assert!(p.is_none_or(|p| !p.confident));
+    }
+
+    #[test]
+    fn untracked_branch_returns_none() {
+        let lp = LoopPredictor::new(64);
+        assert!(lp.predict(0x1000).is_none());
+    }
+
+    #[test]
+    fn sticky_replacement_protects_hot_loops() {
+        let mut lp = LoopPredictor::new(2);
+        // Establish a hot loop at ip A.
+        let (_, total) = run_loop(&mut lp, 0x8, 4, 20);
+        assert!(total > 0);
+        // A single visit from a conflicting ip must not evict it.
+        lp.update(0x8 + 4 * 2, true);
+        assert!(lp.predict(0x8).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = LoopPredictor::new(48);
+    }
+}

@@ -1,0 +1,237 @@
+//! A plain PPM (Partial Pattern Matching) predictor.
+//!
+//! The §II baseline: tagged tables over increasing history lengths with
+//! longest-exact-match prediction — TAGE's ancestor, without usefulness
+//! counters, alternate-prediction arbitration, or geometric allocation.
+//! Included to quantify what TAGE's refinements buy.
+
+use crate::counter::SatCounter;
+use crate::history::{BitHistory, FoldedHistory};
+use crate::Predictor;
+
+/// Configuration for [`Ppm`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PpmConfig {
+    /// log2 entries of the untagged base table.
+    pub base_log2: u32,
+    /// History lengths of the tagged tables, strictly increasing.
+    pub history_lengths: Vec<usize>,
+    /// log2 entries per tagged table.
+    pub table_log2: u32,
+    /// Tag width in bits.
+    pub tag_bits: u32,
+}
+
+impl Default for PpmConfig {
+    fn default() -> Self {
+        PpmConfig {
+            base_log2: 12,
+            history_lengths: vec![4, 8, 16, 32, 64],
+            table_log2: 9,
+            tag_bits: 8,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PpmEntry {
+    tag: u16,
+    ctr: SatCounter,
+}
+
+/// The PPM predictor.
+///
+/// # Examples
+///
+/// ```
+/// use bp_predictors::{Ppm, PpmConfig, Predictor};
+///
+/// let mut p = Ppm::new(PpmConfig::default());
+/// let mut correct = 0;
+/// for i in 0..600 {
+///     let taken = i % 2 == 0;
+///     let pred = p.predict(0x44);
+///     p.update(0x44, taken, pred);
+///     if i >= 300 { correct += u32::from(pred == taken); }
+/// }
+/// assert!(correct > 280);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ppm {
+    config: PpmConfig,
+    base: Vec<SatCounter>,
+    tables: Vec<Vec<PpmEntry>>,
+    folded_idx: Vec<FoldedHistory>,
+    folded_tag: Vec<FoldedHistory>,
+    ghist: BitHistory,
+    last_match: Option<usize>,
+}
+
+impl Ppm {
+    /// Creates a PPM predictor from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history lengths are empty or not strictly increasing,
+    /// or widths are out of range.
+    #[must_use]
+    pub fn new(config: PpmConfig) -> Self {
+        assert!(!config.history_lengths.is_empty(), "need history lengths");
+        assert!(
+            config.history_lengths.windows(2).all(|w| w[0] < w[1]),
+            "history lengths must be strictly increasing"
+        );
+        assert!((1..=24).contains(&config.base_log2));
+        assert!((1..=24).contains(&config.table_log2));
+        assert!((6..=15).contains(&config.tag_bits));
+        let max_hist = *config.history_lengths.last().unwrap();
+        Ppm {
+            base: vec![SatCounter::weakly_not_taken(2); 1 << config.base_log2],
+            tables: vec![
+                vec![
+                    PpmEntry {
+                        tag: 0,
+                        ctr: SatCounter::weakly_not_taken(3)
+                    };
+                    1 << config.table_log2
+                ];
+                config.history_lengths.len()
+            ],
+            folded_idx: config
+                .history_lengths
+                .iter()
+                .map(|&l| FoldedHistory::new(l, config.table_log2))
+                .collect(),
+            folded_tag: config
+                .history_lengths
+                .iter()
+                .map(|&l| FoldedHistory::new(l, config.tag_bits))
+                .collect(),
+            ghist: BitHistory::new(max_hist + 8),
+            last_match: None,
+            config,
+        }
+    }
+
+    fn base_index(&self, ip: u64) -> usize {
+        ((ip >> 2) & ((1u64 << self.config.base_log2) - 1)) as usize
+    }
+
+    fn index(&self, ip: u64, t: usize) -> usize {
+        let mask = (1u64 << self.config.table_log2) - 1;
+        (((ip >> 2) ^ self.folded_idx[t].value()) & mask) as usize
+    }
+
+    fn tag(&self, ip: u64, t: usize) -> u16 {
+        let mask = (1u64 << self.config.tag_bits) - 1;
+        (((ip >> 2) ^ self.folded_tag[t].value() ^ (self.folded_tag[t].value() << 1)) & mask)
+            as u16
+    }
+}
+
+impl Predictor for Ppm {
+    fn name(&self) -> &'static str {
+        "ppm"
+    }
+
+    fn predict(&mut self, ip: u64) -> bool {
+        self.last_match = None;
+        for t in (0..self.tables.len()).rev() {
+            let e = &self.tables[t][self.index(ip, t)];
+            if e.tag == self.tag(ip, t) {
+                self.last_match = Some(t);
+                return e.ctr.taken();
+            }
+        }
+        self.base[self.base_index(ip)].taken()
+    }
+
+    fn update(&mut self, ip: u64, taken: bool, pred: bool) {
+        match self.last_match.take() {
+            Some(t) => {
+                let idx = self.index(ip, t);
+                self.tables[t][idx].ctr.update(taken);
+                // Allocate one table higher on a misprediction.
+                if pred != taken && t + 1 < self.tables.len() {
+                    let nt = t + 1;
+                    let nidx = self.index(ip, nt);
+                    let ntag = self.tag(ip, nt);
+                    self.tables[nt][nidx] = PpmEntry {
+                        tag: ntag,
+                        ctr: if taken {
+                            SatCounter::weakly_taken(3)
+                        } else {
+                            SatCounter::weakly_not_taken(3)
+                        },
+                    };
+                }
+            }
+            None => {
+                let bidx = self.base_index(ip);
+                self.base[bidx].update(taken);
+                if pred != taken {
+                    let idx = self.index(ip, 0);
+                    let tag = self.tag(ip, 0);
+                    self.tables[0][idx] = PpmEntry {
+                        tag,
+                        ctr: if taken {
+                            SatCounter::weakly_taken(3)
+                        } else {
+                            SatCounter::weakly_not_taken(3)
+                        },
+                    };
+                }
+            }
+        }
+        // Advance folded and raw histories.
+        for t in 0..self.tables.len() {
+            let olen = self.config.history_lengths[t];
+            let outgoing = self.ghist.bit(olen - 1);
+            self.folded_idx[t].update(taken, outgoing);
+            self.folded_tag[t].update(taken, outgoing);
+        }
+        self.ghist.push(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        let entry = (3 + self.config.tag_bits) as usize;
+        self.base.len() * 2
+            + self.tables.iter().map(|t| t.len() * entry).sum::<usize>()
+            + self.config.history_lengths.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_history_pattern() {
+        let mut p = Ppm::new(PpmConfig::default());
+        let mut correct = 0;
+        for i in 0..2000 {
+            let taken = (i / 3) % 2 == 0;
+            let pred = p.predict(0x40);
+            p.update(0x40, taken, pred);
+            if i >= 1000 {
+                correct += u32::from(pred == taken);
+            }
+        }
+        assert!(correct > 900, "period-6 pattern: {correct}/1000");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_lengths_panic() {
+        let _ = Ppm::new(PpmConfig {
+            history_lengths: vec![8, 8],
+            ..PpmConfig::default()
+        });
+    }
+
+    #[test]
+    fn storage_bits_counts_all_tables() {
+        let p = Ppm::new(PpmConfig::default());
+        assert!(p.storage_bits() > (1 << 12) * 2);
+    }
+}

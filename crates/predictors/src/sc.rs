@@ -1,0 +1,280 @@
+//! The statistical corrector — the "SC" of TAGE-SC-L.
+//!
+//! A GEHL-style perceptron ensemble that arbitrates the TAGE prediction:
+//! per-branch bias tables plus several global-history-indexed tables of
+//! signed counters vote; when their summed conviction clears a dynamically
+//! trained threshold, the corrector overrides TAGE. This is the "ensemble
+//! model / boosting" element described in §II.
+
+use crate::counter::SignedCounter;
+use crate::Predictor;
+
+/// Configuration of the statistical corrector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScConfig {
+    /// log2 entries per component table.
+    pub table_log2: u32,
+    /// Global-history lengths of the GEHL components.
+    pub history_lengths: Vec<u32>,
+    /// Counter width in bits.
+    pub counter_bits: u32,
+}
+
+impl Default for ScConfig {
+    fn default() -> Self {
+        ScConfig {
+            table_log2: 10,
+            history_lengths: vec![4, 10, 16],
+            counter_bits: 6,
+        }
+    }
+}
+
+/// The statistical corrector.
+///
+/// Not a standalone [`Predictor`]: it refines an input prediction. See
+/// [`StatisticalCorrector::refine`] and [`StatisticalCorrector::train`].
+#[derive(Clone, Debug)]
+pub struct StatisticalCorrector {
+    config: ScConfig,
+    /// Bias tables indexed by (ip, input prediction).
+    bias: Vec<SignedCounter>,
+    /// One GEHL table per history length.
+    gehl: Vec<Vec<SignedCounter>>,
+    history: u64,
+    /// Dynamic override threshold (trained).
+    threshold: i32,
+    /// Threshold training counter.
+    tc: i32,
+    last_sum: i32,
+}
+
+/// Decision returned by [`StatisticalCorrector::refine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScDecision {
+    /// The final direction after arbitration.
+    pub taken: bool,
+    /// True if the corrector overrode the input prediction.
+    pub overrode: bool,
+}
+
+impl StatisticalCorrector {
+    /// Creates a corrector from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no history lengths or out-of-range
+    /// widths.
+    #[must_use]
+    pub fn new(config: ScConfig) -> Self {
+        assert!(!config.history_lengths.is_empty(), "need at least one GEHL table");
+        assert!((1..=16).contains(&config.table_log2));
+        assert!((2..=8).contains(&config.counter_bits));
+        let entries = 1usize << config.table_log2;
+        StatisticalCorrector {
+            bias: vec![SignedCounter::new(config.counter_bits); entries * 2],
+            gehl: config
+                .history_lengths
+                .iter()
+                .map(|_| vec![SignedCounter::new(config.counter_bits); entries])
+                .collect(),
+            history: 0,
+            threshold: 6,
+            tc: 0,
+            last_sum: 0,
+            config,
+        }
+    }
+
+    fn bias_index(&self, ip: u64, input_pred: bool) -> usize {
+        let mask = (1u64 << self.config.table_log2) - 1;
+        ((((ip >> 2) & mask) << 1) | u64::from(input_pred)) as usize
+    }
+
+    fn gehl_index(&self, ip: u64, component: usize) -> usize {
+        let mask = (1u64 << self.config.table_log2) - 1;
+        let bits = self.config.history_lengths[component];
+        let h = self.history & ((1u64 << bits.min(63)) - 1);
+        // Spread the history across the index with a multiplicative mix.
+        let mixed = h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - u64::from(self.config.table_log2));
+        (((ip >> 2) ^ mixed ^ (h << 1)) & mask) as usize
+    }
+
+    fn sum(&self, ip: u64, input_pred: bool) -> i32 {
+        let mut s = self.bias[self.bias_index(ip, input_pred)].centered();
+        for (c, table) in self.gehl.iter().enumerate() {
+            s += table[self.gehl_index(ip, c)].centered();
+        }
+        // The input prediction itself gets a strong fixed vote, so the
+        // corrector only flips when statistics are decisive.
+        s + if input_pred { 8 } else { -8 }
+    }
+
+    /// Arbitrates `input_pred` for branch `ip`. `input_confident` should be
+    /// true when the upstream predictor is at high confidence (the
+    /// corrector then demands a stronger conviction to override).
+    pub fn refine(&mut self, ip: u64, input_pred: bool, input_confident: bool) -> ScDecision {
+        let sum = self.sum(ip, input_pred);
+        self.last_sum = sum;
+        let sc_pred = sum >= 0;
+        let margin = if input_confident {
+            self.threshold * 2
+        } else {
+            self.threshold
+        };
+        if sc_pred != input_pred && sum.abs() >= margin {
+            ScDecision {
+                taken: sc_pred,
+                overrode: true,
+            }
+        } else {
+            ScDecision {
+                taken: input_pred,
+                overrode: false,
+            }
+        }
+    }
+
+    /// Trains the corrector with the resolved outcome. `input_pred` must be
+    /// the same value passed to [`StatisticalCorrector::refine`];
+    /// `final_pred` the direction actually predicted after arbitration.
+    pub fn train(&mut self, ip: u64, input_pred: bool, final_pred: bool, taken: bool) {
+        let sum = self.last_sum;
+        // Train on mispredictions and on low-margin correct predictions.
+        if final_pred != taken || sum.abs() < self.threshold * 4 {
+            let bidx = self.bias_index(ip, input_pred);
+            self.bias[bidx].update(taken);
+            for c in 0..self.gehl.len() {
+                let idx = self.gehl_index(ip, c);
+                self.gehl[c][idx].update(taken);
+            }
+        }
+        // Dynamic threshold training (Seznec): widen when overrides
+        // mispredict, narrow when they were needed but suppressed.
+        let sc_pred = sum >= 0;
+        if sc_pred != input_pred {
+            if final_pred != taken && sc_pred != taken {
+                self.tc += 1;
+                if self.tc >= 4 {
+                    self.threshold = (self.threshold + 1).min(64);
+                    self.tc = 0;
+                }
+            } else if final_pred != taken && sc_pred == taken {
+                self.tc -= 1;
+                if self.tc <= -4 {
+                    self.threshold = (self.threshold - 1).max(2);
+                    self.tc = 0;
+                }
+            }
+        }
+        self.history = (self.history << 1) | u64::from(taken);
+    }
+
+    /// Approximate storage in bits.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        let cb = self.config.counter_bits as usize;
+        self.bias.len() * cb + self.gehl.iter().map(|t| t.len() * cb).sum::<usize>() + 64
+    }
+}
+
+/// A standalone wrapper exposing the corrector as a [`Predictor`] over a
+/// fixed not-taken input, for testing and ablation.
+#[derive(Clone, Debug)]
+pub struct ScOnly {
+    sc: StatisticalCorrector,
+    last: bool,
+}
+
+impl ScOnly {
+    /// Creates the wrapper.
+    #[must_use]
+    pub fn new(config: ScConfig) -> Self {
+        ScOnly {
+            sc: StatisticalCorrector::new(config),
+            last: false,
+        }
+    }
+}
+
+impl Predictor for ScOnly {
+    fn name(&self) -> &'static str {
+        "sc-only"
+    }
+
+    fn predict(&mut self, ip: u64) -> bool {
+        let d = self.sc.refine(ip, false, false);
+        self.last = d.taken;
+        d.taken
+    }
+
+    fn update(&mut self, ip: u64, taken: bool, _pred: bool) {
+        self.sc.train(ip, false, self.last, taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.sc.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrects_a_consistently_wrong_input() {
+        let mut sc = StatisticalCorrector::new(ScConfig::default());
+        // The upstream predictor always says not-taken; the branch is
+        // always taken. The corrector must learn to override.
+        let mut overrides_late = 0;
+        for i in 0..400 {
+            let d = sc.refine(0x500, false, false);
+            sc.train(0x500, false, d.taken, true);
+            if i >= 200 && d.overrode {
+                overrides_late += 1;
+            }
+        }
+        assert!(overrides_late > 190, "late overrides {overrides_late}");
+    }
+
+    #[test]
+    fn leaves_a_correct_input_alone() {
+        let mut sc = StatisticalCorrector::new(ScConfig::default());
+        let mut overrides = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            let d = sc.refine(0x600, taken, true);
+            sc.train(0x600, taken, d.taken, taken);
+            overrides += u32::from(d.overrode);
+        }
+        assert!(overrides < 20, "spurious overrides {overrides}");
+    }
+
+    #[test]
+    fn threshold_stays_in_bounds() {
+        let mut sc = StatisticalCorrector::new(ScConfig::default());
+        let mut state = 9u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let taken = (state >> 41) & 1 == 1;
+            let input = (state >> 42) & 1 == 1;
+            let d = sc.refine(0x700, input, false);
+            sc.train(0x700, input, d.taken, taken);
+        }
+        assert!((2..=64).contains(&sc.threshold));
+    }
+
+    #[test]
+    fn sc_only_wrapper_behaves_as_predictor() {
+        let mut p = ScOnly::new(ScConfig::default());
+        let mut correct = 0;
+        for i in 0..300 {
+            let pred = p.predict(0x40);
+            p.update(0x40, true, pred);
+            if i >= 150 {
+                correct += u32::from(pred);
+            }
+        }
+        assert!(correct > 140);
+    }
+}

@@ -1,0 +1,286 @@
+//! Classical baseline predictors: bimodal, gshare, and two-level local.
+
+use crate::counter::SatCounter;
+use crate::Predictor;
+
+fn index_mask(log2: u32) -> u64 {
+    (1u64 << log2) - 1
+}
+
+/// Per-IP 2-bit counter table (Smith predictor).
+///
+/// # Examples
+///
+/// ```
+/// use bp_predictors::{Bimodal, Predictor};
+///
+/// let mut p = Bimodal::new(10);
+/// // A strongly biased branch becomes predictable after a few updates.
+/// for _ in 0..4 {
+///     let pred = p.predict(0x40);
+///     p.update(0x40, true, pred);
+/// }
+/// assert!(p.predict(0x40));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: Vec<SatCounter>,
+    log2: u32,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `2^log2` 2-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2` is 0 or greater than 24.
+    #[must_use]
+    pub fn new(log2: u32) -> Self {
+        assert!((1..=24).contains(&log2), "table log2 must be 1..=24");
+        Bimodal {
+            table: vec![SatCounter::weakly_not_taken(2); 1 << log2],
+            log2,
+        }
+    }
+
+    fn index(&self, ip: u64) -> usize {
+        ((ip >> 2) & index_mask(self.log2)) as usize
+    }
+}
+
+impl Predictor for Bimodal {
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+
+    fn predict(&mut self, ip: u64) -> bool {
+        self.table[self.index(ip)].taken()
+    }
+
+    fn update(&mut self, ip: u64, taken: bool, _pred: bool) {
+        let idx = self.index(ip);
+        self.table[idx].update(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.len() * 2
+    }
+}
+
+/// Global-history-XOR-IP indexed 2-bit counters (McFarling's gshare).
+#[derive(Clone, Debug)]
+pub struct GShare {
+    table: Vec<SatCounter>,
+    log2: u32,
+    history: u64,
+    history_bits: u32,
+}
+
+impl GShare {
+    /// Creates a gshare predictor with `2^log2` counters and
+    /// `history_bits` of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2` is 0 or greater than 24, or `history_bits > 64`.
+    #[must_use]
+    pub fn new(log2: u32, history_bits: u32) -> Self {
+        assert!((1..=24).contains(&log2), "table log2 must be 1..=24");
+        assert!(history_bits <= 64, "history limited to 64 bits");
+        GShare {
+            table: vec![SatCounter::weakly_not_taken(2); 1 << log2],
+            log2,
+            history: 0,
+            history_bits,
+        }
+    }
+
+    fn index(&self, ip: u64) -> usize {
+        let h = self.history & ((1u64 << self.history_bits.min(63)) - 1);
+        (((ip >> 2) ^ h) & index_mask(self.log2)) as usize
+    }
+}
+
+impl Predictor for GShare {
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+
+    fn predict(&mut self, ip: u64) -> bool {
+        self.table[self.index(ip)].taken()
+    }
+
+    fn update(&mut self, ip: u64, taken: bool, _pred: bool) {
+        let idx = self.index(ip);
+        self.table[idx].update(taken);
+        self.history = (self.history << 1) | u64::from(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.len() * 2 + self.history_bits as usize
+    }
+}
+
+/// Two-level adaptive predictor with per-branch local histories
+/// (Yeh & Patt).
+#[derive(Clone, Debug)]
+pub struct TwoLevelLocal {
+    histories: Vec<u16>,
+    pht: Vec<SatCounter>,
+    hist_log2: u32,
+    local_bits: u32,
+}
+
+impl TwoLevelLocal {
+    /// Creates a local predictor with `2^hist_log2` history registers of
+    /// `local_bits` bits each, and a `2^local_bits`-entry pattern table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hist_log2` is 0 or greater than 20, or `local_bits` is 0
+    /// or greater than 16.
+    #[must_use]
+    pub fn new(hist_log2: u32, local_bits: u32) -> Self {
+        assert!((1..=20).contains(&hist_log2), "hist log2 must be 1..=20");
+        assert!((1..=16).contains(&local_bits), "local bits must be 1..=16");
+        TwoLevelLocal {
+            histories: vec![0; 1 << hist_log2],
+            pht: vec![SatCounter::weakly_not_taken(2); 1 << local_bits],
+            hist_log2,
+            local_bits,
+        }
+    }
+
+    fn hist_index(&self, ip: u64) -> usize {
+        ((ip >> 2) & index_mask(self.hist_log2)) as usize
+    }
+
+    fn pht_index(&self, ip: u64) -> usize {
+        let h = self.histories[self.hist_index(ip)];
+        (h & ((1u16 << self.local_bits) - 1)) as usize
+    }
+}
+
+impl Predictor for TwoLevelLocal {
+    fn name(&self) -> &'static str {
+        "two-level-local"
+    }
+
+    fn predict(&mut self, ip: u64) -> bool {
+        self.pht[self.pht_index(ip)].taken()
+    }
+
+    fn update(&mut self, ip: u64, taken: bool, _pred: bool) {
+        let pidx = self.pht_index(ip);
+        self.pht[pidx].update(taken);
+        let hidx = self.hist_index(ip);
+        self.histories[hidx] = (self.histories[hidx] << 1) | u16::from(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.histories.len() * self.local_bits as usize + self.pht.len() * 2
+    }
+}
+
+/// Trivial static predictor, useful as a floor baseline and in tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysTaken;
+
+impl Predictor for AlwaysTaken {
+    fn name(&self) -> &'static str {
+        "always-taken"
+    }
+
+    fn predict(&mut self, _ip: u64) -> bool {
+        true
+    }
+
+    fn update(&mut self, _ip: u64, _taken: bool, _pred: bool) {}
+
+    fn storage_bits(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train(p: &mut impl Predictor, seq: &[(u64, bool)]) -> usize {
+        let mut correct = 0;
+        for &(ip, taken) in seq {
+            let pred = p.predict(ip);
+            p.update(ip, taken, pred);
+            correct += usize::from(pred == taken);
+        }
+        correct
+    }
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut p = Bimodal::new(8);
+        let seq: Vec<_> = (0..100).map(|_| (0x80u64, true)).collect();
+        let correct = train(&mut p, &seq);
+        assert!(correct >= 97);
+    }
+
+    #[test]
+    fn bimodal_fails_alternation() {
+        let mut p = Bimodal::new(8);
+        let seq: Vec<_> = (0..200).map(|i| (0x80u64, i % 2 == 0)).collect();
+        let correct = train(&mut p, &seq);
+        // 2-bit counters stuck near the threshold: at most ~50%.
+        assert!(correct < 120, "bimodal should not learn alternation ({correct})");
+    }
+
+    #[test]
+    fn gshare_learns_alternation() {
+        let mut p = GShare::new(12, 8);
+        let seq: Vec<_> = (0..400).map(|i| (0x80u64, i % 2 == 0)).collect();
+        let correct = train(&mut p, &seq);
+        assert!(correct > 350, "gshare should learn alternation ({correct})");
+    }
+
+    #[test]
+    fn local_learns_short_period_pattern() {
+        let mut p = TwoLevelLocal::new(10, 10);
+        // Period-3 pattern: T T N.
+        let seq: Vec<_> = (0..600).map(|i| (0x90u64, i % 3 != 2)).collect();
+        let correct = train(&mut p, &seq);
+        assert!(correct > 520, "local should learn period-3 ({correct})");
+    }
+
+    #[test]
+    fn gshare_distinguishes_history_contexts() {
+        // Branch B's direction equals branch A's last direction.
+        let mut p = GShare::new(12, 4);
+        let mut correct_b = 0;
+        let mut total_b = 0;
+        let mut state = 7u64;
+        for _ in 0..1000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a_dir = (state >> 33) & 1 == 1;
+            let pa = p.predict(0x100);
+            p.update(0x100, a_dir, pa);
+            let pb = p.predict(0x200);
+            p.update(0x200, a_dir, pb);
+            total_b += 1;
+            correct_b += usize::from(pb == a_dir);
+        }
+        assert!(
+            correct_b as f64 / total_b as f64 > 0.9,
+            "gshare should capture A->B correlation ({correct_b}/{total_b})"
+        );
+    }
+
+    #[test]
+    fn storage_accounting() {
+        assert_eq!(Bimodal::new(10).storage_bits(), 2048);
+        assert_eq!(GShare::new(10, 16).storage_bits(), 2048 + 16);
+        assert_eq!(
+            TwoLevelLocal::new(10, 10).storage_bits(),
+            1024 * 10 + 1024 * 2
+        );
+        assert_eq!(AlwaysTaken.storage_bits(), 0);
+    }
+}

@@ -1,0 +1,637 @@
+//! TAGE: TAgged GEometric history length predictor (Seznec).
+//!
+//! The backbone of TAGE-SC-L (§II). A bimodal base table is backed by a
+//! series of tagged tables indexed with geometrically increasing history
+//! lengths; the longest tag hit provides the prediction. Entries carry a
+//! usefulness counter driving allocation and reclamation — the mechanism
+//! whose thrashing on H2P branches the paper measures in §IV-A. The
+//! [`AllocationTracker`] instrumentation reproduces those measurements.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::counter::{SatCounter, SignedCounter};
+use crate::history::{BitHistory, FoldedHistory, PathHistory};
+use crate::Predictor;
+
+/// Geometry and policy parameters for a [`Tage`] predictor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TageConfig {
+    /// log2 entries of the bimodal base table.
+    pub bimodal_log2: u32,
+    /// Number of tagged tables.
+    pub num_tables: usize,
+    /// log2 entries per tagged table.
+    pub table_log2: u32,
+    /// Tag width in bits.
+    pub tag_bits: u32,
+    /// Shortest tagged history length.
+    pub min_hist: usize,
+    /// Longest tagged history length (1,000 at 8KB, 3,000 at ≥64KB in the
+    /// paper's configurations).
+    pub max_hist: usize,
+    /// Updates between graceful usefulness-counter aging events.
+    pub u_reset_period: u64,
+}
+
+impl TageConfig {
+    /// Validates and computes the geometric history-length series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is out of range (see source asserts).
+    #[must_use]
+    pub fn history_lengths(&self) -> Vec<usize> {
+        assert!((1..=24).contains(&self.bimodal_log2));
+        assert!((2..=24).contains(&self.num_tables));
+        assert!((1..=24).contains(&self.table_log2));
+        assert!((6..=15).contains(&self.tag_bits));
+        assert!(self.min_hist >= 2 && self.max_hist > self.min_hist);
+        let n = self.num_tables;
+        let ratio = (self.max_hist as f64 / self.min_hist as f64).powf(1.0 / (n - 1) as f64);
+        let mut lengths = Vec::with_capacity(n);
+        let mut prev = 0usize;
+        for i in 0..n {
+            let mut l = (self.min_hist as f64 * ratio.powi(i as i32)).round() as usize;
+            if l <= prev {
+                l = prev + 1;
+            }
+            lengths.push(l);
+            prev = l;
+        }
+        lengths
+    }
+}
+
+impl Default for TageConfig {
+    /// An 8KB-class TAGE (before SC/L components).
+    fn default() -> Self {
+        TageConfig {
+            bimodal_log2: 12,
+            num_tables: 10,
+            table_log2: 8,
+            tag_bits: 9,
+            min_hist: 4,
+            max_hist: 1000,
+            u_reset_period: 1 << 18,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TageEntry {
+    ctr: SatCounter,
+    tag: u16,
+    useful: SatCounter,
+}
+
+impl TageEntry {
+    fn empty() -> Self {
+        TageEntry {
+            ctr: SatCounter::weakly_not_taken(3),
+            tag: 0,
+            useful: SatCounter::new(2, 0),
+        }
+    }
+}
+
+/// Records TAGE table-entry allocations per branch IP, reproducing the
+/// §IV-A measurements (median allocations and unique entries per H2P vs
+/// non-H2P branch).
+#[derive(Clone, Debug, Default)]
+pub struct AllocationTracker {
+    allocations: HashMap<u64, u64>,
+    unique: HashMap<u64, HashSet<u32>>,
+}
+
+impl AllocationTracker {
+    fn record(&mut self, ip: u64, table: usize, index: usize) {
+        *self.allocations.entry(ip).or_default() += 1;
+        self.unique
+            .entry(ip)
+            .or_default()
+            .insert(((table as u32) << 24) | index as u32);
+    }
+
+    /// Total allocations performed on behalf of `ip`.
+    #[must_use]
+    pub fn allocations(&self, ip: u64) -> u64 {
+        self.allocations.get(&ip).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct (table, entry) slots ever allocated for `ip`.
+    #[must_use]
+    pub fn unique_entries(&self, ip: u64) -> usize {
+        self.unique.get(&ip).map_or(0, HashSet::len)
+    }
+
+    /// All IPs that triggered at least one allocation.
+    pub fn ips(&self) -> impl Iterator<Item = u64> + '_ {
+        self.allocations.keys().copied()
+    }
+
+    /// Grand total of allocations across all IPs.
+    #[must_use]
+    pub fn total_allocations(&self) -> u64 {
+        self.allocations.values().sum()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PredictionCtx {
+    ip: u64,
+    indices: Vec<usize>,
+    tags: Vec<u16>,
+    provider: Option<usize>,
+    alt_pred: bool,
+    provider_pred: bool,
+    provider_new: bool,
+    pred: bool,
+}
+
+/// The TAGE predictor.
+///
+/// `predict` must be followed by `update` for the same branch before the
+/// next `predict` (the [`Predictor`] contract); internal prediction state
+/// is carried between the two calls, as in hardware.
+///
+/// # Examples
+///
+/// ```
+/// use bp_predictors::{Predictor, Tage, TageConfig};
+///
+/// let mut t = Tage::new(TageConfig::default());
+/// // A period-2 branch is learned almost immediately.
+/// let mut correct = 0;
+/// for i in 0..400 {
+///     let taken = i % 2 == 0;
+///     let pred = t.predict(0x1234);
+///     t.update(0x1234, taken, pred);
+///     if i >= 200 { correct += u32::from(pred == taken); }
+/// }
+/// assert!(correct > 190);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tage {
+    config: TageConfig,
+    lengths: Vec<usize>,
+    bimodal: Vec<SatCounter>,
+    tables: Vec<Vec<TageEntry>>,
+    folded_idx: Vec<FoldedHistory>,
+    folded_tag0: Vec<FoldedHistory>,
+    folded_tag1: Vec<FoldedHistory>,
+    ghist: BitHistory,
+    path: PathHistory,
+    use_alt_on_na: SignedCounter,
+    lfsr: u64,
+    updates: u64,
+    ctx: Option<PredictionCtx>,
+    tracker: Option<Box<AllocationTracker>>,
+}
+
+impl Tage {
+    /// Creates a TAGE predictor from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`TageConfig::history_lengths`]).
+    #[must_use]
+    pub fn new(config: TageConfig) -> Self {
+        let lengths = config.history_lengths();
+        let table_entries = 1usize << config.table_log2;
+        let folded_idx = lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l, config.table_log2))
+            .collect();
+        let folded_tag0 = lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l, config.tag_bits))
+            .collect();
+        let folded_tag1 = lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l, config.tag_bits - 1))
+            .collect();
+        Tage {
+            ghist: BitHistory::new(config.max_hist + 8),
+            bimodal: vec![SatCounter::weakly_not_taken(2); 1 << config.bimodal_log2],
+            tables: vec![vec![TageEntry::empty(); table_entries]; config.num_tables],
+            folded_idx,
+            folded_tag0,
+            folded_tag1,
+            path: PathHistory::new(),
+            use_alt_on_na: SignedCounter::new(4),
+            lfsr: 0xACE1_u64,
+            updates: 0,
+            ctx: None,
+            lengths,
+            config,
+            tracker: None,
+        }
+    }
+
+    /// Enables per-IP allocation instrumentation (off by default; costs a
+    /// hash-map update per allocation).
+    pub fn enable_instrumentation(&mut self) {
+        if self.tracker.is_none() {
+            self.tracker = Some(Box::default());
+        }
+    }
+
+    /// Allocation statistics, if instrumentation is enabled.
+    #[must_use]
+    pub fn tracker(&self) -> Option<&AllocationTracker> {
+        self.tracker.as_deref()
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &TageConfig {
+        &self.config
+    }
+
+    /// The geometric history-length series.
+    #[must_use]
+    pub fn lengths(&self) -> &[usize] {
+        &self.lengths
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64
+        let mut x = self.lfsr;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.lfsr = x;
+        x
+    }
+
+    fn bimodal_index(&self, ip: u64) -> usize {
+        ((ip >> 2) & ((1u64 << self.config.bimodal_log2) - 1)) as usize
+    }
+
+    fn table_index(&self, ip: u64, t: usize) -> usize {
+        let mask = (1u64 << self.config.table_log2) - 1;
+        let path_bits = self.path.value() & ((1 << self.lengths[t].min(16)) - 1);
+        let h = self.folded_idx[t].value()
+            ^ (ip >> 2)
+            ^ ((ip >> 2) >> (u64::from(self.config.table_log2).saturating_sub(t as u64 % 4)))
+            ^ path_bits;
+        (h & mask) as usize
+    }
+
+    fn tag(&self, ip: u64, t: usize) -> u16 {
+        let mask = (1u64 << self.config.tag_bits) - 1;
+        (((ip >> 2) ^ self.folded_tag0[t].value() ^ (self.folded_tag1[t].value() << 1)) & mask)
+            as u16
+    }
+
+    /// Computes the full prediction context (used by both `predict` and
+    /// the statistical corrector, which needs provider confidence).
+    fn compute(&mut self, ip: u64) -> PredictionCtx {
+        let n = self.config.num_tables;
+        let mut indices = Vec::with_capacity(n);
+        let mut tags = Vec::with_capacity(n);
+        for t in 0..n {
+            indices.push(self.table_index(ip, t));
+            tags.push(self.tag(ip, t));
+        }
+        let bimodal_pred = self.bimodal[self.bimodal_index(ip)].taken();
+        let mut provider = None;
+        let mut alt = None;
+        for t in (0..n).rev() {
+            if self.tables[t][indices[t]].tag == tags[t] {
+                if provider.is_none() {
+                    provider = Some(t);
+                } else {
+                    alt = Some(t);
+                    break;
+                }
+            }
+        }
+        let alt_pred = match alt {
+            Some(t) => self.tables[t][indices[t]].ctr.taken(),
+            None => bimodal_pred,
+        };
+        let (provider_pred, provider_new) = match provider {
+            Some(t) => {
+                let e = &self.tables[t][indices[t]];
+                // An entry is "not yet trustworthy" until it has either
+                // left the weak counter states or proven useful (predicted
+                // correctly against the alternate at least once). Deferring
+                // to the alternate until then keeps noise-allocated
+                // entries from overriding the base predictor's long-run
+                // per-IP statistics on rare branches.
+                (e.ctr.taken(), e.ctr.is_weak() || e.useful.value() == 0)
+            }
+            None => (bimodal_pred, false),
+        };
+        let pred = if provider.is_some() && provider_new && self.use_alt_on_na.value() >= 0 {
+            alt_pred
+        } else {
+            provider_pred
+        };
+        PredictionCtx {
+            ip,
+            indices,
+            tags,
+            provider,
+            alt_pred,
+            provider_pred,
+            provider_new,
+            pred,
+        }
+    }
+
+    /// Whether the last prediction came from a high-confidence provider
+    /// (used by the statistical corrector to decide when to intervene).
+    #[must_use]
+    pub fn last_confidence_high(&self) -> bool {
+        self.ctx.as_ref().is_some_and(|c| match c.provider {
+            Some(t) => self.tables[t][c.indices[t]].ctr.is_strong(),
+            None => self.bimodal[self.bimodal_index(c.ip)].is_strong(),
+        })
+    }
+
+    fn allocate(&mut self, ctx: &PredictionCtx, taken: bool) {
+        let n = self.config.num_tables;
+        let start = ctx.provider.map_or(0, |p| p + 1);
+        if start >= n {
+            return;
+        }
+        // Collect candidate tables with a free (u == 0) entry.
+        let mut free = Vec::new();
+        for t in start..n {
+            if self.tables[t][ctx.indices[t]].useful.value() == 0 {
+                free.push(t);
+            }
+        }
+        if free.is_empty() {
+            // No room: age the would-be victims so future allocations can
+            // succeed (TAGE's anti-ping-pong mechanism).
+            for t in start..n {
+                let e = &mut self.tables[t][ctx.indices[t]];
+                e.useful.update(false);
+            }
+            return;
+        }
+        // Prefer shorter histories with geometric probability, as in the
+        // reference implementation.
+        let mut chosen = free[0];
+        for &t in &free[1..] {
+            if self.next_rand().is_multiple_of(2) {
+                break;
+            }
+            chosen = t;
+        }
+        let idx = ctx.indices[chosen];
+        let e = &mut self.tables[chosen][idx];
+        e.tag = ctx.tags[chosen];
+        e.ctr = if taken {
+            SatCounter::weakly_taken(3)
+        } else {
+            SatCounter::weakly_not_taken(3)
+        };
+        e.useful.set(0);
+        if let Some(tracker) = self.tracker.as_deref_mut() {
+            tracker.record(ctx.ip, chosen, idx);
+        }
+    }
+
+    fn age_useful(&mut self) {
+        for table in &mut self.tables {
+            for e in table.iter_mut() {
+                let halved = e.useful.value() >> 1;
+                e.useful.set(halved);
+            }
+        }
+    }
+
+    fn push_history(&mut self, ip: u64, taken: bool) {
+        for t in 0..self.config.num_tables {
+            let olen = self.lengths[t];
+            let outgoing = self.ghist.bit(olen - 1);
+            self.folded_idx[t].update(taken, outgoing);
+            self.folded_tag0[t].update(taken, outgoing);
+            self.folded_tag1[t].update(taken, outgoing);
+        }
+        self.ghist.push(taken);
+        self.path.push(ip);
+    }
+}
+
+impl Predictor for Tage {
+    fn name(&self) -> &'static str {
+        "tage"
+    }
+
+    fn predict(&mut self, ip: u64) -> bool {
+        let ctx = self.compute(ip);
+        let pred = ctx.pred;
+        self.ctx = Some(ctx);
+        pred
+    }
+
+    fn update(&mut self, ip: u64, taken: bool, _pred: bool) {
+        let ctx = match self.ctx.take() {
+            Some(c) if c.ip == ip => c,
+            // Tolerate a missed predict (e.g. after clone) by recomputing.
+            _ => self.compute(ip),
+        };
+        self.updates += 1;
+
+        // Train the provider (or the bimodal base).
+        match ctx.provider {
+            Some(t) => {
+                let idx = ctx.indices[t];
+                // Usefulness: provider proved better/worse than alt.
+                if ctx.provider_pred != ctx.alt_pred {
+                    let correct = ctx.provider_pred == taken;
+                    self.tables[t][idx].useful.update(correct);
+                }
+                self.tables[t][idx].ctr.update(taken);
+                // When the provider entry is fresh, also train the alt
+                // chooser.
+                if ctx.provider_new && ctx.provider_pred != ctx.alt_pred {
+                    self.use_alt_on_na.update(ctx.alt_pred == taken);
+                }
+                // Keep the bimodal warm when it served as the alternate.
+                if ctx.provider_new {
+                    let bidx = self.bimodal_index(ip);
+                    self.bimodal[bidx].update(taken);
+                }
+            }
+            None => {
+                let bidx = self.bimodal_index(ip);
+                self.bimodal[bidx].update(taken);
+            }
+        }
+
+        // Allocate a longer-history entry on a TAGE misprediction.
+        if ctx.pred != taken {
+            self.allocate(&ctx, taken);
+        }
+
+        if self.updates.is_multiple_of(self.config.u_reset_period) {
+            self.age_useful();
+        }
+
+        self.push_history(ip, taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        let entry_bits = (3 + 2 + self.config.tag_bits) as usize;
+        let tagged: usize = self
+            .tables
+            .iter()
+            .map(|t| t.len() * entry_bits)
+            .sum();
+        self.bimodal.len() * 2 + tagged + self.config.max_hist + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_seq(t: &mut Tage, seq: &[(u64, bool)], skip: usize) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (i, &(ip, taken)) in seq.iter().enumerate() {
+            let p = t.predict(ip);
+            t.update(ip, taken, p);
+            if i >= skip {
+                total += 1;
+                correct += usize::from(p == taken);
+            }
+        }
+        correct as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn history_lengths_are_geometric_and_increasing() {
+        let cfg = TageConfig::default();
+        let l = cfg.history_lengths();
+        assert_eq!(l.len(), cfg.num_tables);
+        assert_eq!(*l.first().unwrap(), cfg.min_hist);
+        assert_eq!(*l.last().unwrap(), cfg.max_hist);
+        assert!(l.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut t = Tage::new(TageConfig::default());
+        let seq: Vec<_> = (0..300).map(|_| (0x400u64, true)).collect();
+        assert!(train_seq(&mut t, &seq, 50) > 0.99);
+    }
+
+    #[test]
+    fn learns_period_four_pattern() {
+        let mut t = Tage::new(TageConfig::default());
+        let seq: Vec<_> = (0..2000).map(|i| (0x400u64, i % 4 < 2)).collect();
+        let acc = train_seq(&mut t, &seq, 500);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_cross_branch_correlation() {
+        // B mirrors A, separated by two fixed noise branches.
+        let mut t = Tage::new(TageConfig::default());
+        let mut state = 5u64;
+        let mut a = false;
+        let mut seq = Vec::new();
+        for i in 0..12000u64 {
+            match i % 4 {
+                0 => {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    a = (state >> 33) & 1 == 1;
+                    seq.push((0x100, a));
+                }
+                1 => seq.push((0x110, true)),
+                2 => seq.push((0x120, false)),
+                _ => seq.push((0x200, a)),
+            }
+        }
+        // Measure only branch B (0x200).
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (i, &(ip, taken)) in seq.iter().enumerate() {
+            let p = t.predict(ip);
+            t.update(ip, taken, p);
+            if i > 4000 && ip == 0x200 {
+                total += 1;
+                correct += usize::from(p == taken);
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.97, "correlated accuracy {acc}");
+    }
+
+    #[test]
+    fn random_branch_is_not_learnable() {
+        let mut t = Tage::new(TageConfig::default());
+        let mut state = 17u64;
+        let seq: Vec<_> = (0..4000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (0x400u64, (state >> 35) & 1 == 1)
+            })
+            .collect();
+        let acc = train_seq(&mut t, &seq, 1000);
+        assert!((0.35..0.65).contains(&acc), "random accuracy {acc}");
+    }
+
+    #[test]
+    fn allocation_tracking_counts_unique_entries() {
+        let mut t = Tage::new(TageConfig::default());
+        t.enable_instrumentation();
+        let mut state = 23u64;
+        for _ in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let taken = (state >> 37) & 1 == 1;
+            let p = t.predict(0x700);
+            t.update(0x700, taken, p);
+        }
+        let tr = t.tracker().unwrap();
+        // A random branch triggers many allocations, reusing entries.
+        assert!(tr.allocations(0x700) > 100);
+        assert!(tr.unique_entries(0x700) > 10);
+        assert!(tr.allocations(0x700) >= tr.unique_entries(0x700) as u64);
+    }
+
+    #[test]
+    fn predictable_branch_allocates_little() {
+        let mut t = Tage::new(TageConfig::default());
+        t.enable_instrumentation();
+        for i in 0..4000 {
+            let taken = i % 2 == 0;
+            let p = t.predict(0x900);
+            t.update(0x900, taken, p);
+        }
+        let tr = t.tracker().unwrap();
+        assert!(
+            tr.allocations(0x900) < 30,
+            "predictable branch allocated {} times",
+            tr.allocations(0x900)
+        );
+    }
+
+    #[test]
+    fn storage_bits_scales_with_tables() {
+        let small = Tage::new(TageConfig::default());
+        let big = Tage::new(TageConfig {
+            table_log2: 11,
+            bimodal_log2: 14,
+            max_hist: 3000,
+            ..TageConfig::default()
+        });
+        assert!(big.storage_bits() > 4 * small.storage_bits());
+    }
+
+    #[test]
+    fn update_without_predict_recovers() {
+        let mut t = Tage::new(TageConfig::default());
+        // Call update directly; the predictor must recompute context.
+        t.update(0x40, true, true);
+        let _ = t.predict(0x40);
+    }
+}

@@ -1,0 +1,200 @@
+//! Retired-instruction records — the unit every analysis consumes.
+
+use crate::isa::{BranchKind, InstClass, Reg};
+
+/// Outcome information for a retired control-flow instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Subtype of the branch.
+    pub kind: BranchKind,
+    /// Whether the branch was taken. Unconditional branches are always
+    /// `taken = true`.
+    pub taken: bool,
+    /// The target instruction pointer actually followed when taken.
+    pub target: u64,
+}
+
+/// A single retired instruction, with full operand ground truth.
+///
+/// The fields are deliberately public (a passive record in the C spirit):
+/// traces contain hundreds of thousands of these and the analyses iterate
+/// over them directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetiredInst {
+    /// Static instruction pointer.
+    pub ip: u64,
+    /// Value written to `dst` (0 when there is no destination). Used by the
+    /// Fig. 10 register-value analysis.
+    pub dst_value: u64,
+    /// Effective memory address for loads/stores (0 otherwise).
+    pub mem_addr: u64,
+    /// Coarse class for the timing model.
+    pub class: InstClass,
+    /// First source register, if any.
+    pub src1: Option<Reg>,
+    /// Second source register, if any.
+    pub src2: Option<Reg>,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Branch outcome, present iff `class == InstClass::Branch`.
+    pub branch: Option<BranchInfo>,
+}
+
+impl RetiredInst {
+    /// Creates a non-branch record.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bp_trace::{InstClass, Reg, RetiredInst};
+    /// let i = RetiredInst::op(0x10, InstClass::Alu, Some(Reg::new(1)), None, Some(Reg::new(2)), 42);
+    /// assert_eq!(i.dst_value, 42);
+    /// assert!(i.branch.is_none());
+    /// ```
+    #[must_use]
+    pub fn op(
+        ip: u64,
+        class: InstClass,
+        src1: Option<Reg>,
+        src2: Option<Reg>,
+        dst: Option<Reg>,
+        dst_value: u64,
+    ) -> Self {
+        debug_assert!(class != InstClass::Branch, "use a branch constructor");
+        RetiredInst {
+            ip,
+            dst_value,
+            mem_addr: 0,
+            class,
+            src1,
+            src2,
+            dst,
+            branch: None,
+        }
+    }
+
+    /// Creates a memory record (load or store) with an effective address.
+    #[must_use]
+    pub fn mem(
+        ip: u64,
+        class: InstClass,
+        addr: u64,
+        src1: Option<Reg>,
+        src2: Option<Reg>,
+        dst: Option<Reg>,
+        dst_value: u64,
+    ) -> Self {
+        debug_assert!(class.is_memory(), "mem() requires a load/store class");
+        RetiredInst {
+            ip,
+            dst_value,
+            mem_addr: addr,
+            class,
+            src1,
+            src2,
+            dst,
+            branch: None,
+        }
+    }
+
+    /// Creates a conditional branch record. `srcs` are the register indices
+    /// read by the branch condition.
+    #[must_use]
+    pub fn cond_branch(ip: u64, taken: bool, target: u64, src1: Option<u8>, src2: Option<u8>) -> Self {
+        RetiredInst {
+            ip,
+            dst_value: 0,
+            mem_addr: 0,
+            class: InstClass::Branch,
+            src1: src1.map(Reg::new),
+            src2: src2.map(Reg::new),
+            dst: None,
+            branch: Some(BranchInfo {
+                kind: BranchKind::Conditional,
+                taken,
+                target,
+            }),
+        }
+    }
+
+    /// Creates an unconditional control-flow record of the given kind.
+    #[must_use]
+    pub fn uncond_branch(ip: u64, kind: BranchKind, target: u64) -> Self {
+        debug_assert!(!kind.is_conditional(), "use cond_branch for conditionals");
+        RetiredInst {
+            ip,
+            dst_value: 0,
+            mem_addr: 0,
+            class: InstClass::Branch,
+            src1: None,
+            src2: None,
+            dst: None,
+            branch: Some(BranchInfo {
+                kind,
+                taken: true,
+                target,
+            }),
+        }
+    }
+
+    /// True if this record is a conditional branch.
+    #[must_use]
+    pub fn is_conditional_branch(&self) -> bool {
+        matches!(
+            self.branch,
+            Some(BranchInfo {
+                kind: BranchKind::Conditional,
+                ..
+            })
+        )
+    }
+
+    /// For conditional branches, the taken outcome; `None` otherwise.
+    #[must_use]
+    pub fn taken(&self) -> Option<bool> {
+        match self.branch {
+            Some(BranchInfo {
+                kind: BranchKind::Conditional,
+                taken,
+                ..
+            }) => Some(taken),
+            _ => None,
+        }
+    }
+
+    /// Iterates over the source registers this instruction reads.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.src1.into_iter().chain(self.src2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_branch_predicates() {
+        let b = RetiredInst::cond_branch(0x100, true, 0x140, Some(3), None);
+        assert!(b.is_conditional_branch());
+        assert_eq!(b.taken(), Some(true));
+        assert_eq!(b.sources().count(), 1);
+        assert_eq!(b.class, InstClass::Branch);
+    }
+
+    #[test]
+    fn uncond_branch_has_no_direction() {
+        let j = RetiredInst::uncond_branch(0x100, BranchKind::DirectJump, 0x200);
+        assert!(!j.is_conditional_branch());
+        assert_eq!(j.taken(), None);
+        assert!(j.branch.unwrap().taken);
+    }
+
+    #[test]
+    fn op_and_mem_constructors() {
+        let a = RetiredInst::op(1, InstClass::Alu, Some(Reg::new(0)), Some(Reg::new(1)), Some(Reg::new(2)), 7);
+        assert_eq!(a.sources().count(), 2);
+        let m = RetiredInst::mem(2, InstClass::Load, 0xdead, Some(Reg::new(4)), None, Some(Reg::new(5)), 9);
+        assert_eq!(m.mem_addr, 0xdead);
+        assert_eq!(m.dst, Some(Reg::new(5)));
+    }
+}

@@ -1,0 +1,353 @@
+//! Binary trace serialization.
+//!
+//! The paper's offline-training methodology (§V-B) rests on "collecting
+//! multiple long-duration traces of an application" into a trace library.
+//! This module gives [`Trace`] a compact, versioned binary format so trace
+//! collections can be written once and re-analyzed many times.
+//!
+//! Format (little-endian): magic `BPTR`, version u16, metadata (name
+//! length u16 + UTF-8 bytes, input u32), record count u64, then one
+//! fixed-layout record per instruction.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::isa::{BranchKind, InstClass, Reg};
+use crate::record::{BranchInfo, RetiredInst};
+use crate::trace::{Trace, TraceMeta};
+
+const MAGIC: &[u8; 4] = b"BPTR";
+const VERSION: u16 = 1;
+const NO_REG: u8 = 0xFF;
+
+/// Errors produced when decoding a serialized trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not begin with the trace magic.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u16),
+    /// A field held an invalid value (register, class, or branch kind).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::BadMagic => f.write_str("not a branch-lab trace (bad magic)"),
+            ReadTraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            ReadTraceError::Corrupt(what) => write!(f, "corrupt trace: invalid {what}"),
+        }
+    }
+}
+
+impl Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+fn encode_reg(r: Option<Reg>) -> u8 {
+    r.map_or(NO_REG, |r| r.index() as u8)
+}
+
+fn decode_reg(b: u8) -> Result<Option<Reg>, ReadTraceError> {
+    match b {
+        NO_REG => Ok(None),
+        i if (i as usize) < crate::isa::NUM_REGS => Ok(Some(Reg::new(i))),
+        _ => Err(ReadTraceError::Corrupt("register")),
+    }
+}
+
+fn class_code(c: InstClass) -> u8 {
+    match c {
+        InstClass::Alu => 0,
+        InstClass::Mul => 1,
+        InstClass::Load => 2,
+        InstClass::Store => 3,
+        InstClass::Branch => 4,
+        InstClass::Nop => 5,
+    }
+}
+
+fn decode_class(b: u8) -> Result<InstClass, ReadTraceError> {
+    Ok(match b {
+        0 => InstClass::Alu,
+        1 => InstClass::Mul,
+        2 => InstClass::Load,
+        3 => InstClass::Store,
+        4 => InstClass::Branch,
+        5 => InstClass::Nop,
+        _ => return Err(ReadTraceError::Corrupt("instruction class")),
+    })
+}
+
+fn kind_code(k: BranchKind) -> u8 {
+    match k {
+        BranchKind::Conditional => 1,
+        BranchKind::DirectJump => 2,
+        BranchKind::IndirectJump => 3,
+        BranchKind::Call => 4,
+        BranchKind::Return => 5,
+    }
+}
+
+fn decode_kind(b: u8) -> Result<BranchKind, ReadTraceError> {
+    Ok(match b {
+        1 => BranchKind::Conditional,
+        2 => BranchKind::DirectJump,
+        3 => BranchKind::IndirectJump,
+        4 => BranchKind::Call,
+        5 => BranchKind::Return,
+        _ => return Err(ReadTraceError::Corrupt("branch kind")),
+    })
+}
+
+impl Trace {
+    /// Serializes the trace to `writer` in the `BPTR` v1 format.
+    ///
+    /// A `&mut` reference can be passed for `writer` (e.g. `&mut file`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(MAGIC)?;
+        writer.write_all(&VERSION.to_le_bytes())?;
+        let name = self.meta().name.as_bytes();
+        let name_len = u16::try_from(name.len().min(u16::MAX as usize)).expect("bounded");
+        writer.write_all(&name_len.to_le_bytes())?;
+        writer.write_all(&name[..name_len as usize])?;
+        writer.write_all(&self.meta().input.to_le_bytes())?;
+        writer.write_all(&(self.len() as u64).to_le_bytes())?;
+        let mut buf = [0u8; 37];
+        for inst in self.iter() {
+            buf[0..8].copy_from_slice(&inst.ip.to_le_bytes());
+            buf[8..16].copy_from_slice(&inst.dst_value.to_le_bytes());
+            buf[16..24].copy_from_slice(&inst.mem_addr.to_le_bytes());
+            buf[24] = class_code(inst.class);
+            buf[25] = encode_reg(inst.src1);
+            buf[26] = encode_reg(inst.src2);
+            buf[27] = encode_reg(inst.dst);
+            match inst.branch {
+                Some(b) => {
+                    buf[28] = kind_code(b.kind) | (u8::from(b.taken) << 3);
+                    buf[29..37].copy_from_slice(&b.target.to_le_bytes());
+                }
+                None => {
+                    buf[28] = 0;
+                    buf[29..37].fill(0);
+                }
+            }
+            writer.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace previously written with [`Trace::write_to`].
+    ///
+    /// A `&mut` reference can be passed for `reader`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] on I/O failure, bad magic, unsupported
+    /// version, or corrupt field values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bp_trace::{RetiredInst, Trace, TraceMeta};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut t = Trace::new(TraceMeta::new("demo", 3));
+    /// t.push(RetiredInst::cond_branch(0x40, true, 0x80, Some(1), None));
+    /// let mut bytes = Vec::new();
+    /// t.write_to(&mut bytes)?;
+    /// let back = Trace::read_from(bytes.as_slice())?;
+    /// assert_eq!(back.meta().name, "demo");
+    /// assert_eq!(back.insts(), t.insts());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn read_from<R: Read>(mut reader: R) -> Result<Trace, ReadTraceError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ReadTraceError::BadMagic);
+        }
+        let mut u16b = [0u8; 2];
+        reader.read_exact(&mut u16b)?;
+        let version = u16::from_le_bytes(u16b);
+        if version != VERSION {
+            return Err(ReadTraceError::UnsupportedVersion(version));
+        }
+        reader.read_exact(&mut u16b)?;
+        let name_len = u16::from_le_bytes(u16b) as usize;
+        let mut name = vec![0u8; name_len];
+        reader.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| ReadTraceError::Corrupt("name"))?;
+        let mut u32b = [0u8; 4];
+        reader.read_exact(&mut u32b)?;
+        let input = u32::from_le_bytes(u32b);
+        let mut u64b = [0u8; 8];
+        reader.read_exact(&mut u64b)?;
+        let count = u64::from_le_bytes(u64b);
+
+        let mut trace = Trace::with_capacity(
+            TraceMeta::new(name, input),
+            usize::try_from(count).unwrap_or(0).min(1 << 28),
+        );
+        let mut buf = [0u8; 37];
+        for _ in 0..count {
+            reader.read_exact(&mut buf)?;
+            let branch = match buf[28] {
+                0 => None,
+                code => {
+                    let kind = decode_kind(code & 0x7)?;
+                    let taken = code & 0x8 != 0;
+                    if !taken && kind != BranchKind::Conditional {
+                        return Err(ReadTraceError::Corrupt("unconditional not-taken"));
+                    }
+                    Some(BranchInfo {
+                        kind,
+                        taken,
+                        target: u64::from_le_bytes(buf[29..37].try_into().expect("8 bytes")),
+                    })
+                }
+            };
+            trace.push(RetiredInst {
+                ip: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
+                dst_value: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+                mem_addr: u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")),
+                class: decode_class(buf[24])?,
+                src1: decode_reg(buf[25])?,
+                src2: decode_reg(buf[26])?,
+                dst: decode_reg(buf[27])?,
+                branch,
+            });
+        }
+        Ok(trace)
+    }
+
+    /// Writes the trace to a file at `path` (see [`Trace::write_to`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_to(io::BufWriter::new(file))
+    }
+
+    /// Reads a trace from a file at `path` (see [`Trace::read_from`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] on open/read/decode failure.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Trace, ReadTraceError> {
+        let file = std::fs::File::open(path)?;
+        Trace::read_from(io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(TraceMeta::new("roundtrip", 7));
+        t.push(RetiredInst::op(0x10, InstClass::Alu, Some(Reg::new(1)), None, Some(Reg::new(2)), 42));
+        t.push(RetiredInst::mem(0x14, InstClass::Load, 0x800, Some(Reg::new(2)), None, Some(Reg::new(3)), 9));
+        t.push(RetiredInst::cond_branch(0x18, false, 0x40, Some(3), Some(4)));
+        t.push(RetiredInst::uncond_branch(0x1c, BranchKind::Call, 0x100));
+        t.push(RetiredInst::uncond_branch(0x20, BranchKind::Return, 0x20));
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes).unwrap();
+        let back = Trace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(back.meta(), t.meta());
+        assert_eq!(back.insts(), t.insts());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = Trace::read_from(&b"NOPE0000"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = Vec::new();
+        sample().write_to(&mut bytes).unwrap();
+        bytes[4] = 99; // version low byte
+        let err = Trace::read_from(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut bytes = Vec::new();
+        sample().write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        let err = Trace::read_from(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Io(_)));
+    }
+
+    #[test]
+    fn corrupt_register_is_rejected() {
+        let mut bytes = Vec::new();
+        sample().write_to(&mut bytes).unwrap();
+        // First record's src1 byte: header is 4+2+2+9+4+8 = 29 bytes
+        // ("roundtrip" = 9 chars), record starts at 29, src1 at +25.
+        bytes[29 + 25] = 200;
+        let err = Trace::read_from(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Corrupt("register")));
+    }
+
+    #[test]
+    fn file_save_load_roundtrip() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("bp_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bptr");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(back.insts(), t.insts());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn large_trace_roundtrip() {
+        let mut t = Trace::new(TraceMeta::new("big", 0));
+        for i in 0..10_000u64 {
+            t.push(RetiredInst::cond_branch(0x40 + (i % 64) * 4, i % 3 == 0, 0x80, Some(1), None));
+        }
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes).unwrap();
+        assert_eq!(bytes.len(), 4 + 2 + 2 + 3 + 4 + 8 + 37 * 10_000);
+        let back = Trace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(back.len(), 10_000);
+        assert_eq!(back.insts(), t.insts());
+    }
+}

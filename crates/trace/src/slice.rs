@@ -1,0 +1,172 @@
+//! Fixed-length trace slicing.
+//!
+//! The paper post-processes every 10B-instruction workload trace into
+//! 30M-instruction slices (the default SimPoint granularity) and computes
+//! all per-slice branch statistics over *every* slice. [`SliceConfig`]
+//! captures the slice length; the default scales the methodology down for
+//! laptop-scale traces.
+
+use crate::record::RetiredInst;
+
+/// Configuration for slicing a trace into fixed-length windows.
+///
+/// # Examples
+///
+/// ```
+/// use bp_trace::SliceConfig;
+/// let cfg = SliceConfig::default();
+/// assert_eq!(cfg.len(), SliceConfig::DEFAULT_LEN);
+/// let custom = SliceConfig::new(1_000);
+/// assert_eq!(custom.len(), 1_000);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SliceConfig {
+    len: usize,
+}
+
+#[allow(clippy::len_without_is_empty)] // a length *setting*, not a container
+impl SliceConfig {
+    /// Default slice length (instructions). The paper uses 30M; we default
+    /// to 200K, and the H2P screening thresholds in `bp-analysis` scale
+    /// linearly with this value.
+    pub const DEFAULT_LEN: usize = 200_000;
+
+    /// The paper's slice length, for reference and threshold scaling.
+    pub const PAPER_LEN: usize = 30_000_000;
+
+    /// Creates a slice configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "slice length must be positive");
+        SliceConfig { len }
+    }
+
+    /// Slice length in instructions.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.len
+    }
+
+    /// The ratio of this slice length to the paper's 30M-instruction
+    /// slices, used to scale count thresholds.
+    #[must_use]
+    pub fn paper_scale(self) -> f64 {
+        self.len as f64 / Self::PAPER_LEN as f64
+    }
+}
+
+impl Default for SliceConfig {
+    fn default() -> Self {
+        SliceConfig::new(Self::DEFAULT_LEN)
+    }
+}
+
+/// Iterator over fixed-length instruction slices of a trace.
+///
+/// Produced by [`Trace::slices`](crate::Trace::slices). Full slices are
+/// yielded first; a trailing partial slice is yielded only if it covers at
+/// least half the configured length, so that per-slice statistics remain
+/// comparable across slices.
+#[derive(Clone, Debug)]
+pub struct Slices<'a> {
+    rest: &'a [RetiredInst],
+    len: usize,
+}
+
+impl<'a> Slices<'a> {
+    pub(crate) fn new(insts: &'a [RetiredInst], config: SliceConfig) -> Self {
+        Slices {
+            rest: insts,
+            len: config.len(),
+        }
+    }
+}
+
+impl<'a> Iterator for Slices<'a> {
+    type Item = &'a [RetiredInst];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.len() >= self.len {
+            let (head, tail) = self.rest.split_at(self.len);
+            self.rest = tail;
+            Some(head)
+        } else if self.rest.len() * 2 >= self.len && !self.rest.is_empty() {
+            let head = self.rest;
+            self.rest = &[];
+            Some(head)
+        } else {
+            self.rest = &[];
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let full = self.rest.len() / self.len;
+        let partial = usize::from(self.rest.len() % self.len * 2 >= self.len);
+        let n = full + partial;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Slices<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::InstClass;
+
+    fn insts(n: usize) -> Vec<RetiredInst> {
+        (0..n)
+            .map(|i| RetiredInst::op(i as u64, InstClass::Alu, None, None, None, 0))
+            .collect()
+    }
+
+    #[test]
+    fn exact_division() {
+        let v = insts(100);
+        let s: Vec<_> = Slices::new(&v, SliceConfig::new(25)).collect();
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|sl| sl.len() == 25));
+    }
+
+    #[test]
+    fn large_partial_is_kept() {
+        let v = insts(130);
+        let s: Vec<_> = Slices::new(&v, SliceConfig::new(50)).collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[2].len(), 30); // 30 >= 25 = half of 50
+    }
+
+    #[test]
+    fn small_partial_is_dropped() {
+        let v = insts(120);
+        let s: Vec<_> = Slices::new(&v, SliceConfig::new(50)).collect();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn size_hint_matches() {
+        let v = insts(130);
+        let it = Slices::new(&v, SliceConfig::new(50));
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.count(), 3);
+    }
+
+    #[test]
+    fn paper_scale() {
+        let cfg = SliceConfig::new(SliceConfig::PAPER_LEN);
+        assert!((cfg.paper_scale() - 1.0).abs() < 1e-12);
+        let half = SliceConfig::new(SliceConfig::PAPER_LEN / 2);
+        assert!((half.paper_scale() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_len_panics() {
+        let _ = SliceConfig::new(0);
+    }
+}

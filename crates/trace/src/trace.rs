@@ -1,0 +1,251 @@
+//! In-memory traces of retired instructions.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::isa::BranchKind;
+use crate::record::RetiredInst;
+use crate::slice::{SliceConfig, Slices};
+
+/// Metadata describing how a trace was produced.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TraceMeta {
+    /// Human-readable workload name, e.g. `"641.leela_s"`.
+    pub name: String,
+    /// Application-input index (the paper traces each benchmark over
+    /// multiple inputs; see Table I's "# App. Inputs").
+    pub input: u32,
+}
+
+impl TraceMeta {
+    /// Creates metadata for a named workload and input index.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input: u32) -> Self {
+        TraceMeta {
+            name: name.into(),
+            input,
+        }
+    }
+}
+
+impl fmt::Display for TraceMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.name, self.input)
+    }
+}
+
+/// An in-memory sequence of retired instructions plus metadata.
+///
+/// # Examples
+///
+/// ```
+/// use bp_trace::{RetiredInst, SliceConfig, Trace, TraceMeta};
+///
+/// let mut t = Trace::new(TraceMeta::new("demo", 0));
+/// for i in 0..10 {
+///     t.push(RetiredInst::cond_branch(0x40 + i, i % 2 == 0, 0x100, None, None));
+/// }
+/// assert_eq!(t.len(), 10);
+/// assert_eq!(t.slices(SliceConfig::new(4)).count(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    meta: TraceMeta,
+    insts: Vec<RetiredInst>,
+}
+
+impl Default for TraceMeta {
+    fn default() -> Self {
+        TraceMeta::new("unnamed", 0)
+    }
+}
+
+impl Trace {
+    /// Creates an empty trace with the given metadata.
+    #[must_use]
+    pub fn new(meta: TraceMeta) -> Self {
+        Trace {
+            meta,
+            insts: Vec::new(),
+        }
+    }
+
+    /// Creates an empty trace with capacity reserved for `n` instructions.
+    #[must_use]
+    pub fn with_capacity(meta: TraceMeta, n: usize) -> Self {
+        Trace {
+            meta,
+            insts: Vec::with_capacity(n),
+        }
+    }
+
+    /// The trace metadata.
+    #[must_use]
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Appends a retired instruction.
+    pub fn push(&mut self, inst: RetiredInst) {
+        self.insts.push(inst);
+    }
+
+    /// Number of retired instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the trace contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// All retired instructions, in retirement order.
+    #[must_use]
+    pub fn insts(&self) -> &[RetiredInst] {
+        &self.insts
+    }
+
+    /// Iterates over retired instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, RetiredInst> {
+        self.insts.iter()
+    }
+
+    /// Iterates over conditional branches with their trace positions.
+    pub fn conditional_branches(&self) -> ConditionalBranches<'_> {
+        ConditionalBranches {
+            inner: self.insts.iter().enumerate(),
+        }
+    }
+
+    /// Iterates over fixed-length instruction slices (the paper's
+    /// 30M-instruction slices, scaled by [`SliceConfig`]). A trailing
+    /// partial slice shorter than half the slice length is dropped so
+    /// per-slice statistics stay comparable.
+    #[must_use]
+    pub fn slices(&self, config: SliceConfig) -> Slices<'_> {
+        Slices::new(&self.insts, config)
+    }
+
+    /// Count of dynamic conditional branches.
+    #[must_use]
+    pub fn conditional_branch_count(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| i.is_conditional_branch())
+            .count()
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = RetiredInst;
+
+    fn index(&self, index: usize) -> &RetiredInst {
+        &self.insts[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a RetiredInst;
+    type IntoIter = std::slice::Iter<'a, RetiredInst>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+impl Extend<RetiredInst> for Trace {
+    fn extend<T: IntoIterator<Item = RetiredInst>>(&mut self, iter: T) {
+        self.insts.extend(iter);
+    }
+}
+
+/// A conditional branch observed in a trace, with its position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchView<'a> {
+    /// Index of the branch within the trace's instruction sequence.
+    pub index: usize,
+    /// Static branch IP.
+    pub ip: u64,
+    /// Resolved direction.
+    pub taken: bool,
+    /// Taken target.
+    pub target: u64,
+    /// The full underlying record.
+    pub inst: &'a RetiredInst,
+}
+
+/// Iterator over conditional branches of a trace; see
+/// [`Trace::conditional_branches`].
+#[derive(Clone, Debug)]
+pub struct ConditionalBranches<'a> {
+    inner: std::iter::Enumerate<std::slice::Iter<'a, RetiredInst>>,
+}
+
+impl<'a> Iterator for ConditionalBranches<'a> {
+    type Item = BranchView<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for (index, inst) in self.inner.by_ref() {
+            if let Some(info) = inst.branch {
+                if info.kind == BranchKind::Conditional {
+                    return Some(BranchView {
+                        index,
+                        ip: inst.ip,
+                        taken: info.taken,
+                        target: info.target,
+                        inst,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::InstClass;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(TraceMeta::new("t", 1));
+        t.push(RetiredInst::op(0x1, InstClass::Alu, None, None, None, 0));
+        t.push(RetiredInst::cond_branch(0x2, true, 0x10, Some(1), None));
+        t.push(RetiredInst::uncond_branch(0x3, BranchKind::Call, 0x100));
+        t.push(RetiredInst::cond_branch(0x4, false, 0x20, None, None));
+        t
+    }
+
+    #[test]
+    fn conditional_branches_filters_and_positions() {
+        let t = sample_trace();
+        let brs: Vec<_> = t.conditional_branches().collect();
+        assert_eq!(brs.len(), 2);
+        assert_eq!(brs[0].index, 1);
+        assert_eq!(brs[0].ip, 0x2);
+        assert!(brs[0].taken);
+        assert_eq!(brs[1].index, 3);
+        assert!(!brs[1].taken);
+        assert_eq!(t.conditional_branch_count(), 2);
+    }
+
+    #[test]
+    fn extend_and_index() {
+        let mut t = Trace::new(TraceMeta::default());
+        t.extend(sample_trace().iter().copied());
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[1].ip, 0x2);
+        assert_eq!(t.meta().to_string(), "unnamed#0");
+    }
+
+    #[test]
+    fn empty_trace_behaves() {
+        let t = Trace::new(TraceMeta::default());
+        assert!(t.is_empty());
+        assert_eq!(t.conditional_branches().count(), 0);
+        assert_eq!(t.slices(SliceConfig::new(100)).count(), 0);
+    }
+}

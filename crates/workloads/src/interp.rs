@@ -1,0 +1,428 @@
+//! The program interpreter: executes a [`Program`] and emits a [`Trace`].
+//!
+//! The interpreter is deterministic: the same program, seed, and
+//! instruction budget always produce the same trace. Data memory is
+//! initialized from the seed, which is how distinct "application inputs"
+//! are realized — program structure (and thus every static branch IP) is
+//! shared across inputs while branch dynamics differ.
+
+use bp_trace::{BranchKind, InstClass, Reg, RetiredInst, Trace, TraceMeta, NUM_REGS};
+
+use crate::program::{BlockId, Op, Program, Terminator};
+
+/// A simple xorshift-multiply mixer used to initialize data memory.
+///
+/// Kept dependency-free so `bp-workloads`' determinism does not hinge on
+/// `rand`'s stream stability across versions.
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Executes programs into traces.
+///
+/// # Examples
+///
+/// ```
+/// use bp_workloads::{Interpreter, ProgramBuilder, Op, Terminator};
+/// use bp_trace::{Cond, Reg, TraceMeta};
+///
+/// // A two-block loop: increment r1, branch back while r1 < 5.
+/// let mut b = ProgramBuilder::new();
+/// let head = b.block();
+/// let done = b.block();
+/// b.push(head, Op::AddI { dst: Reg::new(1), a: Reg::new(1), imm: 1 });
+/// b.term(head, Terminator::BrI {
+///     cond: Cond::Lt,
+///     a: Reg::new(1),
+///     imm: 5,
+///     taken: head,
+///     fallthrough: done,
+/// });
+/// b.term(done, Terminator::Halt);
+/// let p = b.finish(head, 8);
+///
+/// let trace = Interpreter::new(&p, 7).run(1_000, TraceMeta::new("loop", 0));
+/// // 5 iterations * (AddI + branch) = 10 retired instructions.
+/// assert_eq!(trace.len(), 10);
+/// assert_eq!(trace.conditional_branch_count(), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    regs: [u64; NUM_REGS],
+    mem: Vec<u64>,
+    stack: Vec<BlockId>,
+    mem_mask: u64,
+}
+
+/// Maximum call-stack depth before `Call` is treated as a halt; guards
+/// against generator bugs producing unbounded recursion.
+const MAX_STACK: usize = 1 << 16;
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter for `program`, initializing data memory from
+    /// `seed`. Registers start at zero.
+    #[must_use]
+    pub fn new(program: &'p Program, seed: u64) -> Self {
+        let words = 1usize << program.mem_words_log2();
+        let mut rng = SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F);
+        let mem = (0..words).map(|_| rng.next()).collect();
+        Interpreter {
+            program,
+            regs: [0; NUM_REGS],
+            mem,
+            stack: Vec::new(),
+            mem_mask: (words - 1) as u64,
+        }
+    }
+
+    fn mem_index(&self, base: u64, offset: u64) -> usize {
+        (base.wrapping_add(offset) & self.mem_mask) as usize
+    }
+
+    fn exec_op(&mut self, ip: u64, op: &Op) -> RetiredInst {
+        let r = |reg: Reg| self.regs[reg.index()];
+        match *op {
+            Op::MovI { dst, imm } => {
+                self.regs[dst.index()] = imm;
+                RetiredInst::op(ip, InstClass::Alu, None, None, Some(dst), imm)
+            }
+            Op::Add { dst, a, b } => {
+                let v = r(a).wrapping_add(r(b));
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Alu, Some(a), Some(b), Some(dst), v)
+            }
+            Op::Sub { dst, a, b } => {
+                let v = r(a).wrapping_sub(r(b));
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Alu, Some(a), Some(b), Some(dst), v)
+            }
+            Op::Mul { dst, a, b } => {
+                let v = r(a).wrapping_mul(r(b));
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Mul, Some(a), Some(b), Some(dst), v)
+            }
+            Op::Xor { dst, a, b } => {
+                let v = r(a) ^ r(b);
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Alu, Some(a), Some(b), Some(dst), v)
+            }
+            Op::And { dst, a, b } => {
+                let v = r(a) & r(b);
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Alu, Some(a), Some(b), Some(dst), v)
+            }
+            Op::Or { dst, a, b } => {
+                let v = r(a) | r(b);
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Alu, Some(a), Some(b), Some(dst), v)
+            }
+            Op::AddI { dst, a, imm } => {
+                let v = r(a).wrapping_add(imm);
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Alu, Some(a), None, Some(dst), v)
+            }
+            Op::MulI { dst, a, imm } => {
+                let v = r(a).wrapping_mul(imm);
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Mul, Some(a), None, Some(dst), v)
+            }
+            Op::AndI { dst, a, imm } => {
+                let v = r(a) & imm;
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Alu, Some(a), None, Some(dst), v)
+            }
+            Op::Rem { dst, a, m } => {
+                let v = r(a) % m;
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Alu, Some(a), None, Some(dst), v)
+            }
+            Op::ShrI { dst, a, sh } => {
+                let v = r(a) >> (sh & 63);
+                self.regs[dst.index()] = v;
+                RetiredInst::op(ip, InstClass::Alu, Some(a), None, Some(dst), v)
+            }
+            Op::Load { dst, base, offset } => {
+                let idx = self.mem_index(r(base), offset);
+                let v = self.mem[idx];
+                self.regs[dst.index()] = v;
+                RetiredInst::mem(
+                    ip,
+                    InstClass::Load,
+                    (idx as u64) << 3,
+                    Some(base),
+                    None,
+                    Some(dst),
+                    v,
+                )
+            }
+            Op::Store { src, base, offset } => {
+                let idx = self.mem_index(r(base), offset);
+                let v = r(src);
+                self.mem[idx] = v;
+                RetiredInst::mem(
+                    ip,
+                    InstClass::Store,
+                    (idx as u64) << 3,
+                    Some(src),
+                    Some(base),
+                    None,
+                    v,
+                )
+            }
+            Op::Nop => RetiredInst::op(ip, InstClass::Nop, None, None, None, 0),
+        }
+    }
+
+    /// Runs the program for up to `max_insts` retired instructions (or
+    /// until it halts) and returns the trace.
+    #[must_use]
+    pub fn run(mut self, max_insts: usize, meta: TraceMeta) -> Trace {
+        let mut trace = Trace::with_capacity(meta, max_insts.min(1 << 24));
+        let mut cur = self.program.entry();
+        'outer: loop {
+            let addr = self.program.block_addr(cur);
+            // Split the borrow: read ops out of the program (immutable)
+            // while mutating machine state.
+            let block = &self.program.blocks()[cur.index()];
+            for (i, op) in block.insts.iter().enumerate() {
+                if trace.len() >= max_insts {
+                    break 'outer;
+                }
+                let rec = self.exec_op(addr + crate::program::INST_BYTES * i as u64, op);
+                trace.push(rec);
+            }
+            if trace.len() >= max_insts {
+                break;
+            }
+            let term_ip = self.program.term_addr(cur);
+            let next = match &block.term {
+                Terminator::Br {
+                    cond,
+                    a,
+                    b,
+                    taken,
+                    fallthrough,
+                } => {
+                    let t = cond.eval(self.regs[a.index()], self.regs[b.index()]);
+                    let target = if t { *taken } else { *fallthrough };
+                    trace.push(RetiredInst::cond_branch(
+                        term_ip,
+                        t,
+                        self.program.block_addr(*taken),
+                        Some(a.index() as u8),
+                        Some(b.index() as u8),
+                    ));
+                    target
+                }
+                Terminator::BrI {
+                    cond,
+                    a,
+                    imm,
+                    taken,
+                    fallthrough,
+                } => {
+                    let t = cond.eval(self.regs[a.index()], *imm);
+                    let target = if t { *taken } else { *fallthrough };
+                    trace.push(RetiredInst::cond_branch(
+                        term_ip,
+                        t,
+                        self.program.block_addr(*taken),
+                        Some(a.index() as u8),
+                        None,
+                    ));
+                    target
+                }
+                Terminator::Jmp(t) => {
+                    trace.push(RetiredInst::uncond_branch(
+                        term_ip,
+                        BranchKind::DirectJump,
+                        self.program.block_addr(*t),
+                    ));
+                    *t
+                }
+                Terminator::Switch { index, targets } => {
+                    let sel = (self.regs[index.index()] % targets.len() as u64) as usize;
+                    let t = targets[sel];
+                    trace.push(RetiredInst {
+                        src1: Some(*index),
+                        ..RetiredInst::uncond_branch(
+                            term_ip,
+                            BranchKind::IndirectJump,
+                            self.program.block_addr(t),
+                        )
+                    });
+                    t
+                }
+                Terminator::Call { callee, ret_to } => {
+                    trace.push(RetiredInst::uncond_branch(
+                        term_ip,
+                        BranchKind::Call,
+                        self.program.block_addr(*callee),
+                    ));
+                    if self.stack.len() >= MAX_STACK {
+                        break 'outer;
+                    }
+                    self.stack.push(*ret_to);
+                    *callee
+                }
+                Terminator::Ret => match self.stack.pop() {
+                    Some(ret) => {
+                        trace.push(RetiredInst::uncond_branch(
+                            term_ip,
+                            BranchKind::Return,
+                            self.program.block_addr(ret),
+                        ));
+                        ret
+                    }
+                    None => break 'outer,
+                },
+                Terminator::Halt => break 'outer,
+            };
+            cur = next;
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use bp_trace::Cond;
+
+    fn reg(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let p = counting_loop(100);
+        let a = Interpreter::new(&p, 42).run(500, TraceMeta::new("a", 0));
+        let b = Interpreter::new(&p, 42).run(500, TraceMeta::new("a", 0));
+        assert_eq!(a.insts(), b.insts());
+    }
+
+    #[test]
+    fn different_seed_changes_memory_data() {
+        // Program loads mem[5] into r1 and halts.
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        b.push(e, Op::Load { dst: reg(1), base: reg(31), offset: 5 });
+        b.term(e, Terminator::Halt);
+        let p = b.finish(e, 8);
+        let t1 = Interpreter::new(&p, 1).run(10, TraceMeta::new("m", 0));
+        let t2 = Interpreter::new(&p, 2).run(10, TraceMeta::new("m", 1));
+        assert_ne!(t1[0].dst_value, t2[0].dst_value);
+        assert_eq!(t1[0].mem_addr, 5 * 8);
+    }
+
+    fn counting_loop(n: u64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let head = b.block();
+        let done = b.block();
+        b.push(head, Op::AddI { dst: reg(1), a: reg(1), imm: 1 });
+        b.term(
+            head,
+            Terminator::BrI {
+                cond: Cond::Lt,
+                a: reg(1),
+                imm: n,
+                taken: head,
+                fallthrough: done,
+            },
+        );
+        b.term(done, Terminator::Halt);
+        b.finish(head, 8)
+    }
+
+    #[test]
+    fn loop_branch_directions() {
+        let p = counting_loop(4);
+        let t = Interpreter::new(&p, 0).run(100, TraceMeta::new("l", 0));
+        let dirs: Vec<bool> = t.conditional_branches().map(|b| b.taken).collect();
+        assert_eq!(dirs, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn budget_stops_execution() {
+        let p = counting_loop(1_000_000);
+        let t = Interpreter::new(&p, 0).run(64, TraceMeta::new("b", 0));
+        assert_eq!(t.len(), 64);
+    }
+
+    #[test]
+    fn call_and_ret_emit_kinds() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        let f = b.block();
+        let r = b.block();
+        b.term(e, Terminator::Call { callee: f, ret_to: r });
+        b.push(f, Op::Nop);
+        b.term(f, Terminator::Ret);
+        b.term(r, Terminator::Halt);
+        let p = b.finish(e, 8);
+        let t = Interpreter::new(&p, 0).run(100, TraceMeta::new("c", 0));
+        let kinds: Vec<_> = t.iter().filter_map(|i| i.branch.map(|b| b.kind)).collect();
+        assert_eq!(kinds, vec![BranchKind::Call, BranchKind::Return]);
+    }
+
+    #[test]
+    fn switch_selects_by_modulo() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        let t0 = b.block();
+        let t1 = b.block();
+        b.push(e, Op::MovI { dst: reg(2), imm: 5 });
+        b.term(e, Terminator::Switch { index: reg(2), targets: vec![t0, t1] });
+        b.push(t0, Op::MovI { dst: reg(3), imm: 100 });
+        b.term(t0, Terminator::Halt);
+        b.push(t1, Op::MovI { dst: reg(3), imm: 200 });
+        b.term(t1, Terminator::Halt);
+        let p = b.finish(e, 8);
+        let t = Interpreter::new(&p, 0).run(100, TraceMeta::new("s", 0));
+        // 5 % 2 == 1 -> t1 -> writes 200.
+        assert_eq!(t.insts().last().unwrap().dst_value, 200);
+        assert_eq!(
+            t.iter().filter_map(|i| i.branch).next().unwrap().kind,
+            BranchKind::IndirectJump
+        );
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        let e = b.block();
+        b.push(e, Op::MovI { dst: reg(1), imm: 0xabcd });
+        b.push(e, Op::Store { src: reg(1), base: reg(31), offset: 9 });
+        b.push(e, Op::Load { dst: reg(2), base: reg(31), offset: 9 });
+        b.term(e, Terminator::Halt);
+        let p = b.finish(e, 8);
+        let t = Interpreter::new(&p, 3).run(10, TraceMeta::new("rw", 0));
+        assert_eq!(t[2].dst_value, 0xabcd);
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+}

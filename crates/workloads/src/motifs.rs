@@ -1,0 +1,695 @@
+//! Branch-behaviour motifs.
+//!
+//! Each motif emits a single-entry/single-exit code region reproducing one
+//! of the branch behaviour classes the paper measures:
+//!
+//! * predictable behaviours — constant-direction chains, fixed-trip loops,
+//!   nested (IMLI-style) loops, iteration-correlated pairs — supply the
+//!   highly-predictable bulk that gives real applications their >0.95
+//!   aggregate accuracy;
+//! * **variable-gap correlated branches** are the paper's systematic H2Ps:
+//!   the outcome is determined by an earlier *dependency branch*, but a
+//!   data-dependent number of noisy branches separates the two, so the
+//!   correlated direction appears at an unstable global-history position
+//!   (§IV-A, Fig. 6) and exact-pattern matchers like TAGE thrash their
+//!   tables learning it;
+//! * **data-dependent branches** are irreducible H2Ps: a fresh pseudo-random
+//!   value decides the direction at a fixed bias;
+//! * **rare pockets** reproduce the LCF rare-branch phenomenon (§III-B): an
+//!   indirect dispatch spreads execution over many pockets of branches with
+//!   per-site biases, so each static branch executes only a handful of
+//!   times per slice.
+//!
+//! Randomness inside a running program comes from loads of seed-initialized
+//! data memory at LCG-derived addresses, so every direction is a pure
+//! function of (program structure, input seed) — fully deterministic and
+//! reproducible.
+
+use bp_trace::{Cond, Reg};
+
+use crate::interp::SplitMix64;
+use crate::program::{BlockId, Op, ProgramBuilder, Terminator};
+
+/// Register conventions used by generated programs.
+pub mod regs {
+    use bp_trace::Reg;
+
+    /// Main LCG state, advanced once per outer-loop iteration.
+    pub const X: Reg = Reg::new(0);
+    /// Outer-loop iteration counter.
+    pub const ITER: Reg = Reg::new(1);
+    /// Current phase index.
+    pub const PHASE: Reg = Reg::new(2);
+    /// Address-computation temporary used by random loads.
+    pub const ADDR: Reg = Reg::new(3);
+    /// First motif scratch register; motifs may use `SCRATCH0..=SCRATCH7`.
+    pub const SCRATCH0: Reg = Reg::new(4);
+    /// Always-zero register (initialized once, never rewritten).
+    pub const ZERO: Reg = Reg::new(31);
+}
+
+/// Specification of a variable-gap correlated H2P region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VarGapSpec {
+    /// Percent chance the dependency branch (and thus the H2P) is taken.
+    pub dep_bias_pct: u8,
+    /// Maximum number of noise-loop iterations between the dependency
+    /// branch and the H2P (the gap is uniform in `1..=gap_max`).
+    pub gap_max: u8,
+    /// Taken-percentage of the noise branches inside the gap.
+    pub noise_bias_pct: u8,
+}
+
+impl Default for VarGapSpec {
+    fn default() -> Self {
+        VarGapSpec {
+            dep_bias_pct: 65,
+            gap_max: 6,
+            noise_bias_pct: 80,
+        }
+    }
+}
+
+/// Specification of one rare-pocket dispatch tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RareTier {
+    /// Number of pockets behind the indirect dispatch. A pocket is visited
+    /// on average once every `pockets` outer-loop iterations.
+    pub pockets: u32,
+    /// Conditional branches per pocket.
+    pub branches_per_pocket: u32,
+    /// Lower bound (inclusive) of per-branch taken-bias percentages.
+    pub bias_min_pct: u8,
+    /// Upper bound (inclusive) of per-branch taken-bias percentages.
+    pub bias_max_pct: u8,
+    /// When true, per-branch biases cluster near the two range ends
+    /// (strongly taken or strongly not-taken): each branch is highly
+    /// predictable *given its own table entry*, but entries shared through
+    /// aliasing mix opposite directions — the capacity effect that makes
+    /// predictor storage matter (§IV-B, Fig. 7).
+    pub polarized: bool,
+}
+
+/// Emits motif code regions into a [`ProgramBuilder`].
+///
+/// Structure randomness (salts, biases) comes from a deterministic stream
+/// derived from the workload name, so program structure is identical across
+/// application inputs.
+#[derive(Debug)]
+pub struct Emitter<'b> {
+    builder: &'b mut ProgramBuilder,
+    rng: SplitMix64,
+}
+
+impl<'b> Emitter<'b> {
+    /// Creates an emitter over `builder` with structure seed `seed`.
+    pub fn new(builder: &'b mut ProgramBuilder, seed: u64) -> Self {
+        Emitter {
+            builder,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Access to the underlying builder.
+    pub fn builder(&mut self) -> &mut ProgramBuilder {
+        self.builder
+    }
+
+    fn salt(&mut self) -> u64 {
+        self.rng.next()
+    }
+
+    fn rand_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.rng.next() % (hi - lo + 1)
+    }
+
+    /// Emits `y = mem[(X + salt) mod memsize]` into `block`, leaving the
+    /// loaded value in `dst`, plus a little ALU filler so generated code
+    /// has a realistic (~18%) branch density rather than one branch every
+    /// three instructions. Each call uses a fresh salt, giving an
+    /// independent pseudo-random stream per call site.
+    fn rand_load(&mut self, block: BlockId, dst: Reg) {
+        let salt = self.salt();
+        self.builder.push(
+            block,
+            Op::AddI {
+                dst: regs::ADDR,
+                a: regs::X,
+                imm: salt,
+            },
+        );
+        self.builder.push(
+            block,
+            Op::Load {
+                dst,
+                base: regs::ADDR,
+                offset: 0,
+            },
+        );
+        // Filler: dependent but dead-end ALU work (r13/r14 are reserved
+        // for this; no motif reads them).
+        let f0 = Reg::new(13);
+        let f1 = Reg::new(14);
+        self.builder.push(block, Op::Add { dst: f0, a: dst, b: regs::ITER });
+        self.builder.push(block, Op::ShrI { dst: f1, a: f0, sh: 3 });
+        self.builder.push(block, Op::Xor { dst: f0, a: f1, b: regs::X });
+    }
+
+    /// A serial pointer-chase: `hops` dependent loads through data memory
+    /// per visit. This is the workload's memory-level serial backbone —
+    /// the reason pipeline-capacity scaling saturates even under perfect
+    /// branch prediction (the paper's Fig. 1 ceiling).
+    pub fn pointer_chase(&mut self, hops: u32, next: BlockId) -> BlockId {
+        assert!(hops > 0, "need at least one hop");
+        let ptr = Reg::new(15);
+        let blk = self.builder.block();
+        let salt = self.salt();
+        // Re-seed the chase pointer from X each visit: the chase is serial
+        // *within* an iteration but independent *across* iterations, so
+        // memory-level parallelism grows with the instruction window —
+        // which is what pipeline-capacity scaling buys (Fig. 1).
+        self.builder.push(blk, Op::Or { dst: ptr, a: regs::X, b: regs::ZERO });
+        for _ in 0..hops {
+            self.builder.push(blk, Op::Load { dst: ptr, base: ptr, offset: salt });
+        }
+        self.builder.term(blk, Terminator::Jmp(next));
+        blk
+    }
+
+    /// Emits a "stat branch" whose both edges converge on `next`: the
+    /// direction is recorded in the trace but control always continues at
+    /// `next`. `pct_reg` must hold a value in `0..100`; the branch is taken
+    /// iff `pct_reg < bias_pct`.
+    fn pct_branch(&mut self, block: BlockId, pct_reg: Reg, bias_pct: u8, next: BlockId) {
+        self.builder.term(
+            block,
+            Terminator::BrI {
+                cond: Cond::Lt,
+                a: pct_reg,
+                imm: u64::from(bias_pct),
+                taken: next,
+                fallthrough: next,
+            },
+        );
+    }
+
+    /// Chain of `count` constant-direction branches (alternating
+    /// always-taken / never-taken), each in its own block with a little
+    /// ALU filler. Returns the entry block.
+    pub fn constant_chain(&mut self, count: u32, next: BlockId) -> BlockId {
+        let mut target = next;
+        for i in 0..count {
+            let blk = self.builder.block();
+            self.builder.push(
+                blk,
+                Op::AddI {
+                    dst: regs::SCRATCH0,
+                    a: regs::ITER,
+                    imm: u64::from(i),
+                },
+            );
+            self.builder.push(
+                blk,
+                Op::Mul { dst: Reg::new(13), a: regs::SCRATCH0, b: regs::SCRATCH0 },
+            );
+            self.builder.push(
+                blk,
+                Op::ShrI { dst: Reg::new(14), a: Reg::new(13), sh: 2 },
+            );
+            self.builder.push(
+                blk,
+                Op::Xor { dst: Reg::new(13), a: Reg::new(14), b: regs::X },
+            );
+            // ZERO >= 0 is always true; ZERO < 0 never is.
+            let cond = if i % 2 == 0 { Cond::Ge } else { Cond::Lt };
+            self.builder.term(
+                blk,
+                Terminator::BrI {
+                    cond,
+                    a: regs::ZERO,
+                    imm: 0,
+                    taken: target,
+                    fallthrough: target,
+                },
+            );
+            target = blk;
+        }
+        target
+    }
+
+    /// A fixed-trip-count counted loop with a small ALU/memory body. The
+    /// back edge is taken `trip - 1` times then falls through — predictable
+    /// for any loop-capable predictor once the trip count is learned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip` is zero.
+    pub fn fixed_loop(&mut self, trip: u32, next: BlockId) -> BlockId {
+        assert!(trip > 0, "loop trip count must be positive");
+        let pre = self.builder.block();
+        let head = self.builder.block();
+        let ctr = regs::SCRATCH0;
+        let acc = Reg::new(5);
+        self.builder.push(pre, Op::MovI { dst: ctr, imm: 0 });
+        self.builder.term(pre, Terminator::Jmp(head));
+        self.builder.push(
+            head,
+            Op::Add {
+                dst: acc,
+                a: acc,
+                b: regs::X,
+            },
+        );
+        self.builder.push(
+            head,
+            Op::ShrI {
+                dst: acc,
+                a: acc,
+                sh: 1,
+            },
+        );
+        self.builder.push(head, Op::Add { dst: Reg::new(13), a: acc, b: ctr });
+        self.builder.push(head, Op::AndI { dst: Reg::new(14), a: Reg::new(13), imm: 0xff });
+        self.builder.push(head, Op::AddI { dst: ctr, a: ctr, imm: 1 });
+        self.builder.term(
+            head,
+            Terminator::BrI {
+                cond: Cond::Lt,
+                a: ctr,
+                imm: u64::from(trip),
+                taken: head,
+                fallthrough: next,
+            },
+        );
+        pre
+    }
+
+    /// Nested counted loops where an extra branch fires only on the last
+    /// inner iteration — the behaviour IMLI-style predictors target.
+    pub fn nested_imli(&mut self, outer: u32, inner: u32, next: BlockId) -> BlockId {
+        assert!(outer > 0 && inner > 0, "nest trip counts must be positive");
+        let o_ctr = Reg::new(6);
+        let i_ctr = Reg::new(7);
+        let pre = self.builder.block();
+        let o_head = self.builder.block();
+        let i_head = self.builder.block();
+        let i_last = self.builder.block();
+        let o_latch = self.builder.block();
+        self.builder.push(pre, Op::MovI { dst: o_ctr, imm: 0 });
+        self.builder.term(pre, Terminator::Jmp(o_head));
+        self.builder.push(o_head, Op::MovI { dst: i_ctr, imm: 0 });
+        self.builder.term(o_head, Terminator::Jmp(i_head));
+        // Inner body: one ALU op, the "last iteration?" stat branch, latch.
+        self.builder.push(
+            i_head,
+            Op::Xor {
+                dst: regs::SCRATCH0,
+                a: regs::X,
+                b: i_ctr,
+            },
+        );
+        self.builder.push(
+            i_head,
+            Op::Mul { dst: Reg::new(13), a: regs::SCRATCH0, b: i_ctr },
+        );
+        self.builder.push(
+            i_head,
+            Op::ShrI { dst: Reg::new(14), a: Reg::new(13), sh: 1 },
+        );
+        self.builder.term(
+            i_head,
+            Terminator::BrI {
+                cond: Cond::Eq,
+                a: i_ctr,
+                imm: u64::from(inner - 1),
+                taken: i_last,
+                fallthrough: i_last,
+            },
+        );
+        self.builder.push(i_last, Op::AddI { dst: i_ctr, a: i_ctr, imm: 1 });
+        self.builder.term(
+            i_last,
+            Terminator::BrI {
+                cond: Cond::Lt,
+                a: i_ctr,
+                imm: u64::from(inner),
+                taken: i_head,
+                fallthrough: o_latch,
+            },
+        );
+        self.builder.push(o_latch, Op::AddI { dst: o_ctr, a: o_ctr, imm: 1 });
+        self.builder.term(
+            o_latch,
+            Terminator::BrI {
+                cond: Cond::Lt,
+                a: o_ctr,
+                imm: u64::from(outer),
+                taken: o_head,
+                fallthrough: next,
+            },
+        );
+        pre
+    }
+
+    /// Two branches whose outcomes are both `(ITER >> shift) & 1` — the
+    /// second is perfectly correlated with the first at a short, fixed
+    /// history distance, so history-based predictors learn it quickly.
+    pub fn correlated_pair(&mut self, shift: u32, next: BlockId) -> BlockId {
+        let bit = regs::SCRATCH0;
+        let b1 = self.builder.block();
+        let mid = self.builder.block();
+        let b2 = self.builder.block();
+        self.builder.push(b1, Op::ShrI { dst: bit, a: regs::ITER, sh: shift });
+        self.builder.push(b1, Op::AndI { dst: bit, a: bit, imm: 1 });
+        self.builder.term(
+            b1,
+            Terminator::BrI {
+                cond: Cond::Eq,
+                a: bit,
+                imm: 1,
+                taken: mid,
+                fallthrough: mid,
+            },
+        );
+        self.builder.push(mid, Op::AddI { dst: Reg::new(5), a: bit, imm: 3 });
+        self.builder.push(
+            mid,
+            Op::Mul {
+                dst: Reg::new(5),
+                a: Reg::new(5),
+                b: Reg::new(5),
+            },
+        );
+        self.builder.term(mid, Terminator::Jmp(b2));
+        self.builder.term(
+            b2,
+            Terminator::BrI {
+                cond: Cond::Eq,
+                a: bit,
+                imm: 1,
+                taken: next,
+                fallthrough: next,
+            },
+        );
+        b1
+    }
+
+    /// An irreducible data-dependent H2P: a fresh pseudo-random percentage
+    /// decides the direction at `taken_pct` bias, uncorrelated with any
+    /// history. Best achievable accuracy is `max(p, 1-p)`.
+    pub fn data_dep_h2p(&mut self, taken_pct: u8, next: BlockId) -> BlockId {
+        let blk = self.builder.block();
+        let y = regs::SCRATCH0;
+        let pct = Reg::new(5);
+        self.rand_load(blk, y);
+        self.builder.push(blk, Op::Rem { dst: pct, a: y, m: 100 });
+        self.pct_branch(blk, pct, taken_pct, next);
+        self.builder.annotate(blk, "dd-h2p");
+        blk
+    }
+
+    /// The paper's systematic H2P: a *dependency branch* `D` resolves a
+    /// biased pseudo-random condition; a data-dependent number of noisy
+    /// loop iterations then separates `D` from the H2P, which branches on
+    /// the *same* condition value. The H2P is exactly predictable from
+    /// `D`'s outcome, but that outcome sits at an unstable history
+    /// position surrounded by noise — defeating exact-pattern matching
+    /// while remaining learnable by position-tolerant models.
+    ///
+    /// Returns the entry block, and reports the H2P's block so callers can
+    /// recover its IP after `finish`.
+    pub fn var_gap_h2p(&mut self, spec: VarGapSpec, next: BlockId) -> (BlockId, BlockId) {
+        assert!(spec.gap_max > 0, "gap_max must be positive");
+        let y = regs::SCRATCH0;
+        let pct = Reg::new(5); // survives the gap loop
+        let y2 = Reg::new(7);
+        let gap = Reg::new(8);
+        let gctr = Reg::new(9);
+        let noise = Reg::new(10);
+        let npct = Reg::new(11);
+
+        let entry = self.builder.block();
+        let gap_pre = self.builder.block();
+        let gap_head = self.builder.block();
+        let gap_latch = self.builder.block();
+        let h2p_blk = self.builder.block();
+
+        // Dependency branch D on `pct < dep_bias`.
+        self.rand_load(entry, y);
+        self.builder.push(entry, Op::Rem { dst: pct, a: y, m: 100 });
+        self.pct_branch(entry, pct, spec.dep_bias_pct, gap_pre);
+
+        // Gap setup: t = 1 + (y2 % gap_max).
+        self.rand_load(gap_pre, y2);
+        self.builder.push(gap_pre, Op::Rem { dst: gap, a: y2, m: u64::from(spec.gap_max) });
+        self.builder.push(gap_pre, Op::AddI { dst: gap, a: gap, imm: 1 });
+        self.builder.push(gap_pre, Op::MovI { dst: gctr, imm: 0 });
+        self.builder.term(gap_pre, Terminator::Jmp(gap_head));
+
+        // Noise body: per-iteration fresh random biased branch.
+        self.builder.push(gap_head, Op::Add { dst: regs::ADDR, a: regs::X, b: gctr });
+        let salt = self.salt();
+        self.builder.push(gap_head, Op::Load { dst: noise, base: regs::ADDR, offset: salt });
+        self.builder.push(gap_head, Op::Rem { dst: npct, a: noise, m: 100 });
+        self.pct_branch(gap_head, npct, spec.noise_bias_pct, gap_latch);
+
+        self.builder.push(gap_latch, Op::AddI { dst: gctr, a: gctr, imm: 1 });
+        self.builder.term(
+            gap_latch,
+            Terminator::Br {
+                cond: Cond::Lt,
+                a: gctr,
+                b: gap,
+                taken: gap_head,
+                fallthrough: h2p_blk,
+            },
+        );
+
+        // The H2P itself: same condition value as D.
+        self.builder.annotate(entry, "vg-dep");
+        self.builder.annotate(h2p_blk, "vg-h2p");
+        self.builder.push(h2p_blk, Op::Or { dst: Reg::new(12), a: pct, b: regs::ZERO });
+        self.builder.term(
+            h2p_blk,
+            Terminator::BrI {
+                cond: Cond::Lt,
+                a: Reg::new(12),
+                imm: u64::from(spec.dep_bias_pct),
+                taken: next,
+                fallthrough: next,
+            },
+        );
+        (entry, h2p_blk)
+    }
+
+    /// One rare-pocket tier: an indirect dispatch over `tier.pockets`
+    /// pockets, each containing `tier.branches_per_pocket` biased
+    /// stat branches. Per-branch biases are fixed at build time, uniform in
+    /// `bias_min_pct..=bias_max_pct`.
+    pub fn rare_tier(&mut self, tier: RareTier, next: BlockId) -> BlockId {
+        assert!(tier.pockets > 0 && tier.branches_per_pocket > 0);
+        assert!(tier.bias_min_pct <= tier.bias_max_pct && tier.bias_max_pct <= 100);
+        let sel = regs::SCRATCH0;
+        let entry = self.builder.block();
+        self.rand_load(entry, sel);
+
+        let mut targets = Vec::with_capacity(tier.pockets as usize);
+        for _ in 0..tier.pockets {
+            // Pocket = chain of stat-branch blocks ending at `next`.
+            let mut target = next;
+            for _ in 0..tier.branches_per_pocket {
+                let blk = self.builder.block();
+                let y = Reg::new(5);
+                let pct = Reg::new(6);
+                self.rand_load(blk, y);
+                self.builder.push(blk, Op::Rem { dst: pct, a: y, m: 100 });
+                let (lo, hi) = (u64::from(tier.bias_min_pct), u64::from(tier.bias_max_pct));
+                let bias = if tier.polarized {
+                    let span = (hi - lo).min(16) / 2;
+                    if self.rng.next().is_multiple_of(2) {
+                        self.rand_in(lo, lo + span)
+                    } else {
+                        self.rand_in(hi - span, hi)
+                    }
+                } else {
+                    self.rand_in(lo, hi)
+                };
+                self.pct_branch(blk, pct, bias as u8, target);
+                target = blk;
+            }
+            targets.push(target);
+        }
+        self.builder.term(entry, Terminator::Switch { index: sel, targets });
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::program::ProgramBuilder;
+    use bp_trace::TraceMeta;
+
+    /// Wraps a motif in a driver loop: init regs, then per iteration update
+    /// X and run the motif, looping forever.
+    fn run_motif(
+        emit: impl FnOnce(&mut Emitter<'_>, BlockId) -> BlockId,
+        len: usize,
+        seed: u64,
+    ) -> bp_trace::Trace {
+        let mut b = ProgramBuilder::new();
+        let init = b.block();
+        let head = b.block();
+        let tail = b.block();
+        let mut e = Emitter::new(&mut b, 99);
+        let entry = emit(&mut e, tail);
+        b.push(init, Op::MovI { dst: regs::X, imm: 0x1234_5678 });
+        b.term(init, Terminator::Jmp(head));
+        b.push(head, Op::AddI { dst: regs::ITER, a: regs::ITER, imm: 1 });
+        b.push(head, Op::MulI { dst: regs::X, a: regs::X, imm: 6364136223846793005 });
+        b.push(head, Op::AddI { dst: regs::X, a: regs::X, imm: 1442695040888963407 });
+        b.term(head, Terminator::Jmp(entry));
+        b.term(tail, Terminator::Jmp(head));
+        let p = b.finish(init, 12);
+        Interpreter::new(&p, seed).run(len, TraceMeta::new("motif", 0))
+    }
+
+    fn taken_rate(trace: &bp_trace::Trace, ip: Option<u64>) -> f64 {
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for br in trace.conditional_branches() {
+            if ip.is_none_or(|x| x == br.ip) {
+                total += 1;
+                taken += u64::from(br.taken);
+            }
+        }
+        taken as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn constant_chain_directions_alternate() {
+        let t = run_motif(|e, next| e.constant_chain(4, next), 2_000, 1);
+        // Collect per-IP taken rates; each must be exactly 0.0 or 1.0.
+        let mut ips: std::collections::HashMap<u64, (u64, u64)> = Default::default();
+        for br in t.conditional_branches() {
+            let e = ips.entry(br.ip).or_default();
+            e.0 += u64::from(br.taken);
+            e.1 += 1;
+        }
+        assert_eq!(ips.len(), 4);
+        for (_, (tk, tot)) in ips {
+            assert!(tk == 0 || tk == tot);
+        }
+    }
+
+    #[test]
+    fn fixed_loop_backedge_rate() {
+        let t = run_motif(|e, next| e.fixed_loop(10, next), 5_000, 2);
+        // Loop back edge taken 9/10 of the time.
+        let mut per_ip: std::collections::HashMap<u64, (u64, u64)> = Default::default();
+        for br in t.conditional_branches() {
+            let e = per_ip.entry(br.ip).or_default();
+            e.0 += u64::from(br.taken);
+            e.1 += 1;
+        }
+        let (&_ip, &(tk, tot)) = per_ip.iter().max_by_key(|(_, (_, tot))| *tot).unwrap();
+        let rate = tk as f64 / tot as f64;
+        assert!((rate - 0.9).abs() < 0.02, "back-edge rate {rate}");
+    }
+
+    #[test]
+    fn data_dep_h2p_hits_bias() {
+        let t = run_motif(|e, next| e.data_dep_h2p(70, next), 30_000, 3);
+        // There is exactly one conditional IP in the motif itself; overall
+        // rate is dominated by it (driver adds none).
+        let rate = taken_rate(&t, None);
+        assert!((rate - 0.70).abs() < 0.04, "rate {rate}");
+    }
+
+    #[test]
+    fn var_gap_h2p_matches_dependency_outcome() {
+        let mut b = ProgramBuilder::new();
+        let init = b.block();
+        let head = b.block();
+        let tail = b.block();
+        let mut e = Emitter::new(&mut b, 7);
+        let (entry, h2p_blk) = e.var_gap_h2p(VarGapSpec::default(), tail);
+        b.push(init, Op::MovI { dst: regs::X, imm: 42 });
+        b.term(init, Terminator::Jmp(head));
+        b.push(head, Op::MulI { dst: regs::X, a: regs::X, imm: 6364136223846793005 });
+        b.push(head, Op::AddI { dst: regs::X, a: regs::X, imm: 1442695040888963407 });
+        b.term(head, Terminator::Jmp(entry));
+        b.term(tail, Terminator::Jmp(head));
+        let p = b.finish(init, 12);
+        let h2p_ip = p.term_addr(h2p_blk);
+        let d_ip = p.term_addr(entry);
+        let t = Interpreter::new(&p, 11).run(50_000, TraceMeta::new("vg", 0));
+
+        // Every dynamic H2P execution must match the immediately preceding
+        // dependency-branch outcome.
+        let mut last_d = None;
+        let mut pairs = 0;
+        for br in t.conditional_branches() {
+            if br.ip == d_ip {
+                last_d = Some(br.taken);
+            } else if br.ip == h2p_ip {
+                assert_eq!(Some(br.taken), last_d, "H2P must mirror D");
+                pairs += 1;
+            }
+        }
+        assert!(pairs > 100, "expected many D/H2P pairs, got {pairs}");
+    }
+
+    #[test]
+    fn rare_tier_spreads_execution() {
+        let tier = RareTier {
+            pockets: 64,
+            branches_per_pocket: 2,
+            bias_min_pct: 10,
+            bias_max_pct: 90,
+            polarized: false,
+        };
+        let t = run_motif(|e, next| e.rare_tier(tier, next), 60_000, 5);
+        let mut ips: std::collections::HashSet<u64> = Default::default();
+        let mut count = 0u64;
+        for br in t.conditional_branches() {
+            ips.insert(br.ip);
+            count += 1;
+        }
+        // Many distinct static IPs, each executing only a few times.
+        assert!(ips.len() > 80, "observed {} static IPs", ips.len());
+        let avg = count as f64 / ips.len() as f64;
+        assert!(avg < 60.0, "avg execs per static branch {avg}");
+    }
+
+    #[test]
+    fn correlated_pair_is_deterministic_from_iter() {
+        let t = run_motif(|e, next| e.correlated_pair(1, next), 4_000, 9);
+        let brs: Vec<_> = t.conditional_branches().collect();
+        // Branches come in (B1, B2) pairs with identical outcomes.
+        for pair in brs.chunks(2) {
+            if pair.len() == 2 {
+                assert_eq!(pair[0].taken, pair[1].taken);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_imli_last_iteration_branch() {
+        let t = run_motif(|e, next| e.nested_imli(3, 5, next), 10_000, 13);
+        // Find the "last inner iteration" branch: taken exactly 1/5 of the
+        // time.
+        let mut per_ip: std::collections::HashMap<u64, (u64, u64)> = Default::default();
+        for br in t.conditional_branches() {
+            let e = per_ip.entry(br.ip).or_default();
+            e.0 += u64::from(br.taken);
+            e.1 += 1;
+        }
+        let found = per_ip.values().any(|&(tk, tot)| {
+            tot > 100 && (tk as f64 / tot as f64 - 0.2).abs() < 0.02
+        });
+        assert!(found, "no 1-in-5 branch found: {per_ip:?}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: generate a workload, run TAGE-SC-L over it, and measure
+//! both prediction accuracy and the IPC cost of the remaining
+//! mispredictions.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use branch_lab::core::{f3, Table};
+use branch_lab::pipeline::{run, PipelineConfig};
+use branch_lab::predictors::{measure, GShare, PerfectPredictor, TageScL};
+use branch_lab::workloads::specint_suite;
+
+fn main() {
+    // Pick the leela-like benchmark — the least predictable of the
+    // SPECint-like suite (Table I: 0.880 under TAGE-SC-L 8KB).
+    let spec = &specint_suite()[6];
+    println!("workload: {} ({} inputs declared)", spec.name, spec.inputs);
+
+    let trace = spec.trace(0, 400_000);
+    println!(
+        "traced {} instructions, {} conditional branches, {} static branch sites",
+        trace.len(),
+        trace.conditional_branch_count(),
+        spec.program().static_cond_branch_count(),
+    );
+
+    // Compare predictors on accuracy and on IPC.
+    let cfg = PipelineConfig::skylake();
+    let mut table = Table::new(vec!["predictor", "accuracy", "mpki", "ipc @1x", "ipc @8x"]);
+    let mut add = |name: &str, acc: f64, mpki: f64, ipc1: f64, ipc8: f64| {
+        table.row(vec![
+            name.to_owned(),
+            f3(acc),
+            format!("{mpki:.2}"),
+            f3(ipc1),
+            f3(ipc8),
+        ]);
+    };
+
+    let mut gshare = GShare::new(13, 16);
+    let acc = measure(&mut gshare, &trace);
+    let mut gshare = GShare::new(13, 16);
+    let s1 = run(&trace, &mut gshare, &cfg);
+    let mut gshare = GShare::new(13, 16);
+    let s8 = run(&trace, &mut gshare, &cfg.scaled(8));
+    add("gshare", acc.accuracy(), acc.mpki(trace.len() as u64), s1.ipc(), s8.ipc());
+
+    let acc = measure(&mut TageScL::kb8(), &trace);
+    let s1 = run(&trace, &mut TageScL::kb8(), &cfg);
+    let s8 = run(&trace, &mut TageScL::kb8(), &cfg.scaled(8));
+    add("tage-sc-l-8kb", acc.accuracy(), acc.mpki(trace.len() as u64), s1.ipc(), s8.ipc());
+
+    let s1 = run(&trace, &mut PerfectPredictor, &cfg);
+    let s8 = run(&trace, &mut PerfectPredictor, &cfg.scaled(8));
+    add("perfect", 1.0, 0.0, s1.ipc(), s8.ipc());
+
+    print!("{}", table.render());
+    println!(
+        "\nThe gap between tage-sc-l-8kb and perfect is the paper's \"IPC opportunity\" —\n\
+         note how it widens as the pipeline scales from 1x to 8x (Fig. 1)."
+    );
+}

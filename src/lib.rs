@@ -1,0 +1,49 @@
+//! # branch-lab
+//!
+//! A full-stack reproduction of *"Branch Prediction Is Not A Solved Problem:
+//! Measurements, Opportunities, and Future Directions"* (Lin & Tarsa,
+//! IISWC 2019).
+//!
+//! This façade crate re-exports the workspace crates so applications can
+//! depend on a single entry point:
+//!
+//! * [`trace`] — the instruction/trace substrate ([`bp_trace`]).
+//! * [`workloads`] — synthetic benchmark generation ([`bp_workloads`]).
+//! * [`predictors`] — TAGE-SC-L and baseline predictors ([`bp_predictors`]).
+//! * [`pipeline`] — the out-of-order IPC timing model ([`bp_pipeline`]).
+//! * [`analysis`] — H2P / rare-branch characterization ([`bp_analysis`]).
+//! * [`helpers`] — offline-trained helper predictors ([`bp_helpers`]).
+//! * [`core`] — dataset construction and experiment running ([`bp_core`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use branch_lab::workloads::{specint_suite, WorkloadSpec};
+//! use branch_lab::predictors::{Predictor, TageScL, TageSclConfig};
+//!
+//! // Generate a small trace for the `leela`-like benchmark and measure
+//! // TAGE-SC-L 8KB accuracy over it.
+//! let spec = &specint_suite()[6];
+//! let trace = spec.trace(0, 50_000);
+//! let mut bpu = TageScL::new(TageSclConfig::storage_kb(8));
+//! let mut correct = 0u64;
+//! let mut total = 0u64;
+//! for b in trace.conditional_branches() {
+//!     let pred = bpu.predict(b.ip);
+//!     bpu.update(b.ip, b.taken, pred);
+//!     total += 1;
+//!     if pred == b.taken {
+//!         correct += 1;
+//!     }
+//! }
+//! assert!(total > 0);
+//! assert!(correct as f64 / total as f64 > 0.5);
+//! ```
+
+pub use bp_analysis as analysis;
+pub use bp_core as core;
+pub use bp_helpers as helpers;
+pub use bp_pipeline as pipeline;
+pub use bp_predictors as predictors;
+pub use bp_trace as trace;
+pub use bp_workloads as workloads;

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: trace generation → prediction →
+//! analysis → timing, exercised through the `branch_lab` façade.
+
+use branch_lab::analysis::{BranchProfile, H2pCriteria};
+use branch_lab::pipeline::{run, simulate, PipelineConfig};
+use branch_lab::predictors::{
+    measure, misprediction_flags, Bimodal, GShare, Perceptron, PerfectPredictor, PerfectSetOracle,
+    Ppm, PpmConfig, Predictor, TageScL, TwoLevelLocal,
+};
+use branch_lab::trace::SliceConfig;
+use branch_lab::workloads::{lcf_suite, specint_suite};
+
+const LEN: usize = 60_000;
+
+#[test]
+fn every_workload_flows_through_the_full_stack() {
+    for spec in specint_suite().iter().chain(lcf_suite().iter()) {
+        let trace = spec.trace(0, LEN);
+        assert_eq!(trace.len(), LEN, "{}", spec.name);
+        let mut bpu = TageScL::kb8();
+        let flags = misprediction_flags(&mut bpu, &trace);
+        assert_eq!(flags.len(), trace.conditional_branch_count());
+        let stats = simulate(&trace, &flags, &PipelineConfig::skylake());
+        assert!(stats.ipc() > 0.05, "{}: ipc {}", spec.name, stats.ipc());
+        assert!(stats.ipc() < 4.0, "{}: ipc {}", spec.name, stats.ipc());
+    }
+}
+
+#[test]
+fn predictor_hierarchy_is_ordered_on_a_predictable_suite() {
+    // On the highly-predictable xalancbmk-like workload, the predictor
+    // generations should order: bimodal < gshare <= tage-sc-l < perfect.
+    let spec = &specint_suite()[3];
+    let trace = spec.trace(0, LEN);
+    let bimodal = measure(&mut Bimodal::new(12), &trace).accuracy();
+    let gshare = measure(&mut GShare::new(13, 12), &trace).accuracy();
+    let local = measure(&mut TwoLevelLocal::new(11, 10), &trace).accuracy();
+    let perceptron = measure(&mut Perceptron::new(10, 32), &trace).accuracy();
+    let ppm = measure(&mut Ppm::new(PpmConfig::default()), &trace).accuracy();
+    let tage = measure(&mut TageScL::kb8(), &trace).accuracy();
+    assert!(bimodal < tage, "bimodal {bimodal} vs tage {tage}");
+    assert!(gshare <= tage + 0.005, "gshare {gshare} vs tage {tage}");
+    assert!(ppm <= tage + 0.01, "ppm {ppm} vs tage {tage}");
+    assert!(local < 1.0 && perceptron < 1.0);
+    assert!(tage > 0.95, "tage accuracy {tage}");
+}
+
+#[test]
+fn perfect_h2p_oracle_sits_between_tage_and_perfect() {
+    let spec = &specint_suite()[1]; // mcf-like
+    let trace = spec.trace(0, LEN);
+    let slice = SliceConfig::new(20_000);
+    let mut screen = TageScL::kb8();
+    let criteria = H2pCriteria::paper();
+    let mut h2ps = std::collections::HashSet::new();
+    for s in trace.slices(slice) {
+        let p = BranchProfile::collect(&mut screen, s);
+        h2ps.extend(criteria.screen(&p, slice));
+    }
+    assert!(!h2ps.is_empty(), "mcf-like must have H2Ps");
+
+    let cfg = PipelineConfig::skylake();
+    let tage = run(&trace, &mut TageScL::kb8(), &cfg).ipc();
+    let mut oracle = PerfectSetOracle::new(TageScL::kb8(), h2ps);
+    let h2p_fixed = run(&trace, &mut oracle, &cfg).ipc();
+    let perfect = run(&trace, &mut PerfectPredictor, &cfg).ipc();
+    assert!(
+        tage < h2p_fixed && h2p_fixed <= perfect + 1e-9,
+        "ordering violated: {tage} {h2p_fixed} {perfect}"
+    );
+    // H2Ps account for a substantial share of mcf-like's opportunity.
+    let share = (h2p_fixed - tage) / (perfect - tage);
+    assert!(share > 0.3, "H2P share {share}");
+}
+
+#[test]
+fn misprediction_flags_match_measure_counts() {
+    let spec = &specint_suite()[6];
+    let trace = spec.trace(0, LEN);
+    let stats = measure(&mut TageScL::kb8(), &trace);
+    let flags = misprediction_flags(&mut TageScL::kb8(), &trace);
+    let wrong = flags.iter().filter(|&&f| f).count() as u64;
+    assert_eq!(stats.total - stats.correct, wrong);
+}
+
+#[test]
+fn pipeline_scaling_helps_perfect_more_than_tage() {
+    let spec = &specint_suite()[8]; // xz-like
+    let trace = spec.trace(0, LEN);
+    let base = PipelineConfig::skylake();
+    let big = base.scaled(8);
+    let tage_gain = {
+        let a = run(&trace, &mut TageScL::kb8(), &base).ipc();
+        let b = run(&trace, &mut TageScL::kb8(), &big).ipc();
+        b / a
+    };
+    let perfect_gain = {
+        let a = run(&trace, &mut PerfectPredictor, &base).ipc();
+        let b = run(&trace, &mut PerfectPredictor, &big).ipc();
+        b / a
+    };
+    assert!(
+        perfect_gain > tage_gain,
+        "perfect {perfect_gain:.2}x vs tage {tage_gain:.2}x"
+    );
+}
+
+#[test]
+fn storage_budgets_report_consistent_bits() {
+    use branch_lab::predictors::TageSclConfig;
+    let mut last = 0usize;
+    for kb in TageSclConfig::STORAGE_POINTS_KB {
+        let p = TageScL::new(TageSclConfig::storage_kb(kb));
+        let bits = p.storage_bits();
+        assert!(bits > last, "storage must grow with budget");
+        last = bits;
+    }
+}
+
+#[test]
+fn traces_are_deterministic_across_the_facade() {
+    let spec = &lcf_suite()[0];
+    let a = spec.trace(0, 20_000);
+    let b = spec.trace(0, 20_000);
+    assert_eq!(a.insts(), b.insts());
+    // And predictions over them too.
+    let fa = misprediction_flags(&mut TageScL::kb8(), &a);
+    let fb = misprediction_flags(&mut TageScL::kb8(), &b);
+    assert_eq!(fa, fb);
+}

@@ -1,0 +1,52 @@
+//! Trace-library workflow (§V-B): generate traces, persist them, reload,
+//! and verify every analysis sees identical data.
+
+use branch_lab::analysis::BranchProfile;
+use branch_lab::predictors::{misprediction_flags, TageScL};
+use branch_lab::trace::Trace;
+use branch_lab::workloads::specint_suite;
+
+#[test]
+fn persisted_traces_are_bit_identical() {
+    let spec = &specint_suite()[1];
+    let trace = spec.trace(0, 30_000);
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).expect("serialize");
+    let back = Trace::read_from(bytes.as_slice()).expect("deserialize");
+    assert_eq!(back.meta(), trace.meta());
+    assert_eq!(back.insts(), trace.insts());
+}
+
+#[test]
+fn analyses_agree_on_reloaded_traces() {
+    let spec = &specint_suite()[6];
+    let trace = spec.trace(0, 30_000);
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).expect("serialize");
+    let back = Trace::read_from(bytes.as_slice()).expect("deserialize");
+
+    let p1 = BranchProfile::collect(&mut TageScL::kb8(), trace.insts());
+    let p2 = BranchProfile::collect(&mut TageScL::kb8(), back.insts());
+    assert_eq!(p1.total_execs(), p2.total_execs());
+    assert_eq!(p1.total_mispredicts(), p2.total_mispredicts());
+
+    let f1 = misprediction_flags(&mut TageScL::kb8(), &trace);
+    let f2 = misprediction_flags(&mut TageScL::kb8(), &back);
+    assert_eq!(f1, f2);
+}
+
+#[test]
+fn generated_programs_disassemble_with_planted_annotations() {
+    let spec = &specint_suite()[1]; // mcf-like: has vg + dd H2Ps
+    let program = spec.program();
+    let text = program.disasm();
+    assert!(text.contains("; vg-h2p"));
+    assert!(text.contains("; dd-h2p"));
+    // Every annotated IP corresponds to a conditional branch line.
+    for (ip, _) in program.annotated_ips() {
+        assert!(
+            text.contains(&format!("{ip:#08x}  br.")),
+            "annotation at {ip:#x} should sit on a conditional branch"
+        );
+    }
+}

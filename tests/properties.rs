@@ -1,0 +1,211 @@
+//! Property-based tests over the core data structures and invariants,
+//! using randomly generated programs and branch streams.
+
+use branch_lab::predictors::{
+    measure, misprediction_flags, Bimodal, GShare, Perceptron, Ppm, PpmConfig, Predictor,
+    SatCounter, SignedCounter, TageScL,
+};
+use branch_lab::pipeline::{simulate, PipelineConfig};
+use branch_lab::trace::{Cond, Reg, RetiredInst, SliceConfig, Trace, TraceMeta};
+use branch_lab::workloads::{Interpreter, Op, ProgramBuilder, Terminator};
+use proptest::prelude::*;
+
+/// Builds a random but well-formed program: a ring of blocks with random
+/// straight-line ops and conditional branches between ring members.
+fn arbitrary_program(ops: Vec<(u8, u8, u8, u64)>, nblocks: usize) -> branch_lab::workloads::Program {
+    let nblocks = nblocks.clamp(2, 12);
+    let mut b = ProgramBuilder::new();
+    let blocks: Vec<_> = (0..nblocks).map(|_| b.block()).collect();
+    for (i, &blk) in blocks.iter().enumerate() {
+        // A few deterministic ops derived from the fuzz input.
+        for &(sel, r1, r2, imm) in ops.iter().skip(i).take(4) {
+            let d = Reg::new(r1 % 30);
+            let a = Reg::new(r2 % 30);
+            let op = match sel % 6 {
+                0 => Op::AddI { dst: d, a, imm },
+                1 => Op::Xor { dst: d, a, b: Reg::new((r1 ^ r2) % 30) },
+                2 => Op::MulI { dst: d, a, imm: imm | 1 },
+                3 => Op::Load { dst: d, base: a, offset: imm },
+                4 => Op::Store { src: d, base: a, offset: imm },
+                _ => Op::Rem { dst: d, a, m: (imm % 97) + 2 },
+            };
+            b.push(blk, op);
+        }
+        let taken = blocks[(i + 1) % nblocks];
+        let fallthrough = blocks[(i + 2) % nblocks];
+        b.term(
+            blk,
+            Terminator::BrI {
+                cond: if i % 2 == 0 { Cond::Lt } else { Cond::Ne },
+                a: Reg::new((i % 30) as u8),
+                imm: ops.first().map_or(3, |o| o.3 % 100),
+                taken,
+                fallthrough,
+            },
+        );
+    }
+    b.finish(blocks[0], 10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any well-formed program runs to the budget and produces a trace
+    /// whose branches reference real block addresses.
+    #[test]
+    fn interpreter_never_panics_and_traces_are_exact(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()), 4..20),
+        nblocks in 2usize..12,
+        seed in any::<u64>(),
+        len in 64usize..2048,
+    ) {
+        let p = arbitrary_program(ops, nblocks);
+        let trace = Interpreter::new(&p, seed).run(len, TraceMeta::new("fuzz", 0));
+        prop_assert_eq!(trace.len(), len);
+        for br in trace.conditional_branches() {
+            // Branch IPs and targets must be within the code segment.
+            prop_assert!(br.ip >= branch_lab::workloads::CODE_BASE);
+            prop_assert!(br.target >= branch_lab::workloads::CODE_BASE);
+        }
+    }
+
+    /// Determinism: identical (program, seed, budget) yields identical
+    /// traces.
+    #[test]
+    fn interpreter_is_deterministic(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()), 4..16),
+        nblocks in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let p = arbitrary_program(ops, nblocks);
+        let a = Interpreter::new(&p, seed).run(512, TraceMeta::new("f", 0));
+        let b = Interpreter::new(&p, seed).run(512, TraceMeta::new("f", 0));
+        prop_assert_eq!(a.insts(), b.insts());
+    }
+
+    /// Every predictor stays panic-free and self-consistent on arbitrary
+    /// branch streams.
+    #[test]
+    fn predictors_handle_arbitrary_streams(
+        stream in proptest::collection::vec((any::<u32>(), any::<bool>()), 1..400),
+    ) {
+        let mut predictors: Vec<Box<dyn Predictor>> = vec![
+            Box::new(Bimodal::new(8)),
+            Box::new(GShare::new(10, 12)),
+            Box::new(Perceptron::new(8, 16)),
+            Box::new(Ppm::new(PpmConfig::default())),
+            Box::new(TageScL::kb8()),
+        ];
+        for p in &mut predictors {
+            for &(ip, taken) in &stream {
+                let ip = u64::from(ip) << 2;
+                let pred = p.predict(ip);
+                p.update(ip, taken, pred);
+            }
+            prop_assert!(p.storage_bits() > 0 || p.name() == "always-taken");
+        }
+    }
+
+    /// Prediction accuracy is reproducible: running the same predictor
+    /// twice over the same trace gives identical flags.
+    #[test]
+    fn prediction_is_deterministic(seed in any::<u64>(), len in 256usize..1024) {
+        let mut t = Trace::new(TraceMeta::new("s", 0));
+        let mut state = seed | 1;
+        for i in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let ip = 0x400 + u64::from((state >> 33) as u8 & 31) * 4;
+            t.push(RetiredInst::cond_branch(ip, state & 1 == 1, 0, None, None));
+            let _ = i;
+        }
+        let a = misprediction_flags(&mut TageScL::kb8(), &t);
+        let b = misprediction_flags(&mut TageScL::kb8(), &t);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Pipeline monotonicity: flipping mispredictions on can only slow the
+    /// machine down, and IPC is bounded by the fetch width.
+    #[test]
+    fn pipeline_is_monotone_in_mispredictions(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        let mut t = Trace::new(TraceMeta::new("m", 0));
+        let mut state = seed | 1;
+        for i in 0..64u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if i % 4 == 0 {
+                t.push(RetiredInst::cond_branch(0x400 + i * 4, state & 1 == 1, 0, None, None));
+            } else {
+                t.push(RetiredInst::op(
+                    0x400 + i * 4,
+                    branch_lab::trace::InstClass::Alu,
+                    None,
+                    None,
+                    Some(Reg::new((i % 8) as u8)),
+                    0,
+                ));
+            }
+        }
+        let nbr = t.conditional_branch_count();
+        let cfg = PipelineConfig::skylake();
+        let none = simulate(&t, &vec![false; nbr], &cfg);
+        let some = simulate(&t, &flips[..nbr], &cfg);
+        prop_assert!(some.cycles >= none.cycles);
+        prop_assert!(none.ipc() <= f64::from(cfg.fetch_width) + 1e-9);
+    }
+
+    /// Saturating counters never leave their range and move toward the
+    /// trained direction.
+    #[test]
+    fn counters_respect_ranges(updates in proptest::collection::vec(any::<bool>(), 1..200), bits in 1u32..8) {
+        let mut c = SatCounter::new(bits, 0);
+        let mut s = SignedCounter::new(bits.max(2));
+        for &u in &updates {
+            c.update(u);
+            s.update(u);
+            prop_assert!(c.value() <= c.max());
+            prop_assert!(s.centered().abs() <= i32::from(i16::MAX));
+        }
+        // After enough consistent updates to saturate, direction matches.
+        let mut c2 = SatCounter::new(bits, 0);
+        for _ in 0..=c2.max() { c2.update(true); }
+        prop_assert!(c2.taken());
+    }
+
+    /// Slices partition traces: slice lengths sum to at most the trace
+    /// length, and all but the last have exactly the configured length.
+    #[test]
+    fn slices_partition_traces(len in 1usize..5000, slice_len in 1usize..1000) {
+        let mut t = Trace::new(TraceMeta::new("sl", 0));
+        for i in 0..len {
+            t.push(RetiredInst::op(i as u64, branch_lab::trace::InstClass::Nop, None, None, None, 0));
+        }
+        let cfg = SliceConfig::new(slice_len);
+        let slices: Vec<_> = t.slices(cfg).collect();
+        let total: usize = slices.iter().map(|s| s.len()).sum();
+        prop_assert!(total <= len);
+        for s in slices.iter().rev().skip(1) {
+            prop_assert_eq!(s.len(), slice_len);
+        }
+        if let Some(last) = slices.last() {
+            prop_assert!(last.len() * 2 >= slice_len);
+        }
+    }
+
+    /// `measure` accuracy equals 1 - (flagged mispredictions / branches).
+    #[test]
+    fn measure_and_flags_agree(seed in any::<u64>()) {
+        let mut t = Trace::new(TraceMeta::new("agree", 0));
+        let mut state = seed | 1;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let ip = 0x40 + u64::from((state >> 20) as u8 & 7) * 4;
+            t.push(RetiredInst::cond_branch(ip, (state >> 8) & 1 == 1, 0, None, None));
+        }
+        let acc = measure(&mut GShare::new(10, 8), &t);
+        let flags = misprediction_flags(&mut GShare::new(10, 8), &t);
+        let wrong = flags.iter().filter(|&&f| f).count() as u64;
+        prop_assert_eq!(acc.total - acc.correct, wrong);
+    }
+}
