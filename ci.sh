@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Local CI: build, test, lint. Run from anywhere; works on a clean checkout.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all checks passed"

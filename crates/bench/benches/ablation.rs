@@ -3,14 +3,12 @@
 //! limits, and float vs 2-bit CNN inference. Accuracy-side ablations live
 //! in `cargo run -p bp-experiments --bin ablation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
-
+use bp_bench::BenchGroup;
 use bp_helpers::{CnnNet, HistoryEncoder};
 use bp_predictors::{Predictor, TageConfig, TageScL, TageSclConfig};
 use bp_workloads::specint_suite;
 
-fn bench_component_cost(c: &mut Criterion) {
+fn main() {
     let spec = &specint_suite()[6];
     let stream: Vec<(u64, bool)> = spec
         .trace(0, 150_000)
@@ -18,63 +16,37 @@ fn bench_component_cost(c: &mut Criterion) {
         .map(|b| (b.ip, b.taken))
         .collect();
 
-    let mut group = c.benchmark_group("ablation-components");
-    group
-        .throughput(Throughput::Elements(stream.len() as u64))
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
+    let replay = |mut p: TageScL| {
+        let mut wrong = 0u64;
+        for &(ip, taken) in &stream {
+            let pred = p.predict(ip);
+            p.update(ip, taken, pred);
+            wrong += u64::from(pred != taken);
+        }
+        wrong
+    };
+
+    let group = BenchGroup::new("ablation-components").throughput(stream.len() as u64);
     let configs = [
         ("tage-only", TageSclConfig::tage_only(8)),
         ("tage-l", TageSclConfig::tage_l(8)),
         ("tage-sc-l", TageSclConfig::storage_kb(8)),
     ];
-    for (name, cfg) in configs {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let mut p = TageScL::new(cfg.clone());
-                let mut wrong = 0u64;
-                for &(ip, taken) in &stream {
-                    let pred = p.predict(ip);
-                    p.update(ip, taken, pred);
-                    wrong += u64::from(pred != taken);
-                }
-                wrong
-            });
-        });
+    for (name, cfg) in &configs {
+        group.bench(name, || replay(TageScL::new(cfg.clone())));
     }
-    group.finish();
 
     // History-length limit at fixed storage.
-    let mut group = c.benchmark_group("ablation-history-limit");
-    group
-        .throughput(Throughput::Elements(stream.len() as u64))
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
+    let group = BenchGroup::new("ablation-history-limit").throughput(stream.len() as u64);
     for max_hist in [500usize, 1000, 3000] {
-        group.bench_function(BenchmarkId::from_parameter(max_hist), |b| {
-            b.iter(|| {
-                let mut cfg = TageSclConfig::storage_kb(8);
-                cfg.tage = TageConfig {
-                    max_hist,
-                    ..cfg.tage
-                };
-                let mut p = TageScL::new(cfg);
-                let mut wrong = 0u64;
-                for &(ip, taken) in &stream {
-                    let pred = p.predict(ip);
-                    p.update(ip, taken, pred);
-                    wrong += u64::from(pred != taken);
-                }
-                wrong
-            });
+        group.bench(&max_hist.to_string(), || {
+            let mut cfg = TageSclConfig::storage_kb(8);
+            cfg.tage = TageConfig { max_hist, ..cfg.tage };
+            replay(TageScL::new(cfg))
         });
     }
-    group.finish();
-}
 
-fn bench_cnn_precision(c: &mut Criterion) {
+    // Float vs 2-bit CNN inference.
     let mut net = CnnNet::new(12, 64, 4);
     let window: Vec<u16> = (0..32)
         .map(|i| HistoryEncoder::bucket_of(0x400 + i * 4, i % 3 == 0, 64))
@@ -84,15 +56,7 @@ fn bench_cnn_precision(c: &mut Criterion) {
     }
     let quant = net.quantize();
 
-    let mut group = c.benchmark_group("ablation-cnn-precision");
-    group
-        .sample_size(20)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
-    group.bench_function("f32-forward", |b| b.iter(|| net.forward(&window).score));
-    group.bench_function("2bit-forward", |b| b.iter(|| quant.forward(&window).score));
-    group.finish();
+    let group = BenchGroup::new("ablation-cnn-precision").samples(20);
+    group.bench("f32-forward", || net.forward(&window).score);
+    group.bench("2bit-forward", || quant.forward(&window).score);
 }
-
-criterion_group!(benches, bench_component_cost, bench_cnn_precision);
-criterion_main!(benches);

@@ -1,50 +1,38 @@
 //! Analysis-pipeline throughput: profiling, H2P screening, dependency
 //! graphs, phase clustering, and CNN inference.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::time::Duration;
-
 use bp_analysis::{
     cluster_slices, BranchProfile, DependencyAnalysis, H2pCriteria, PhaseConfig,
     RecurrenceAnalysis,
 };
+use bp_bench::BenchGroup;
 use bp_helpers::{train_helper, TrainerConfig};
 use bp_predictors::TageScL;
 use bp_trace::SliceConfig;
 use bp_workloads::specint_suite;
 
-fn bench_analysis(c: &mut Criterion) {
+fn main() {
     let spec = &specint_suite()[1];
     let trace = spec.trace(0, 150_000);
     let slice = SliceConfig::new(30_000);
 
-    let mut group = c.benchmark_group("analysis");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
-
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("profile+screen", |b| {
-        b.iter(|| {
-            let mut bpu = TageScL::kb8();
-            let criteria = H2pCriteria::paper();
-            let mut n = 0usize;
-            for s in trace.slices(slice) {
-                let p = BranchProfile::collect(&mut bpu, s);
-                n += criteria.screen(&p, slice).len();
-            }
-            n
-        });
+    let group = BenchGroup::new("analysis").throughput(trace.len() as u64);
+    group.bench("profile+screen", || {
+        let mut bpu = TageScL::kb8();
+        let criteria = H2pCriteria::paper();
+        let mut n = 0usize;
+        for s in trace.slices(slice) {
+            let p = BranchProfile::collect(&mut bpu, s);
+            n += criteria.screen(&p, slice).len();
+        }
+        n
     });
 
-    group.bench_function("phase-clustering", |b| {
-        b.iter(|| cluster_slices(&trace, SliceConfig::new(15_000), PhaseConfig::default()).num_phases);
+    group.bench("phase-clustering", || {
+        cluster_slices(&trace, SliceConfig::new(15_000), PhaseConfig::default()).num_phases
     });
 
-    group.bench_function("recurrence", |b| {
-        b.iter(|| RecurrenceAnalysis::compute(&trace).len());
-    });
+    group.bench("recurrence", || RecurrenceAnalysis::compute(&trace).len());
 
     // Dependency analysis for one hot branch.
     let hot_ip = {
@@ -55,8 +43,8 @@ fn bench_analysis(c: &mut Criterion) {
         counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
     };
     let dep = DependencyAnalysis::new(&trace);
-    group.bench_function("depgraph-one-h2p", |b| {
-        b.iter(|| dep.analyze(&trace, hot_ip, 5_000, 128).executions);
+    group.bench("depgraph-one-h2p", || {
+        dep.analyze(&trace, hot_ip, 5_000, 128).executions
     });
 
     // CNN helper inference throughput.
@@ -69,14 +57,7 @@ fn bench_analysis(c: &mut Criterion) {
             ..TrainerConfig::default()
         },
     );
-    group.bench_function("cnn-helper-predict", |b| {
-        let mut h = helper.clone();
-        h.observe(0x40, true);
-        b.iter(|| h.predict());
-    });
-
-    group.finish();
+    let mut h = helper.clone();
+    h.observe(0x40, true);
+    group.bench("cnn-helper-predict", || h.predict());
 }
-
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);

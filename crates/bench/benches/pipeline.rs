@@ -1,47 +1,24 @@
 //! Workload interpretation and pipeline-simulation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
-
+use bp_bench::BenchGroup;
 use bp_pipeline::{simulate, PipelineConfig};
 use bp_predictors::{misprediction_flags, TageScL};
 use bp_workloads::{lcf_suite, specint_suite};
 
-fn bench_interpreter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interpreter");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
+fn main() {
+    let len = 200_000usize;
+    let group = BenchGroup::new("interpreter").throughput(len as u64);
     for spec in [&specint_suite()[1], &lcf_suite()[1]] {
         let program = spec.program();
-        let len = 200_000usize;
-        group.throughput(Throughput::Elements(len as u64));
-        group.bench_function(BenchmarkId::from_parameter(&spec.name), |b| {
-            b.iter(|| spec.trace_with(&program, 0, len).len());
-        });
+        group.bench(&spec.name, || spec.trace_with(&program, 0, len).len());
     }
-    group.finish();
-}
 
-fn bench_scoreboard(c: &mut Criterion) {
     let spec = &specint_suite()[0];
-    let trace = spec.trace(0, 200_000);
+    let trace = spec.trace(0, len);
     let flags = misprediction_flags(&mut TageScL::kb8(), &trace);
-    let mut group = c.benchmark_group("scoreboard");
-    group
-        .throughput(Throughput::Elements(trace.len() as u64))
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
+    let group = BenchGroup::new("scoreboard").throughput(trace.len() as u64);
     for scale in [1u32, 8, 32] {
         let cfg = PipelineConfig::skylake().scaled(scale);
-        group.bench_function(BenchmarkId::from_parameter(format!("{scale}x")), |b| {
-            b.iter(|| simulate(&trace, &flags, &cfg).cycles);
-        });
+        group.bench(&format!("{scale}x"), || simulate(&trace, &flags, &cfg).cycles);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_interpreter, bench_scoreboard);
-criterion_main!(benches);

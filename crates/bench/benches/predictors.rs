@@ -1,8 +1,6 @@
 //! Predictor lookup+update throughput over a realistic branch stream.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
-
+use bp_bench::BenchGroup;
 use bp_predictors::{
     Bimodal, GShare, Perceptron, Ppm, PpmConfig, Predictor, TageScL, TageSclConfig, TwoLevelLocal,
 };
@@ -17,44 +15,31 @@ fn branch_stream(len: usize) -> Vec<(u64, bool)> {
         .collect()
 }
 
-fn bench_predictors(c: &mut Criterion) {
+fn main() {
     let stream = branch_stream(200_000);
-    let mut group = c.benchmark_group("predictors");
-    group
-        .throughput(Throughput::Elements(stream.len() as u64))
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
+    let group = BenchGroup::new("predictors").throughput(stream.len() as u64);
 
-    let run = |group: &mut criterion::BenchmarkGroup<'_, _>, name: &str, make: &dyn Fn() -> Box<dyn Predictor>| {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let mut p = make();
-                let mut wrong = 0u64;
-                for &(ip, taken) in &stream {
-                    let pred = p.predict(ip);
-                    p.update(ip, taken, pred);
-                    wrong += u64::from(pred != taken);
-                }
-                wrong
-            });
+    let run = |name: &str, make: &dyn Fn() -> Box<dyn Predictor>| {
+        group.bench(name, || {
+            let mut p = make();
+            let mut wrong = 0u64;
+            for &(ip, taken) in &stream {
+                let pred = p.predict(ip);
+                p.update(ip, taken, pred);
+                wrong += u64::from(pred != taken);
+            }
+            wrong
         });
     };
 
-    run(&mut group, "bimodal", &|| Box::new(Bimodal::new(12)));
-    run(&mut group, "gshare", &|| Box::new(GShare::new(13, 16)));
-    run(&mut group, "two-level-local", &|| {
-        Box::new(TwoLevelLocal::new(11, 10))
-    });
-    run(&mut group, "perceptron", &|| Box::new(Perceptron::new(10, 32)));
-    run(&mut group, "ppm", &|| Box::new(Ppm::new(PpmConfig::default())));
-    run(&mut group, "tage-sc-l-8kb", &|| Box::new(TageScL::kb8()));
-    run(&mut group, "tage-sc-l-64kb", &|| Box::new(TageScL::kb64()));
-    run(&mut group, "tage-sc-l-1024kb", &|| {
+    run("bimodal", &|| Box::new(Bimodal::new(12)));
+    run("gshare", &|| Box::new(GShare::new(13, 16)));
+    run("two-level-local", &|| Box::new(TwoLevelLocal::new(11, 10)));
+    run("perceptron", &|| Box::new(Perceptron::new(10, 32)));
+    run("ppm", &|| Box::new(Ppm::new(PpmConfig::default())));
+    run("tage-sc-l-8kb", &|| Box::new(TageScL::kb8()));
+    run("tage-sc-l-64kb", &|| Box::new(TageScL::kb64()));
+    run("tage-sc-l-1024kb", &|| {
         Box::new(TageScL::new(TageSclConfig::storage_kb(1024)))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_predictors);
-criterion_main!(benches);

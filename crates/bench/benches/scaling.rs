@@ -1,0 +1,36 @@
+//! Before/after numbers for the shared trace store and the parallel
+//! experiment engine: trace generation vs a store hit, and the Fig. 1
+//! scaling study run serially vs across all cores.
+
+use bp_bench::BenchGroup;
+use bp_core::{scaling_study_with, thread_count, DatasetConfig, Engine};
+use bp_workloads::{specint_suite, TraceStore};
+
+fn main() {
+    let specs = specint_suite();
+    let cfg = DatasetConfig::quick();
+
+    // Trace store: interpreter run vs memoized hit.
+    let spec = &specs[1];
+    let store = TraceStore::new();
+    let group = BenchGroup::new("trace-store").samples(5);
+    group.bench("generate", || spec.trace(0, cfg.trace_len).len());
+    let _ = store.get(spec, 0, cfg.trace_len);
+    group.bench("hit", || store.get(spec, 0, cfg.trace_len).len());
+
+    // Experiment engine: serial vs parallel scaling study. Warm the shared
+    // store first so both sides measure the engine, not trace generation.
+    let _ = scaling_study_with(Engine::with_threads(1), &specs, &cfg);
+    let threads = thread_count();
+    let group = BenchGroup::new("scaling-study").samples(3);
+    let serial = group.bench("serial", || {
+        scaling_study_with(Engine::with_threads(1), &specs, &cfg).series.len()
+    });
+    let parallel = group.bench(&format!("parallel-{threads}t"), || {
+        scaling_study_with(Engine::from_env(), &specs, &cfg).series.len()
+    });
+    println!(
+        "scaling-study: {:.2}x speedup on {threads} threads",
+        serial.as_secs_f64() / parallel.as_secs_f64()
+    );
+}

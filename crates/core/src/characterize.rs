@@ -13,6 +13,7 @@ use bp_trace::Trace;
 use bp_workloads::WorkloadSpec;
 
 use crate::config::DatasetConfig;
+use crate::parallel::Engine;
 
 /// Characterization of one application input (one trace).
 #[derive(Clone, Debug)]
@@ -132,7 +133,9 @@ fn mean(v: &[f64]) -> f64 {
 }
 
 /// Characterizes a workload across all of its (configured) inputs, using a
-/// fresh predictor per input from `make_predictor`.
+/// fresh predictor per input from `make_predictor`. Inputs run in parallel
+/// on [`Engine::from_env`]; traces come from the shared
+/// [`bp_workloads::TraceStore`].
 ///
 /// # Examples
 ///
@@ -150,20 +153,35 @@ fn mean(v: &[f64]) -> f64 {
 pub fn characterize_workload<P, F>(
     spec: &WorkloadSpec,
     config: &DatasetConfig,
-    mut make_predictor: F,
+    make_predictor: F,
 ) -> WorkloadCharacterization
 where
     P: DirectionPredictor,
-    F: FnMut() -> P,
+    F: Fn() -> P + Sync,
 {
-    let program = spec.program();
-    let inputs = config.inputs_for(spec.inputs);
-    let mut per_input = Vec::new();
-    for input in 0..inputs {
-        let trace = spec.trace_with(&program, input, config.trace_len);
+    characterize_workload_with(Engine::from_env(), spec, config, make_predictor)
+}
+
+/// [`characterize_workload`] on an explicit [`Engine`]. Per-input results
+/// are aggregated in input order, so the outcome is thread-count
+/// independent.
+#[must_use]
+pub fn characterize_workload_with<P, F>(
+    engine: Engine,
+    spec: &WorkloadSpec,
+    config: &DatasetConfig,
+    make_predictor: F,
+) -> WorkloadCharacterization
+where
+    P: DirectionPredictor,
+    F: Fn() -> P + Sync,
+{
+    let inputs: Vec<u32> = (0..config.inputs_for(spec.inputs)).collect();
+    let per_input = engine.map(&inputs, |_, &input| {
+        let trace = spec.cached_trace(input, config.trace_len);
         let mut predictor = make_predictor();
-        per_input.push(characterize_input(spec, &trace, input, config, &mut predictor));
-    }
+        characterize_input(spec, &trace, input, config, &mut predictor)
+    });
     aggregate(spec, per_input)
 }
 

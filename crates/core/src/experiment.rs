@@ -7,6 +7,7 @@
 //! all pipeline configurations.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use bp_analysis::{BranchProfile, H2pCriteria};
 use bp_pipeline::{simulate, PipelineConfig};
@@ -17,6 +18,7 @@ use bp_trace::Trace;
 use bp_workloads::WorkloadSpec;
 
 use crate::config::DatasetConfig;
+use crate::parallel::Engine;
 
 /// IPC of one predictor across pipeline scales, relative to a baseline.
 #[derive(Clone, Debug)]
@@ -62,7 +64,7 @@ impl ScalingStudy {
 /// Per-workload mispredict streams for the four Fig. 1 predictor
 /// configurations.
 struct WorkloadStreams {
-    trace: Trace,
+    trace: Arc<Trace>,
     tage8: Vec<bool>,
     tage64: Vec<bool>,
     perfect_h2p: Vec<bool>,
@@ -70,7 +72,7 @@ struct WorkloadStreams {
 }
 
 fn streams_for(spec: &WorkloadSpec, config: &DatasetConfig) -> WorkloadStreams {
-    let trace = spec.trace(0, config.trace_len);
+    let trace = spec.cached_trace(0, config.trace_len);
 
     // TAGE-SC-L 8KB, with a per-slice H2P screen for the oracle set.
     let mut tage8 = TageScL::kb8();
@@ -100,9 +102,21 @@ fn streams_for(spec: &WorkloadSpec, config: &DatasetConfig) -> WorkloadStreams {
 
 /// Runs the Fig. 1 (SPECint) / Fig. 5 (LCF) pipeline-scaling study over
 /// `specs`, reporting IPC relative to TAGE-SC-L 8KB at 1x (geometric mean
-/// across workloads).
+/// across workloads). Workloads run in parallel on [`Engine::from_env`].
 #[must_use]
 pub fn scaling_study(specs: &[WorkloadSpec], config: &DatasetConfig) -> ScalingStudy {
+    scaling_study_with(Engine::from_env(), specs, config)
+}
+
+/// [`scaling_study`] on an explicit [`Engine`]. Results are identical for
+/// any thread count: per-workload log-ratios are computed independently
+/// and reduced serially in workload order.
+#[must_use]
+pub fn scaling_study_with(
+    engine: Engine,
+    specs: &[WorkloadSpec],
+    config: &DatasetConfig,
+) -> ScalingStudy {
     let scales = PipelineConfig::SCALES.to_vec();
     let base_cfg = PipelineConfig::skylake();
     let labels = [
@@ -111,17 +125,28 @@ pub fn scaling_study(specs: &[WorkloadSpec], config: &DatasetConfig) -> ScalingS
         "Perfect H2Ps",
         "Perfect BP",
     ];
-    // relative_ipc[series][scale] accumulates log(ipc ratio).
-    let mut acc = vec![vec![0.0f64; scales.len()]; labels.len()];
-    for spec in specs {
+    // Per workload: log(ipc ratio) for every (series, scale) cell.
+    let contribs: Vec<Vec<Vec<f64>>> = engine.map(specs, |_, spec| {
         let st = streams_for(spec, config);
         let base_ipc = simulate(&st.trace, &st.tage8, &base_cfg).ipc();
         let flags = [&st.tage8, &st.tage64, &st.perfect_h2p, &st.perfect];
+        let mut contrib = vec![vec![0.0f64; scales.len()]; labels.len()];
         for (si, &scale) in scales.iter().enumerate() {
             let cfg = base_cfg.scaled(scale);
             for (li, f) in flags.iter().enumerate() {
                 let ipc = simulate(&st.trace, f, &cfg).ipc();
-                acc[li][si] += (ipc / base_ipc).ln();
+                contrib[li][si] = (ipc / base_ipc).ln();
+            }
+        }
+        contrib
+    });
+    // Serial reduction in workload order keeps the floating-point sum
+    // identical to the serial implementation.
+    let mut acc = vec![vec![0.0f64; scales.len()]; labels.len()];
+    for contrib in &contribs {
+        for (li, per_scale) in contrib.iter().enumerate() {
+            for (si, &l) in per_scale.iter().enumerate() {
+                acc[li][si] += l;
             }
         }
     }
@@ -162,26 +187,35 @@ pub struct StorageScalingStudy {
 
 /// Runs the Fig. 7 limit study: TAGE-SC-L storage from 8KB to 1024KB
 /// across pipeline scales, reporting the fraction of the 8KB→perfect IPC
-/// gap closed.
+/// gap closed. Workloads — and the TAGE passes for the storage points
+/// within a workload — run in parallel on [`Engine::from_env`].
 #[must_use]
 pub fn storage_scaling_study(
+    specs: &[WorkloadSpec],
+    config: &DatasetConfig,
+) -> StorageScalingStudy {
+    storage_scaling_study_with(Engine::from_env(), specs, config)
+}
+
+/// [`storage_scaling_study`] on an explicit [`Engine`].
+#[must_use]
+pub fn storage_scaling_study_with(
+    engine: Engine,
     specs: &[WorkloadSpec],
     config: &DatasetConfig,
 ) -> StorageScalingStudy {
     let scales = PipelineConfig::SCALES.to_vec();
     let storages = TageSclConfig::STORAGE_POINTS_KB.to_vec();
     let base_cfg = PipelineConfig::skylake();
-    let mut rows = Vec::new();
-    for spec in specs {
-        let trace = spec.trace(0, config.trace_len);
+    let rows: Vec<StorageScalingRow> = engine.map(specs, |_, spec| {
+        let trace = spec.cached_trace(0, config.trace_len);
         let perfect = vec![false; trace.conditional_branch_count()];
-        let flags_per_storage: Vec<Vec<bool>> = storages
-            .iter()
-            .map(|&kb| {
-                let mut p = TageScL::new(TageSclConfig::storage_kb(kb));
-                misprediction_flags(&mut p, &trace)
-            })
-            .collect();
+        // Each storage point is an independent predictor replay — the
+        // second level of fan-out.
+        let flags_per_storage: Vec<Vec<bool>> = engine.map(&storages, |_, &kb| {
+            let mut p = TageScL::new(TageSclConfig::storage_kb(kb));
+            misprediction_flags(&mut p, &trace)
+        });
         let mut gap_closed = Vec::with_capacity(scales.len());
         for &scale in &scales {
             let cfg = base_cfg.scaled(scale);
@@ -198,11 +232,11 @@ pub fn storage_scaling_study(
                     .collect(),
             );
         }
-        rows.push(StorageScalingRow {
+        StorageScalingRow {
             name: spec.name.clone(),
             gap_closed,
-        });
-    }
+        }
+    });
     StorageScalingStudy {
         scales,
         storages_kb: storages,
@@ -229,10 +263,26 @@ pub struct RareOracleRow {
 /// rare branches below the threshold).
 #[must_use]
 pub fn rare_oracle_study(specs: &[WorkloadSpec], config: &DatasetConfig) -> Vec<RareOracleRow> {
+    rare_oracle_study_with(Engine::from_env(), specs, config)
+}
+
+/// [`rare_oracle_study`] on an explicit [`Engine`].
+///
+/// The 1024KB predictor's training sequence is independent of the oracle
+/// set (a [`PerfectSetOracle`] always trains its inner predictor on the
+/// real outcome), so its misprediction stream is computed **once** per
+/// workload and both threshold streams are derived from it by masking out
+/// branches inside the oracle set — rather than replaying the full trace
+/// through a fresh 1024KB TAGE-SC-L per threshold.
+#[must_use]
+pub fn rare_oracle_study_with(
+    engine: Engine,
+    specs: &[WorkloadSpec],
+    config: &DatasetConfig,
+) -> Vec<RareOracleRow> {
     let cfg = PipelineConfig::skylake();
-    let mut rows = Vec::new();
-    for spec in specs {
-        let trace = spec.trace(0, config.trace_len);
+    engine.map(specs, |_, spec| {
+        let trace = spec.cached_trace(0, config.trace_len);
         // Dynamic execution counts over the whole trace, converted to the
         // paper's 30M-instruction scale for the >1000/>100 thresholds.
         let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
@@ -256,20 +306,26 @@ pub fn rare_oracle_study(specs: &[WorkloadSpec], config: &DatasetConfig) -> Vec<
         let ipc_perfect = simulate(&trace, &perfect, &cfg).ipc();
         let opportunity = (ipc_perfect - ipc8).max(1e-9);
 
+        // One 1024KB pass; an oracle over set S mispredicts exactly where
+        // the big predictor mispredicts outside S.
+        let mut big = TageScL::new(TageSclConfig::storage_kb(1024));
+        let big_flags = misprediction_flags(&mut big, &trace);
         let remaining = |threshold: f64| -> f64 {
-            let big = TageScL::new(TageSclConfig::storage_kb(1024));
-            let mut oracle = PerfectSetOracle::new(big, ips_above(threshold));
-            let flags = misprediction_flags(&mut oracle, &trace);
+            let set = ips_above(threshold);
+            let flags: Vec<bool> = trace
+                .conditional_branches()
+                .zip(&big_flags)
+                .map(|(b, &missed)| missed && !set.contains(&b.ip))
+                .collect();
             let ipc = simulate(&trace, &flags, &cfg).ipc();
             ((ipc_perfect - ipc) / opportunity).clamp(0.0, 1.0)
         };
-        rows.push(RareOracleRow {
+        RareOracleRow {
             name: spec.name.clone(),
             remaining_after_1000: remaining(1000.0),
             remaining_after_100: remaining(100.0),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Computes the IPC of an arbitrary predictor on a workload at a given
@@ -281,7 +337,7 @@ pub fn ipc_of(
     predictor: &mut dyn DirectionPredictor,
     scale: u32,
 ) -> f64 {
-    let trace = spec.trace(0, config.trace_len);
+    let trace = spec.cached_trace(0, config.trace_len);
     let flags = misprediction_flags(predictor, &trace);
     simulate(&trace, &flags, &PipelineConfig::skylake().scaled(scale)).ipc()
 }

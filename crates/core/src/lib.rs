@@ -23,14 +23,18 @@
 mod characterize;
 mod config;
 mod experiment;
+mod parallel;
 mod report;
 
 pub use characterize::{
-    characterize_input, characterize_workload, InputCharacterization, WorkloadCharacterization,
+    characterize_input, characterize_workload, characterize_workload_with, InputCharacterization,
+    WorkloadCharacterization,
 };
 pub use config::DatasetConfig;
 pub use experiment::{
-    ipc_of, rare_oracle_study, scaling_study, storage_scaling_study, RareOracleRow, ScalingSeries,
-    ScalingStudy, StorageScalingRow, StorageScalingStudy,
+    ipc_of, rare_oracle_study, rare_oracle_study_with, scaling_study, scaling_study_with,
+    storage_scaling_study, storage_scaling_study_with, RareOracleRow, ScalingSeries, ScalingStudy,
+    StorageScalingRow, StorageScalingStudy,
 };
+pub use parallel::{thread_count, Engine};
 pub use report::{f3, pct, Table};

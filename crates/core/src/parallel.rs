@@ -1,0 +1,133 @@
+//! A small deterministic parallel engine for experiment fan-out.
+//!
+//! The experiment studies are embarrassingly parallel across workloads (and
+//! across storage points within a workload), but their outputs must stay
+//! byte-identical to the serial implementation: CSVs are regression
+//! artifacts. [`Engine::map`] therefore computes per-item results on a
+//! scoped thread pool and returns them **in input order**; callers do any
+//! order-sensitive reduction (e.g. geometric-mean accumulation) serially
+//! afterwards, so floating-point results match the serial path exactly.
+//!
+//! The engine uses only `std::thread::scope` — no dependencies — and honors
+//! a `BRANCH_LAB_THREADS` override (set it to `1` to force the serial
+//! path).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads the process should use: the
+/// `BRANCH_LAB_THREADS` env var when set to a positive integer, otherwise
+/// the machine's available parallelism.
+#[must_use]
+pub fn thread_count() -> usize {
+    match std::env::var("BRANCH_LAB_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// A fixed-width parallel mapper.
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine sized by [`thread_count`] (env override or machine width).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Engine { threads: thread_count() }
+    }
+
+    /// An engine with an explicit thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Engine { threads: threads.max(1) }
+    }
+
+    /// The configured thread count.
+    #[must_use]
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on up to `threads` scoped workers, returning
+    /// results in input order. `f` receives `(index, item)`. With one
+    /// thread (or one item) this is a plain serial loop.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f` (via `std::thread::scope` join).
+    pub fn map<T, R, F>(self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        // Work-stealing by atomic index; results carry their index so the
+        // output order is independent of scheduling.
+        let next = AtomicUsize::new(0);
+        let indexed: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(i, item)));
+                    }
+                    indexed.lock().expect("engine results poisoned").extend(local);
+                });
+            }
+        });
+        let mut v = indexed.into_inner().expect("engine results poisoned");
+        v.sort_unstable_by_key(|&(i, _)| i);
+        v.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 7, 16] {
+            let out = Engine::with_threads(threads).map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let e = Engine::with_threads(8);
+        assert_eq!(e.map(&[] as &[u32], |_, &x| x), Vec::<u32>::new());
+        assert_eq!(e.map(&[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let items: Vec<u64> = (0..37).collect();
+        let f = |_: usize, &x: &u64| (x as f64).sqrt().ln_1p();
+        let serial = Engine::with_threads(1).map(&items, f);
+        let parallel = Engine::with_threads(6).map(&items, f);
+        assert_eq!(serial, parallel); // bitwise: same ops per item
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(Engine::with_threads(0).threads(), 1);
+    }
+}

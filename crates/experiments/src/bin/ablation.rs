@@ -26,7 +26,7 @@ fn main() {
     ];
     let mut table = Table::new(vec!["workload", "tage", "tage-l", "tage-sc", "tage-sc-l"]);
     for spec in specs {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let acc = |c: TageSclConfig| {
             let mut p = TageScL::new(c);
             measure(&mut p, &trace).accuracy()
@@ -47,7 +47,7 @@ fn main() {
     // --- History-length limit at fixed storage. ---
     let mut table = Table::new(vec!["workload", "hist-250", "hist-1000", "hist-3000"]);
     for spec in specs {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let acc = |max_hist: usize| {
             let mut c = TageSclConfig::storage_kb(8);
             c.tage = TageConfig { max_hist, ..c.tage };
@@ -69,7 +69,7 @@ fn main() {
     // --- Usefulness aging period (allocation churn control). ---
     let mut table = Table::new(vec!["workload", "age-2^14", "age-2^18", "age-never"]);
     for spec in specs {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let acc = |period: u64| {
             let mut c = TageSclConfig::storage_kb(8);
             c.tage = TageConfig {

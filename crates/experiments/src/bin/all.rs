@@ -1,9 +1,19 @@
 //! Runs every experiment binary in sequence (same CLI flags forwarded).
+//!
+//! The binaries are separate processes, so the in-memory `TraceStore`
+//! cannot be shared between them; instead `all` points every child at one
+//! `BRANCH_LAB_TRACE_DIR` (defaulting to `out/traces`) so each workload
+//! trace is interpreted once and then loaded from disk by every later
+//! binary. An explicit `BRANCH_LAB_TRACE_DIR` in the environment wins.
 
 use std::process::Command;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_dir = std::env::var("BRANCH_LAB_TRACE_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
+        .unwrap_or_else(|| "out/traces".to_owned());
     let bins = [
         "table1", "fig1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "fig6",
         "alloc_stats", "fig7", "fig8", "fig9", "fig10", "helpers", "ablation",
@@ -14,6 +24,7 @@ fn main() {
         println!("\n########## {bin} ##########");
         let status = Command::new(dir.join(bin))
             .args(&args)
+            .env("BRANCH_LAB_TRACE_DIR", &trace_dir)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed with {status}");

@@ -22,7 +22,7 @@ fn main() {
         "other-share",
     ]);
     for spec in &specint_suite() {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let mut bpu = TageScL::new(TageSclConfig::storage_kb(64));
         bpu.enable_instrumentation();
         let criteria = H2pCriteria::paper();

@@ -25,7 +25,7 @@ fn main() {
     let mut means = [0.0f64; 7];
     let mut n = 0.0f64;
     for spec in specint_suite().iter().chain(lcf_suite().iter()) {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let accs = [
             measure(&mut Bimodal::new(12), &trace).accuracy(),
             measure(&mut TwoLevelLocal::new(11, 10), &trace).accuracy(),

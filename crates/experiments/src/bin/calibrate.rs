@@ -15,7 +15,7 @@ fn main() {
         "workload", "branches", "static-ips", "acc", "execs/ip", "br-dens"
     );
     for spec in specint_suite().iter().chain(lcf_suite().iter()) {
-        let trace = spec.trace(0, len);
+        let trace = spec.cached_trace(0, len);
         let mut per_ip: HashMap<u64, u64> = HashMap::new();
         for b in trace.conditional_branches() {
             *per_ip.entry(b.ip).or_default() += 1;

@@ -18,7 +18,7 @@ fn main() {
         s => &suite[s.parse::<usize>().unwrap_or(1)],
     };
     println!("workload {} len {len}", spec.name);
-    let trace = spec.trace(0, len);
+    let trace = spec.cached_trace(0, len);
     let mut tage = TageScL::kb8();
     let tage_flags = misprediction_flags(&mut tage, &trace);
     let perfect_flags = misprediction_flags(&mut PerfectPredictor, &trace);

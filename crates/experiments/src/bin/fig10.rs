@@ -23,7 +23,7 @@ fn main() {
         "657.xz_s",
     ];
     for spec in specint_suite().iter().filter(|s| shown.contains(&s.name.as_str())) {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let mut bpu = TageScL::kb8();
         let criteria = H2pCriteria::paper();
         let mut merged = BranchProfile::new();

@@ -17,7 +17,7 @@ fn main() {
     let mut execs = Vec::new();
     let mut accuracy = Vec::new();
     for spec in &lcf_suite() {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let mut bpu = TageScL::kb8();
         let profile = BranchProfile::collect(&mut bpu, trace.insts());
         let window = profile.instructions;

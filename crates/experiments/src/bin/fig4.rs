@@ -12,7 +12,7 @@ fn main() {
     let cfg = cli.dataset();
     let mut points = Vec::new();
     for spec in &lcf_suite() {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let mut bpu = TageScL::kb8();
         let profile = BranchProfile::collect(&mut bpu, trace.insts());
         points.extend(spread_points(&profile));

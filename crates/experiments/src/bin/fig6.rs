@@ -14,7 +14,7 @@ fn main() {
     let cli = Cli::parse();
     let cfg = cli.dataset();
     for spec in &specint_suite() {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let mut bpu = TageScL::kb8();
         let criteria = H2pCriteria::paper();
         let mut merged = BranchProfile::new();

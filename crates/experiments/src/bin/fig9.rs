@@ -16,7 +16,7 @@ fn main() {
     let mut total_ips = 0u64;
     let napps = lcf_suite().len() as f64;
     for spec in &lcf_suite() {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let rec = RecurrenceAnalysis::compute(&trace);
         let h = rec.histogram(trace.len() as u64);
         total_ips += h.total();

@@ -31,12 +31,11 @@ fn per_ip_accuracy(predictor: &mut dyn bp_predictors::DirectionPredictor, trace:
 
 fn cnn_study(spec: &WorkloadSpec, cfg: &DatasetConfig, cli: &Cli) {
     println!("\n-- CNN helper study on {} --", spec.name);
-    let program = spec.program();
     let train_inputs = 3.min(spec.inputs - 1);
-    let train_traces: Vec<Trace> = (0..train_inputs)
-        .map(|i| spec.trace_with(&program, i, cfg.trace_len))
+    let train_traces: Vec<_> = (0..train_inputs)
+        .map(|i| spec.cached_trace(i, cfg.trace_len))
         .collect();
-    let held_out = spec.trace_with(&program, spec.inputs - 1, cfg.trace_len);
+    let held_out = spec.cached_trace(spec.inputs - 1, cfg.trace_len);
 
     // Screen H2Ps on the training traces.
     let criteria = H2pCriteria::paper();
@@ -110,9 +109,8 @@ fn phase_study(spec: &WorkloadSpec, cfg: &DatasetConfig, cli: &Cli) {
     println!("\n-- phase-conditioned rare-branch helper on {} --", spec.name);
     // Offline training trace = one "prior invocation"; evaluation on a
     // longer fresh run (the paper: statistics aggregated over invocations).
-    let program = spec.program();
-    let train = spec.trace_with(&program, 0, cfg.trace_len);
-    let eval = spec.trace_with(&program, 0, cfg.trace_len * 2);
+    let train = spec.cached_trace(0, cfg.trace_len);
+    let eval = spec.cached_trace(0, cfg.trace_len * 2);
     let helper = PhaseHelper::train(std::slice::from_ref(&train), PhaseHelperConfig::default());
 
     let base_acc = measure(&mut TageScL::kb8(), &eval).accuracy();

@@ -24,7 +24,7 @@ fn main() {
     for spec in &suite {
         // The paper analyzes each LCF app as one 30M-instruction trace;
         // we use the whole trace as a single slice.
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         let whole = SliceConfig::new(cfg.trace_len);
         let mut bpu = TageScL::kb8();
         let profile = BranchProfile::collect(&mut bpu, trace.insts());

@@ -21,7 +21,7 @@ fn main() {
         "max-hist-pos",
     ]);
     for spec in &specint_suite() {
-        let trace = spec.trace(0, cfg.trace_len);
+        let trace = spec.cached_trace(0, cfg.trace_len);
         // Screen H2Ps per slice, merge, rank by executions.
         let mut bpu = TageScL::kb8();
         let criteria = H2pCriteria::paper();

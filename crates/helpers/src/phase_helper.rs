@@ -56,19 +56,21 @@ pub struct PhaseHelper {
 }
 
 impl PhaseHelper {
-    /// Trains the helper offline from one or more traces.
+    /// Trains the helper offline from one or more traces (`&[Trace]` or
+    /// `&[Arc<Trace>]`).
     ///
     /// # Panics
     ///
     /// Panics if `traces` contains no conditional branches or the
     /// configuration is degenerate (zero dims/window/phases).
     #[must_use]
-    pub fn train(traces: &[Trace], config: PhaseHelperConfig) -> Self {
+    pub fn train<T: std::borrow::Borrow<Trace>>(traces: &[T], config: PhaseHelperConfig) -> Self {
         assert!(config.dims > 0 && config.window > 0 && config.phases > 0);
         // Build per-window sketches and branch streams.
         let mut windows: Vec<Vec<f64>> = Vec::new();
         let mut window_branches: Vec<Vec<(u64, bool)>> = Vec::new();
         for trace in traces {
+            let trace = trace.borrow();
             let mut cur = vec![0.0f64; config.dims];
             let mut brs = Vec::with_capacity(config.window);
             for b in trace.conditional_branches() {

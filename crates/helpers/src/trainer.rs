@@ -89,7 +89,9 @@ fn gather_samples(
 }
 
 /// Trains a [`CnnHelper`] for `target_ip` on the given training traces
-/// (typically several application inputs of one workload).
+/// (typically several application inputs of one workload). Accepts any
+/// slice of trace-like values — `&[Trace]` or the `Arc<Trace>`s handed out
+/// by `bp_workloads::TraceStore`.
 ///
 /// # Panics
 ///
@@ -114,10 +116,14 @@ fn gather_samples(
 /// assert_eq!(helper.target_ip, ip);
 /// ```
 #[must_use]
-pub fn train_helper(traces: &[Trace], target_ip: u64, config: &TrainerConfig) -> CnnHelper {
+pub fn train_helper<T: std::borrow::Borrow<Trace>>(
+    traces: &[T],
+    target_ip: u64,
+    config: &TrainerConfig,
+) -> CnnHelper {
     let mut samples = Vec::new();
     for t in traces {
-        gather_samples(t, target_ip, config, &mut samples);
+        gather_samples(t.borrow(), target_ip, config, &mut samples);
     }
     assert!(
         !samples.is_empty(),

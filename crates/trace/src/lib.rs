@@ -31,6 +31,6 @@ mod trace;
 
 pub use isa::{BranchKind, Cond, InstClass, Reg, NUM_REGS};
 pub use record::{BranchInfo, RetiredInst};
-pub use serialize::ReadTraceError;
+pub use serialize::{ReadTraceError, WriteTraceError};
 pub use slice::{SliceConfig, Slices};
 pub use trace::{BranchView, ConditionalBranches, Trace, TraceMeta};

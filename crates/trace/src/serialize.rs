@@ -62,6 +62,44 @@ impl From<io::Error> for ReadTraceError {
     }
 }
 
+/// Errors produced when encoding a trace.
+#[derive(Debug)]
+pub enum WriteTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The workload name does not fit the format's u16 length field; the
+    /// trace cannot be written without silently altering its metadata.
+    NameTooLong(usize),
+}
+
+impl fmt::Display for WriteTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteTraceError::Io(e) => write!(f, "i/o error writing trace: {e}"),
+            WriteTraceError::NameTooLong(len) => write!(
+                f,
+                "workload name is {len} bytes; the BPTR format caps names at {} bytes",
+                u16::MAX
+            ),
+        }
+    }
+}
+
+impl Error for WriteTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WriteTraceError::Io(e) => Some(e),
+            WriteTraceError::NameTooLong(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for WriteTraceError {
+    fn from(e: io::Error) -> Self {
+        WriteTraceError::Io(e)
+    }
+}
+
 fn encode_reg(r: Option<Reg>) -> u8 {
     r.map_or(NO_REG, |r| r.index() as u8)
 }
@@ -125,14 +163,18 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Propagates any I/O error from the writer.
-    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+    /// Propagates any I/O error from the writer, and returns
+    /// [`WriteTraceError::NameTooLong`] when the workload name exceeds the
+    /// format's u16 length field (truncating it would make a `save`/`load`
+    /// round trip silently alter [`TraceMeta`]).
+    pub fn write_to<W: Write>(&self, mut writer: W) -> Result<(), WriteTraceError> {
         writer.write_all(MAGIC)?;
         writer.write_all(&VERSION.to_le_bytes())?;
         let name = self.meta().name.as_bytes();
-        let name_len = u16::try_from(name.len().min(u16::MAX as usize)).expect("bounded");
+        let name_len =
+            u16::try_from(name.len()).map_err(|_| WriteTraceError::NameTooLong(name.len()))?;
         writer.write_all(&name_len.to_le_bytes())?;
-        writer.write_all(&name[..name_len as usize])?;
+        writer.write_all(name)?;
         writer.write_all(&self.meta().input.to_le_bytes())?;
         writer.write_all(&(self.len() as u64).to_le_bytes())?;
         let mut buf = [0u8; 37];
@@ -248,8 +290,9 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Propagates file-creation and write errors.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    /// Propagates file-creation and write errors, plus
+    /// [`WriteTraceError::NameTooLong`] for oversized workload names.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), WriteTraceError> {
         let file = std::fs::File::create(path)?;
         self.write_to(io::BufWriter::new(file))
     }

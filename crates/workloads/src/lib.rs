@@ -32,10 +32,12 @@ mod interp;
 pub mod motifs;
 mod program;
 mod spec;
+mod store;
 mod suite;
 
 pub use interp::Interpreter;
 pub use motifs::{Emitter, RareTier, VarGapSpec};
 pub use program::{Block, BlockId, Op, Program, ProgramBuilder, Terminator, CODE_BASE, INST_BYTES};
 pub use spec::{Family, MotifSet, WorkloadSpec};
+pub use store::{StoreStats, TraceKey, TraceStore};
 pub use suite::{lcf_suite, specint_suite, LCF_TRACE_LEN, SPECINT_TRACE_LEN};

@@ -191,6 +191,19 @@ impl WorkloadSpec {
             TraceMeta::new(self.name.clone(), input),
         )
     }
+
+    /// Like [`WorkloadSpec::trace`] but served from the process-wide
+    /// [`crate::TraceStore`]: each `(workload, input, len)` trace is
+    /// generated at most once per process, and at most once per machine when
+    /// `BRANCH_LAB_TRACE_DIR` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= self.inputs`.
+    #[must_use]
+    pub fn cached_trace(&self, input: u32, len: usize) -> std::sync::Arc<Trace> {
+        crate::TraceStore::global().get(self, input, len)
+    }
 }
 
 /// Emits all motifs of a set as one sequential chain ending at `next`,

@@ -1,0 +1,260 @@
+//! A shared, thread-safe trace library.
+//!
+//! Every experiment binary needs traces for the same fifteen workloads, and
+//! before this module each one re-ran the interpreter from scratch — the
+//! dominant cost of the whole experiment suite. [`TraceStore`] memoizes
+//! traces behind `Arc`s keyed by `(workload, input, len)` so each trace is
+//! generated **exactly once per process**, no matter how many experiments
+//! (or threads) request it. With a cache directory configured, traces are
+//! also persisted in the existing `BPTR` binary format so they are generated
+//! at most once per machine.
+//!
+//! The per-process singleton is [`TraceStore::global`]; workloads reach it
+//! through [`crate::WorkloadSpec::cached_trace`]. Set `BRANCH_LAB_TRACE_DIR`
+//! to enable the on-disk layer for the global store.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use bp_trace::Trace;
+
+use crate::program::Program;
+use crate::spec::WorkloadSpec;
+
+/// Identity of one trace in the store.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Workload name, e.g. `"641.leela_s"`.
+    pub name: String,
+    /// Application input index.
+    pub input: u32,
+    /// Trace length in instructions.
+    pub len: usize,
+}
+
+impl TraceKey {
+    /// Builds a key for `spec` at (`input`, `len`).
+    #[must_use]
+    pub fn new(spec: &WorkloadSpec, input: u32, len: usize) -> Self {
+        TraceKey { name: spec.name.clone(), input, len }
+    }
+
+    /// File name used by the on-disk layer, with path-hostile characters
+    /// mapped to `_`.
+    fn file_name(&self) -> String {
+        let sanitized: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
+            .collect();
+        format!("{sanitized}-i{}-l{}.bptr", self.input, self.len)
+    }
+}
+
+/// Cumulative counters exposed for tests and diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Traces produced by running the interpreter.
+    pub generated: u64,
+    /// Traces satisfied from the on-disk cache.
+    pub disk_loads: u64,
+    /// Requests satisfied from memory (neither generated nor loaded).
+    pub hits: u64,
+}
+
+/// One memoization slot. The `OnceLock` guarantees exactly-once generation
+/// per key even when several threads request the same trace concurrently,
+/// without holding the store-wide map lock during generation.
+type Slot = Arc<OnceLock<Arc<Trace>>>;
+
+/// Thread-safe memoizing trace cache with optional `BPTR` persistence.
+pub struct TraceStore {
+    traces: Mutex<HashMap<TraceKey, Slot>>,
+    /// Lowered programs, memoized per workload name: program structure is
+    /// input-independent, so all inputs of a workload share one program.
+    programs: Mutex<HashMap<String, Arc<Program>>>,
+    cache_dir: Option<PathBuf>,
+    generated: AtomicU64,
+    disk_loads: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl TraceStore {
+    /// Creates an in-memory-only store.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceStore {
+            traces: Mutex::new(HashMap::new()),
+            programs: Mutex::new(HashMap::new()),
+            cache_dir: None,
+            generated: AtomicU64::new(0),
+            disk_loads: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a store that additionally persists traces under `dir`
+    /// (created on first write if missing).
+    #[must_use]
+    pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Self {
+        let mut s = TraceStore::new();
+        s.cache_dir = Some(dir.into());
+        s
+    }
+
+    /// The per-process shared store. Reads `BRANCH_LAB_TRACE_DIR` once, at
+    /// first use: when set and non-empty, the global store persists traces
+    /// there.
+    pub fn global() -> &'static TraceStore {
+        static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
+        GLOBAL.get_or_init(|| match std::env::var("BRANCH_LAB_TRACE_DIR") {
+            Ok(dir) if !dir.is_empty() => TraceStore::with_cache_dir(dir),
+            _ => TraceStore::new(),
+        })
+    }
+
+    /// Returns the trace for `spec` at (`input`, `len`), generating it (or
+    /// loading it from the cache directory) only if no prior request did.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= spec.inputs`, mirroring [`WorkloadSpec::trace`].
+    pub fn get(&self, spec: &WorkloadSpec, input: u32, len: usize) -> Arc<Trace> {
+        assert!(
+            input < spec.inputs,
+            "input {input} out of range: {} declares {} inputs",
+            spec.name,
+            spec.inputs
+        );
+        let key = TraceKey::new(spec, input, len);
+        let slot = {
+            let mut map = self.traces.lock().expect("trace store poisoned");
+            Arc::clone(map.entry(key.clone()).or_default())
+        };
+        if let Some(t) = slot.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(t);
+        }
+        Arc::clone(slot.get_or_init(|| Arc::new(self.load_or_generate(spec, &key))))
+    }
+
+    fn load_or_generate(&self, spec: &WorkloadSpec, key: &TraceKey) -> Trace {
+        if let Some(dir) = &self.cache_dir {
+            let path = dir.join(key.file_name());
+            if let Some(t) = load_valid(&path, key) {
+                self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                return t;
+            }
+        }
+        let program = self.program(spec);
+        let trace = spec.trace_with(&program, key.input, key.len);
+        self.generated.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.cache_dir {
+            // Persistence is best-effort: a full disk or read-only cache
+            // directory must not fail the experiment.
+            if std::fs::create_dir_all(dir).is_ok() {
+                let _ = trace.save(dir.join(key.file_name()));
+            }
+        }
+        trace
+    }
+
+    /// Returns the lowered program for `spec`, building it at most once per
+    /// workload name.
+    pub fn program(&self, spec: &WorkloadSpec) -> Arc<Program> {
+        let mut map = self.programs.lock().expect("program store poisoned");
+        Arc::clone(
+            map.entry(spec.name.clone()).or_insert_with(|| Arc::new(spec.program())),
+        )
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            generated: self.generated.load(Ordering::Relaxed),
+            disk_loads: self.disk_loads.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::new()
+    }
+}
+
+/// Loads `path` and validates it against `key`; any mismatch (stale file,
+/// truncation, different format) falls back to regeneration.
+fn load_valid(path: &Path, key: &TraceKey) -> Option<Trace> {
+    let t = Trace::load(path).ok()?;
+    let ok = t.meta().name == key.name && t.meta().input == key.input && t.len() == key.len;
+    ok.then_some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::specint_suite;
+
+    fn spec() -> WorkloadSpec {
+        specint_suite()[0].clone()
+    }
+
+    #[test]
+    fn repeated_gets_generate_once() {
+        let store = TraceStore::new();
+        let s = spec();
+        let a = store.get(&s, 0, 2_000);
+        let b = store.get(&s, 0, 2_000);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = store.stats();
+        assert_eq!(stats.generated, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_traces() {
+        let store = TraceStore::new();
+        let s = spec();
+        let a = store.get(&s, 0, 1_000);
+        let b = store.get(&s, 1, 1_000);
+        let c = store.get(&s, 0, 2_000);
+        assert_ne!(a.insts(), b.insts());
+        assert_ne!(a.len(), c.len());
+        assert_eq!(store.stats().generated, 3);
+    }
+
+    #[test]
+    fn store_matches_direct_generation() {
+        let store = TraceStore::new();
+        let s = spec();
+        let cached = store.get(&s, 1, 3_000);
+        let direct = s.trace(1, 3_000);
+        assert_eq!(cached.insts(), direct.insts());
+        assert_eq!(cached.meta(), direct.meta());
+    }
+
+    #[test]
+    fn concurrent_gets_generate_once() {
+        let store = TraceStore::new();
+        let s = spec();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| store.get(&s, 0, 2_000));
+            }
+        });
+        assert_eq!(store.stats().generated, 1);
+    }
+
+    #[test]
+    fn programs_are_shared() {
+        let store = TraceStore::new();
+        let s = spec();
+        let a = store.program(&s);
+        let b = store.program(&s);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

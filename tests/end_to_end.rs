@@ -15,7 +15,7 @@ const LEN: usize = 60_000;
 #[test]
 fn every_workload_flows_through_the_full_stack() {
     for spec in specint_suite().iter().chain(lcf_suite().iter()) {
-        let trace = spec.trace(0, LEN);
+        let trace = spec.cached_trace(0, LEN);
         assert_eq!(trace.len(), LEN, "{}", spec.name);
         let mut bpu = TageScL::kb8();
         let flags = misprediction_flags(&mut bpu, &trace);
@@ -31,7 +31,7 @@ fn predictor_hierarchy_is_ordered_on_a_predictable_suite() {
     // On the highly-predictable xalancbmk-like workload, the predictor
     // generations should order: bimodal < gshare <= tage-sc-l < perfect.
     let spec = &specint_suite()[3];
-    let trace = spec.trace(0, LEN);
+    let trace = spec.cached_trace(0, LEN);
     let bimodal = measure(&mut Bimodal::new(12), &trace).accuracy();
     let gshare = measure(&mut GShare::new(13, 12), &trace).accuracy();
     let local = measure(&mut TwoLevelLocal::new(11, 10), &trace).accuracy();
@@ -48,7 +48,7 @@ fn predictor_hierarchy_is_ordered_on_a_predictable_suite() {
 #[test]
 fn perfect_h2p_oracle_sits_between_tage_and_perfect() {
     let spec = &specint_suite()[1]; // mcf-like
-    let trace = spec.trace(0, LEN);
+    let trace = spec.cached_trace(0, LEN);
     let slice = SliceConfig::new(20_000);
     let mut screen = TageScL::kb8();
     let criteria = H2pCriteria::paper();
@@ -76,7 +76,7 @@ fn perfect_h2p_oracle_sits_between_tage_and_perfect() {
 #[test]
 fn misprediction_flags_match_measure_counts() {
     let spec = &specint_suite()[6];
-    let trace = spec.trace(0, LEN);
+    let trace = spec.cached_trace(0, LEN);
     let stats = measure(&mut TageScL::kb8(), &trace);
     let flags = misprediction_flags(&mut TageScL::kb8(), &trace);
     let wrong = flags.iter().filter(|&&f| f).count() as u64;
@@ -86,7 +86,7 @@ fn misprediction_flags_match_measure_counts() {
 #[test]
 fn pipeline_scaling_helps_perfect_more_than_tage() {
     let spec = &specint_suite()[8]; // xz-like
-    let trace = spec.trace(0, LEN);
+    let trace = spec.cached_trace(0, LEN);
     let base = PipelineConfig::skylake();
     let big = base.scaled(8);
     let tage_gain = {

@@ -33,7 +33,7 @@ fn specint_accuracy_ordering_matches_table1() {
     let len = 120_000;
     let acc = |idx: usize| {
         let spec = &specint_suite()[idx];
-        measure(&mut TageScL::kb8(), &spec.trace(0, len)).accuracy()
+        measure(&mut TageScL::kb8(), &spec.cached_trace(0, len)).accuracy()
     };
     let xalanc = acc(3);
     let leela = acc(6);
@@ -48,7 +48,7 @@ fn specint_accuracy_ordering_matches_table1() {
 #[test]
 fn heavy_hitters_concentrate_mispredictions() {
     let spec = &specint_suite()[8]; // xz-like: paper reports 80.5% from 10 H2Ps
-    let trace = spec.trace(0, 150_000);
+    let trace = spec.cached_trace(0, 150_000);
     let slice = SliceConfig::new(30_000);
     let mut bpu = TageScL::kb8();
     let criteria = H2pCriteria::paper();
@@ -75,7 +75,7 @@ fn heavy_hitters_concentrate_mispredictions() {
 #[test]
 fn lcf_is_rare_branch_dominated() {
     let spec = &lcf_suite()[1]; // game-like
-    let trace = spec.trace(0, 150_000);
+    let trace = spec.cached_trace(0, 150_000);
     let profile = BranchProfile::collect(&mut TageScL::kb8(), trace.insts());
     let window = profile.instructions;
     let hist = BinSpec::executions()
@@ -91,7 +91,7 @@ fn lcf_is_rare_branch_dominated() {
 #[test]
 fn accuracy_spread_narrows_with_executions() {
     let spec = &lcf_suite()[1];
-    let trace = spec.trace(0, 200_000);
+    let trace = spec.cached_trace(0, 200_000);
     let profile = BranchProfile::collect(&mut TageScL::kb8(), trace.insts());
     let bins = accuracy_spread(&profile, 100.0, 15_000.0);
     // At this trace scale one execution is ~150 paper-equivalents, so the
@@ -114,7 +114,7 @@ fn accuracy_spread_narrows_with_executions() {
 #[test]
 fn h2ps_thrash_tage_tables() {
     let spec = &specint_suite()[6]; // leela-like
-    let trace = spec.trace(0, 150_000);
+    let trace = spec.cached_trace(0, 150_000);
     let slice = SliceConfig::new(30_000);
     let mut bpu = TageScL::kb8();
     bpu.enable_instrumentation();
@@ -138,7 +138,7 @@ fn h2ps_thrash_tage_tables() {
 #[test]
 fn storage_scaling_plateaus_after_64kb() {
     let spec = &lcf_suite()[1]; // game-like
-    let trace = spec.trace(0, 250_000);
+    let trace = spec.cached_trace(0, 250_000);
     let a8 = measure(&mut TageScL::kb8(), &trace).accuracy();
     let a64 = measure(&mut TageScL::kb64(), &trace).accuracy();
     let a1024 = measure(&mut TageScL::new(TageSclConfig::storage_kb(1024)), &trace).accuracy();
@@ -158,7 +158,7 @@ fn storage_scaling_plateaus_after_64kb() {
 #[test]
 fn recurrence_intervals_have_longscale_mass() {
     let spec = &lcf_suite()[0];
-    let trace = spec.trace(0, 200_000);
+    let trace = spec.cached_trace(0, 200_000);
     let rec = RecurrenceAnalysis::compute(&trace);
     let hist = rec.histogram(trace.len() as u64);
     // Substantial mass beyond 10K paper-equivalent instructions.

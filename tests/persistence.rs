@@ -9,7 +9,7 @@ use branch_lab::workloads::specint_suite;
 #[test]
 fn persisted_traces_are_bit_identical() {
     let spec = &specint_suite()[1];
-    let trace = spec.trace(0, 30_000);
+    let trace = spec.cached_trace(0, 30_000);
     let mut bytes = Vec::new();
     trace.write_to(&mut bytes).expect("serialize");
     let back = Trace::read_from(bytes.as_slice()).expect("deserialize");
@@ -20,7 +20,7 @@ fn persisted_traces_are_bit_identical() {
 #[test]
 fn analyses_agree_on_reloaded_traces() {
     let spec = &specint_suite()[6];
-    let trace = spec.trace(0, 30_000);
+    let trace = spec.cached_trace(0, 30_000);
     let mut bytes = Vec::new();
     trace.write_to(&mut bytes).expect("serialize");
     let back = Trace::read_from(bytes.as_slice()).expect("deserialize");

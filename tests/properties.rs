@@ -1,5 +1,10 @@
 //! Property-based tests over the core data structures and invariants,
 //! using randomly generated programs and branch streams.
+//!
+//! The build environment is offline, so instead of proptest these tests
+//! drive each property from a deterministic SplitMix64 case generator:
+//! every property runs over a few dozen seeded random cases, and failures
+//! report the case seed for replay.
 
 use branch_lab::predictors::{
     measure, misprediction_flags, Bimodal, GShare, Perceptron, Ppm, PpmConfig, Predictor,
@@ -8,7 +13,44 @@ use branch_lab::predictors::{
 use branch_lab::pipeline::{simulate, PipelineConfig};
 use branch_lab::trace::{Cond, Reg, RetiredInst, SliceConfig, Trace, TraceMeta};
 use branch_lab::workloads::{Interpreter, Op, ProgramBuilder, Terminator};
-use proptest::prelude::*;
+
+/// Deterministic case generator (SplitMix64).
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// Uniform value in `lo..hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.u64() as usize) % (hi - lo)
+    }
+
+    fn ops(&mut self, n: usize) -> Vec<(u8, u8, u8, u64)> {
+        (0..n)
+            .map(|_| {
+                let w = self.u64();
+                (w as u8, (w >> 8) as u8, (w >> 16) as u8, self.u64())
+            })
+            .collect()
+    }
+}
+
+/// Number of random cases per property.
+const CASES: u64 = 24;
 
 /// Builds a random but well-formed program: a ring of blocks with random
 /// straight-line ops and conditional branches between ring members.
@@ -47,48 +89,57 @@ fn arbitrary_program(ops: Vec<(u8, u8, u8, u64)>, nblocks: usize) -> branch_lab:
     b.finish(blocks[0], 10)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any well-formed program runs to the budget and produces a trace
-    /// whose branches reference real block addresses.
-    #[test]
-    fn interpreter_never_panics_and_traces_are_exact(
-        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()), 4..20),
-        nblocks in 2usize..12,
-        seed in any::<u64>(),
-        len in 64usize..2048,
-    ) {
+/// Any well-formed program runs to the budget and produces a trace
+/// whose branches reference real block addresses.
+#[test]
+fn interpreter_never_panics_and_traces_are_exact() {
+    for case in 0..CASES {
+        let mut g = Gen::new(case);
+        let ops = {
+            let n = g.range(4, 20);
+            g.ops(n)
+        };
+        let nblocks = g.range(2, 12);
+        let seed = g.u64();
+        let len = g.range(64, 2048);
         let p = arbitrary_program(ops, nblocks);
         let trace = Interpreter::new(&p, seed).run(len, TraceMeta::new("fuzz", 0));
-        prop_assert_eq!(trace.len(), len);
+        assert_eq!(trace.len(), len, "case {case}");
         for br in trace.conditional_branches() {
             // Branch IPs and targets must be within the code segment.
-            prop_assert!(br.ip >= branch_lab::workloads::CODE_BASE);
-            prop_assert!(br.target >= branch_lab::workloads::CODE_BASE);
+            assert!(br.ip >= branch_lab::workloads::CODE_BASE, "case {case}");
+            assert!(br.target >= branch_lab::workloads::CODE_BASE, "case {case}");
         }
     }
+}
 
-    /// Determinism: identical (program, seed, budget) yields identical
-    /// traces.
-    #[test]
-    fn interpreter_is_deterministic(
-        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()), 4..16),
-        nblocks in 2usize..8,
-        seed in any::<u64>(),
-    ) {
+/// Determinism: identical (program, seed, budget) yields identical
+/// traces.
+#[test]
+fn interpreter_is_deterministic() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x1000 + case);
+        let ops = {
+            let n = g.range(4, 16);
+            g.ops(n)
+        };
+        let nblocks = g.range(2, 8);
+        let seed = g.u64();
         let p = arbitrary_program(ops, nblocks);
         let a = Interpreter::new(&p, seed).run(512, TraceMeta::new("f", 0));
         let b = Interpreter::new(&p, seed).run(512, TraceMeta::new("f", 0));
-        prop_assert_eq!(a.insts(), b.insts());
+        assert_eq!(a.insts(), b.insts(), "case {case}");
     }
+}
 
-    /// Every predictor stays panic-free and self-consistent on arbitrary
-    /// branch streams.
-    #[test]
-    fn predictors_handle_arbitrary_streams(
-        stream in proptest::collection::vec((any::<u32>(), any::<bool>()), 1..400),
-    ) {
+/// Every predictor stays panic-free and self-consistent on arbitrary
+/// branch streams.
+#[test]
+fn predictors_handle_arbitrary_streams() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x2000 + case);
+        let n = g.range(1, 400);
+        let stream: Vec<(u32, bool)> = (0..n).map(|_| (g.u64() as u32, g.bool())).collect();
         let mut predictors: Vec<Box<dyn Predictor>> = vec![
             Box::new(Bimodal::new(8)),
             Box::new(GShare::new(10, 12)),
@@ -102,34 +153,44 @@ proptest! {
                 let pred = p.predict(ip);
                 p.update(ip, taken, pred);
             }
-            prop_assert!(p.storage_bits() > 0 || p.name() == "always-taken");
+            assert!(
+                p.storage_bits() > 0 || p.name() == "always-taken",
+                "case {case}: {}",
+                p.name()
+            );
         }
     }
+}
 
-    /// Prediction accuracy is reproducible: running the same predictor
-    /// twice over the same trace gives identical flags.
-    #[test]
-    fn prediction_is_deterministic(seed in any::<u64>(), len in 256usize..1024) {
+/// Prediction accuracy is reproducible: running the same predictor
+/// twice over the same trace gives identical flags.
+#[test]
+fn prediction_is_deterministic() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x3000 + case);
+        let seed = g.u64();
+        let len = g.range(256, 1024);
         let mut t = Trace::new(TraceMeta::new("s", 0));
         let mut state = seed | 1;
-        for i in 0..len {
+        for _ in 0..len {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let ip = 0x400 + u64::from((state >> 33) as u8 & 31) * 4;
             t.push(RetiredInst::cond_branch(ip, state & 1 == 1, 0, None, None));
-            let _ = i;
         }
         let a = misprediction_flags(&mut TageScL::kb8(), &t);
         let b = misprediction_flags(&mut TageScL::kb8(), &t);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Pipeline monotonicity: flipping mispredictions on can only slow the
-    /// machine down, and IPC is bounded by the fetch width.
-    #[test]
-    fn pipeline_is_monotone_in_mispredictions(
-        seed in any::<u64>(),
-        flips in proptest::collection::vec(any::<bool>(), 64),
-    ) {
+/// Pipeline monotonicity: flipping mispredictions on can only slow the
+/// machine down, and IPC is bounded by the fetch width.
+#[test]
+fn pipeline_is_monotone_in_mispredictions() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x4000 + case);
+        let seed = g.u64();
+        let flips: Vec<bool> = (0..64).map(|_| g.bool()).collect();
         let mut t = Trace::new(TraceMeta::new("m", 0));
         let mut state = seed | 1;
         for i in 0..64u64 {
@@ -151,32 +212,45 @@ proptest! {
         let cfg = PipelineConfig::skylake();
         let none = simulate(&t, &vec![false; nbr], &cfg);
         let some = simulate(&t, &flips[..nbr], &cfg);
-        prop_assert!(some.cycles >= none.cycles);
-        prop_assert!(none.ipc() <= f64::from(cfg.fetch_width) + 1e-9);
+        assert!(some.cycles >= none.cycles, "case {case}");
+        assert!(none.ipc() <= f64::from(cfg.fetch_width) + 1e-9, "case {case}");
     }
+}
 
-    /// Saturating counters never leave their range and move toward the
-    /// trained direction.
-    #[test]
-    fn counters_respect_ranges(updates in proptest::collection::vec(any::<bool>(), 1..200), bits in 1u32..8) {
+/// Saturating counters never leave their range and move toward the
+/// trained direction.
+#[test]
+fn counters_respect_ranges() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x5000 + case);
+        let n = g.range(1, 200);
+        let updates: Vec<bool> = (0..n).map(|_| g.bool()).collect();
+        let bits = g.range(1, 8) as u32;
         let mut c = SatCounter::new(bits, 0);
         let mut s = SignedCounter::new(bits.max(2));
         for &u in &updates {
             c.update(u);
             s.update(u);
-            prop_assert!(c.value() <= c.max());
-            prop_assert!(s.centered().abs() <= i32::from(i16::MAX));
+            assert!(c.value() <= c.max(), "case {case}");
+            assert!(s.centered().abs() <= i32::from(i16::MAX), "case {case}");
         }
         // After enough consistent updates to saturate, direction matches.
         let mut c2 = SatCounter::new(bits, 0);
-        for _ in 0..=c2.max() { c2.update(true); }
-        prop_assert!(c2.taken());
+        for _ in 0..=c2.max() {
+            c2.update(true);
+        }
+        assert!(c2.taken(), "case {case}");
     }
+}
 
-    /// Slices partition traces: slice lengths sum to at most the trace
-    /// length, and all but the last have exactly the configured length.
-    #[test]
-    fn slices_partition_traces(len in 1usize..5000, slice_len in 1usize..1000) {
+/// Slices partition traces: slice lengths sum to at most the trace
+/// length, and all but the last have exactly the configured length.
+#[test]
+fn slices_partition_traces() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x6000 + case);
+        let len = g.range(1, 5000);
+        let slice_len = g.range(1, 1000);
         let mut t = Trace::new(TraceMeta::new("sl", 0));
         for i in 0..len {
             t.push(RetiredInst::op(i as u64, branch_lab::trace::InstClass::Nop, None, None, None, 0));
@@ -184,18 +258,22 @@ proptest! {
         let cfg = SliceConfig::new(slice_len);
         let slices: Vec<_> = t.slices(cfg).collect();
         let total: usize = slices.iter().map(|s| s.len()).sum();
-        prop_assert!(total <= len);
+        assert!(total <= len, "case {case}");
         for s in slices.iter().rev().skip(1) {
-            prop_assert_eq!(s.len(), slice_len);
+            assert_eq!(s.len(), slice_len, "case {case}");
         }
         if let Some(last) = slices.last() {
-            prop_assert!(last.len() * 2 >= slice_len);
+            assert!(last.len() * 2 >= slice_len, "case {case}");
         }
     }
+}
 
-    /// `measure` accuracy equals 1 - (flagged mispredictions / branches).
-    #[test]
-    fn measure_and_flags_agree(seed in any::<u64>()) {
+/// `measure` accuracy equals 1 - (flagged mispredictions / branches).
+#[test]
+fn measure_and_flags_agree() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x7000 + case);
+        let seed = g.u64();
         let mut t = Trace::new(TraceMeta::new("agree", 0));
         let mut state = seed | 1;
         for _ in 0..300 {
@@ -206,6 +284,6 @@ proptest! {
         let acc = measure(&mut GShare::new(10, 8), &t);
         let flags = misprediction_flags(&mut GShare::new(10, 8), &t);
         let wrong = flags.iter().filter(|&&f| f).count() as u64;
-        prop_assert_eq!(acc.total - acc.correct, wrong);
+        assert_eq!(acc.total - acc.correct, wrong, "case {case}");
     }
 }
