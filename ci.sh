@@ -9,6 +9,12 @@ cargo build --release --workspace
 echo "== test =="
 cargo test -q --workspace
 
+echo "== golden (release) =="
+# Share one trace cache across the golden runs so the leg stays fast; the
+# fixtures themselves are independent of where traces are cached.
+BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
+    cargo test --release -q --test golden --test metrics_manifest
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -176,6 +176,9 @@ where
     P: DirectionPredictor,
     F: Fn() -> P + Sync,
 {
+    let _timer = bp_metrics::stage("study.characterize");
+    bp_metrics::Counter::get("study.characterize.inputs")
+        .add(u64::from(config.inputs_for(spec.inputs)));
     let inputs: Vec<u32> = (0..config.inputs_for(spec.inputs)).collect();
     let per_input = engine.map(&inputs, |_, &input| {
         let trace = spec.cached_trace(input, config.trace_len);

@@ -117,6 +117,8 @@ pub fn scaling_study_with(
     specs: &[WorkloadSpec],
     config: &DatasetConfig,
 ) -> ScalingStudy {
+    let _timer = bp_metrics::stage("study.scaling");
+    bp_metrics::Counter::get("study.scaling.workloads").add(specs.len() as u64);
     let scales = PipelineConfig::SCALES.to_vec();
     let base_cfg = PipelineConfig::skylake();
     let labels = [
@@ -204,6 +206,8 @@ pub fn storage_scaling_study_with(
     specs: &[WorkloadSpec],
     config: &DatasetConfig,
 ) -> StorageScalingStudy {
+    let _timer = bp_metrics::stage("study.storage_scaling");
+    bp_metrics::Counter::get("study.storage_scaling.workloads").add(specs.len() as u64);
     let scales = PipelineConfig::SCALES.to_vec();
     let storages = TageSclConfig::STORAGE_POINTS_KB.to_vec();
     let base_cfg = PipelineConfig::skylake();
@@ -280,6 +284,8 @@ pub fn rare_oracle_study_with(
     specs: &[WorkloadSpec],
     config: &DatasetConfig,
 ) -> Vec<RareOracleRow> {
+    let _timer = bp_metrics::stage("study.rare_oracle");
+    bp_metrics::Counter::get("study.rare_oracle.workloads").add(specs.len() as u64);
     let cfg = PipelineConfig::skylake();
     engine.map(specs, |_, spec| {
         let trace = spec.cached_trace(0, config.trace_len);

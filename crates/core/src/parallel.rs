@@ -67,9 +67,16 @@ impl Engine {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        // Observability: fan-out shape and cumulative wall time. All
+        // no-ops (one relaxed load each) unless BRANCH_LAB_METRICS is on.
+        bp_metrics::Counter::get("engine.map_calls").incr();
+        bp_metrics::Counter::get("engine.tasks").add(items.len() as u64);
+        let _map_timer = bp_metrics::stage("engine.map");
+        let run = |i: usize, item: &T| bp_metrics::time("engine.task", || f(i, item));
+
         let workers = self.threads.min(items.len());
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return items.iter().enumerate().map(|(i, t)| run(i, t)).collect();
         }
         // Work-stealing by atomic index; results carry their index so the
         // output order is independent of scheduling.
@@ -82,7 +89,7 @@ impl Engine {
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        local.push((i, f(i, item)));
+                        local.push((i, run(i, item)));
                     }
                     indexed.lock().expect("engine results poisoned").extend(local);
                 });

@@ -14,6 +14,7 @@ use bp_workloads::{lcf_suite, specint_suite};
 
 fn main() {
     let cli = Cli::parse();
+    let _run = cli.metrics_run("ablation");
     let cfg = cli.dataset();
 
     // --- Component ablation across a few representative workloads. ---

@@ -5,6 +5,10 @@
 //! `BRANCH_LAB_TRACE_DIR` (defaulting to `out/traces`) so each workload
 //! trace is interpreted once and then loaded from disk by every later
 //! binary. An explicit `BRANCH_LAB_TRACE_DIR` in the environment wins.
+//!
+//! With `BRANCH_LAB_METRICS` pointing at a sink directory, each child
+//! writes its own run manifest there; after all children succeed, `all`
+//! merges them into one `<sink>/all.json`.
 
 use std::process::Command;
 
@@ -28,5 +32,30 @@ fn main() {
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed with {status}");
+    }
+    merge_manifests(&bins);
+}
+
+/// Merges the children's per-run manifests into `<sink>/all.json`.
+/// Silent no-op when metrics are off; merge problems go to stderr only,
+/// so stdout stays byte-identical with and without metrics.
+fn merge_manifests(bins: &[&str]) {
+    let Some(sink) = bp_metrics::sink_dir() else { return };
+    let mut runs = Vec::new();
+    for bin in bins {
+        let path = sink.join(format!("{bin}.json"));
+        match std::fs::read_to_string(&path) {
+            Ok(s) => runs.push(s),
+            Err(e) => eprintln!("bp-metrics: missing manifest {}: {e}", path.display()),
+        }
+    }
+    match bp_metrics::merge_manifests(&runs) {
+        Ok(merged) => {
+            let path = sink.join("all.json");
+            if let Err(e) = std::fs::write(&path, merged + "\n") {
+                eprintln!("bp-metrics: failed to write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("bp-metrics: failed to merge manifests: {e}"),
     }
 }

@@ -11,6 +11,7 @@ use bp_workloads::specint_suite;
 
 fn main() {
     let cli = Cli::parse();
+    let _run = cli.metrics_run("alloc_stats");
     let cfg = cli.dataset();
     let mut table = Table::new(vec![
         "benchmark",

@@ -11,6 +11,7 @@ use bp_workloads::{lcf_suite, specint_suite};
 
 fn main() {
     let cli = Cli::parse();
+    let _run = cli.metrics_run("baselines");
     let cfg = cli.dataset();
     let mut table = Table::new(vec![
         "workload",

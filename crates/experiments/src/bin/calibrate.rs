@@ -6,6 +6,7 @@ use bp_workloads::{lcf_suite, specint_suite};
 use std::collections::HashMap;
 
 fn main() {
+    let _run = bp_metrics::RunGuard::begin("calibrate");
     let len: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -6,6 +6,7 @@ use bp_predictors::{misprediction_flags, PerfectPredictor, TageScL};
 use bp_workloads::{lcf_suite, specint_suite};
 
 fn main() {
+    let _run = bp_metrics::RunGuard::begin("debug_ipc");
     let which = std::env::args().nth(1).unwrap_or_else(|| "1".into());
     let len: usize = std::env::args()
         .nth(2)

@@ -1,56 +1,10 @@
 //! Fig. 1: single-threaded IPC (relative to the 1x TAGE-SC-L 8KB
 //! baseline) as pipeline capacity scales 1x–32x, for the SPECint suite.
 
-use bp_core::{f3, scaling_study, Table};
-use bp_experiments::Cli;
-use bp_workloads::specint_suite;
+use bp_experiments::{reports, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let cfg = cli.dataset();
-    let study = scaling_study(&specint_suite(), &cfg);
-    let mut table = Table::new(vec![
-        "scale",
-        "TAGE-SC-L 8KB",
-        "TAGE-SC-L 64KB",
-        "Perfect H2Ps",
-        "Perfect BP",
-        "opportunity (perfect/tage8)",
-    ]);
-    for (si, &scale) in study.scales.iter().enumerate() {
-        let v = |label: &str| {
-            study
-                .series
-                .iter()
-                .find(|s| s.label == label)
-                .map(|s| s.relative_ipc[si])
-                .unwrap_or(f64::NAN)
-        };
-        let tage8 = v("TAGE-SC-L 8KB");
-        let perfect = v("Perfect BP");
-        table.row(vec![
-            format!("{scale}x"),
-            f3(tage8),
-            f3(v("TAGE-SC-L 64KB")),
-            f3(v("Perfect H2Ps")),
-            f3(perfect),
-            f3(perfect / tage8),
-        ]);
-    }
-    cli.emit(
-        "Fig. 1: IPC vs pipeline capacity scaling, SPECint suite",
-        "fig1",
-        &table,
-    );
-    // The paper's headline numbers for comparison.
-    let at = |label: &str, scale: u32| study.value(label, scale);
-    println!(
-        "IPC opportunity at 1x: {:.1}% (paper: 18.5%)   at 4x: {:.1}% (paper: 55.3%)",
-        (at("Perfect BP", 1) / at("TAGE-SC-L 8KB", 1) - 1.0) * 100.0,
-        (at("Perfect BP", 4) / at("TAGE-SC-L 8KB", 4) - 1.0) * 100.0,
-    );
-    println!(
-        "H2P share of the 1x opportunity: {:.1}% (paper: 75.7%)",
-        (at("Perfect H2Ps", 1) - 1.0) / (at("Perfect BP", 1) - 1.0).max(1e-9) * 100.0
-    );
+    let _run = cli.metrics_run("fig1");
+    reports::fig1_report(&cli.dataset()).emit(&cli);
 }

@@ -12,6 +12,7 @@ use bp_workloads::specint_suite;
 
 fn main() {
     let cli = Cli::parse();
+    let _run = cli.metrics_run("fig10");
     let cfg = cli.dataset();
     // The paper shows six benchmarks; we show the same six.
     let shown = [

@@ -1,44 +1,10 @@
 //! Fig. 2: cumulative fraction of mispredictions owned by the n-th H2P
 //! heavy hitter, per SPECint benchmark.
 
-use bp_analysis::{rank_heavy_hitters, top_n_fraction};
-use bp_core::{characterize_workload, Table};
-use bp_experiments::Cli;
-use bp_predictors::TageScL;
-use bp_workloads::specint_suite;
+use bp_experiments::{reports, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let cfg = cli.dataset();
-    let ns = [1usize, 2, 3, 5, 10, 20, 50];
-    let mut headers = vec!["benchmark".to_owned()];
-    headers.extend(ns.iter().map(|n| format!("top-{n}")));
-    let mut table = Table::new(headers.iter().map(String::as_str).collect());
-    let mut top5_sum = 0.0;
-    let suite = specint_suite();
-    for spec in &suite {
-        let c = characterize_workload(spec, &cfg, TageScL::kb8);
-        // Merge profiles across inputs; rank the H2P union by executions.
-        let mut merged = bp_analysis::BranchProfile::new();
-        for ic in &c.inputs {
-            merged.merge(&ic.profile);
-        }
-        let hitters = rank_heavy_hitters(&merged, c.h2p_union.iter().copied());
-        top5_sum += top_n_fraction(&hitters, 5);
-        let mut row = vec![c.name.clone()];
-        row.extend(
-            ns.iter()
-                .map(|&n| format!("{:.3}", top_n_fraction(&hitters, n))),
-        );
-        table.row(row);
-    }
-    cli.emit(
-        "Fig. 2: cumulative fraction of TAGE8 mispredictions vs n-th H2P heavy hitter",
-        "fig2",
-        &table,
-    );
-    println!(
-        "Top-5 heavy hitters own {:.1}% of mispredictions on average (paper: 37%)",
-        top5_sum / suite.len() as f64 * 100.0
-    );
+    let _run = cli.metrics_run("fig2");
+    reports::fig2_report(&cli.dataset()).emit(&cli);
 }

@@ -1,64 +1,10 @@
 //! Fig. 3: distributions of dynamic mispredictions, dynamic executions,
 //! and prediction accuracy across the static branches of the LCF dataset.
 
-use bp_analysis::{paper_equivalent, BinSpec, BranchProfile};
-use bp_core::Table;
-use bp_experiments::Cli;
-use bp_predictors::TageScL;
-use bp_workloads::lcf_suite;
+use bp_experiments::{reports, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let cfg = cli.dataset();
-
-    // Pool per-branch stats across all LCF applications, in
-    // paper-equivalent counts.
-    let mut mispredicts = Vec::new();
-    let mut execs = Vec::new();
-    let mut accuracy = Vec::new();
-    for spec in &lcf_suite() {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let mut bpu = TageScL::kb8();
-        let profile = BranchProfile::collect(&mut bpu, trace.insts());
-        let window = profile.instructions;
-        for (_, s) in profile.iter() {
-            mispredicts.push(paper_equivalent(s.mispredicts, window));
-            execs.push(paper_equivalent(s.execs, window));
-            accuracy.push(s.accuracy());
-        }
-    }
-
-    let specs = [
-        ("mispredictions", BinSpec::mispredictions(), &mispredicts),
-        ("executions", BinSpec::executions(), &execs),
-        ("accuracy", BinSpec::accuracy(), &accuracy),
-    ];
-    for (name, bins, values) in specs {
-        let h = bins.histogram(values.iter().copied());
-        let mut table = Table::new(vec!["bin", "fraction of static IPs"]);
-        for (label, frac) in h.labels().iter().zip(h.fractions()) {
-            table.row(vec![label.clone(), format!("{frac:.4}")]);
-        }
-        cli.emit(
-            &format!("Fig. 3 ({name}) over {} static branch IPs", h.total()),
-            &format!("fig3_{name}"),
-            &table,
-        );
-    }
-
-    // The paper's headline fractions.
-    let exec_h = BinSpec::executions().histogram(execs.iter().copied());
-    let acc_h = BinSpec::accuracy().histogram(accuracy.iter().copied());
-    println!(
-        "\nbranches with <100 paper-equivalent executions: {:.1}% (paper: 85%)",
-        exec_h.fraction_of("0-100") * 100.0
-    );
-    println!(
-        "branches with accuracy >= 0.99: {:.1}% (paper: 55%)",
-        acc_h.fraction_of("0.99-1") * 100.0
-    );
-    println!(
-        "branches with accuracy <= 0.10: {:.1}% (paper: 12%)",
-        acc_h.fraction_of("0.00-0.10") * 100.0
-    );
+    let _run = cli.metrics_run("fig3");
+    reports::fig3_report(&cli.dataset()).emit(&cli);
 }

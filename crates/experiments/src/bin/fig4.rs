@@ -9,6 +9,7 @@ use bp_workloads::lcf_suite;
 
 fn main() {
     let cli = Cli::parse();
+    let _run = cli.metrics_run("fig4");
     let cfg = cli.dataset();
     let mut points = Vec::new();
     for spec in &lcf_suite() {

@@ -1,45 +1,10 @@
 //! Fig. 5: IPC vs pipeline capacity scaling for the large-code-footprint
 //! traces — H2Ps play a diminished role; rare branches dominate.
 
-use bp_core::{f3, scaling_study, Table};
-use bp_experiments::Cli;
-use bp_workloads::lcf_suite;
+use bp_experiments::{reports, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let cfg = cli.dataset();
-    let study = scaling_study(&lcf_suite(), &cfg);
-    let mut table = Table::new(vec![
-        "scale",
-        "TAGE-SC-L 8KB",
-        "TAGE-SC-L 64KB",
-        "Perfect H2Ps",
-        "Perfect BP",
-        "h2p share of opportunity",
-    ]);
-    for (si, &scale) in study.scales.iter().enumerate() {
-        let v = |label: &str| {
-            study
-                .series
-                .iter()
-                .find(|s| s.label == label)
-                .map(|s| s.relative_ipc[si])
-                .unwrap_or(f64::NAN)
-        };
-        let share = (v("Perfect H2Ps") - v("TAGE-SC-L 8KB"))
-            / (v("Perfect BP") - v("TAGE-SC-L 8KB")).max(1e-9);
-        table.row(vec![
-            format!("{scale}x"),
-            f3(v("TAGE-SC-L 8KB")),
-            f3(v("TAGE-SC-L 64KB")),
-            f3(v("Perfect H2Ps")),
-            f3(v("Perfect BP")),
-            format!("{:.1}%", share * 100.0),
-        ]);
-    }
-    cli.emit(
-        "Fig. 5: IPC vs pipeline capacity scaling, LCF suite (paper: H2P share 37.8% at 1x, 33.7% at 32x)",
-        "fig5",
-        &table,
-    );
+    let _run = cli.metrics_run("fig5");
+    reports::fig5_report(&cli.dataset()).emit(&cli);
 }

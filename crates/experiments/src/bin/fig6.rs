@@ -12,6 +12,7 @@ use bp_workloads::specint_suite;
 
 fn main() {
     let cli = Cli::parse();
+    let _run = cli.metrics_run("fig6");
     let cfg = cli.dataset();
     for spec in &specint_suite() {
         let trace = spec.cached_trace(0, cfg.trace_len);

@@ -2,37 +2,10 @@
 //! TAGE-SC-L storage from 8KB to 1024KB, at each pipeline scale, for the
 //! LCF applications.
 
-use bp_core::{storage_scaling_study, Table};
-use bp_experiments::Cli;
-use bp_workloads::lcf_suite;
+use bp_experiments::{reports, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let cfg = cli.dataset();
-    let study = storage_scaling_study(&lcf_suite(), &cfg);
-    for (si, &scale) in study.scales.iter().enumerate() {
-        let mut headers = vec!["application".to_owned()];
-        headers.extend(study.storages_kb.iter().map(|kb| format!("TAGE{kb}")));
-        let mut table = Table::new(headers.iter().map(String::as_str).collect());
-        let mut maxima = 0.0f64;
-        for row in &study.rows {
-            let mut cells = vec![row.name.clone()];
-            for &v in &row.gap_closed[si] {
-                cells.push(format!("{v:.3}"));
-                maxima = maxima.max(v);
-            }
-            table.row(cells);
-        }
-        cli.emit(
-            &format!("Fig. 7 ({scale}x pipeline): fraction of TAGE8→perfect IPC gap closed"),
-            &format!("fig7_{scale}x"),
-            &table,
-        );
-        if scale == 32 {
-            println!(
-                "max fraction closed at 32x: {:.2} (paper: at most 0.34 — storage alone cannot rescue rare branches)",
-                maxima
-            );
-        }
-    }
+    let _run = cli.metrics_run("fig7");
+    reports::fig7_report(&cli.dataset()).emit(&cli);
 }

@@ -2,39 +2,10 @@
 //! perfectly predicting every branch with more than 1,000 (or 100)
 //! dynamic executions — the remainder is attributable to rare branches.
 
-use bp_core::{rare_oracle_study, Table};
-use bp_experiments::Cli;
-use bp_workloads::lcf_suite;
+use bp_experiments::{reports, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let cfg = cli.dataset();
-    let rows = rare_oracle_study(&lcf_suite(), &cfg);
-    let mut table = Table::new(vec![
-        "application",
-        "remaining after perfect >1000",
-        "remaining after perfect >100",
-    ]);
-    let mut m1000 = 0.0;
-    let mut m100 = 0.0;
-    for r in &rows {
-        m1000 += r.remaining_after_1000 / rows.len() as f64;
-        m100 += r.remaining_after_100 / rows.len() as f64;
-        table.row(vec![
-            r.name.clone(),
-            format!("{:.3}", r.remaining_after_1000),
-            format!("{:.3}", r.remaining_after_100),
-        ]);
-    }
-    table.row(vec![
-        "MEAN".into(),
-        format!("{m1000:.3}"),
-        format!("{m100:.3}"),
-    ]);
-    cli.emit(
-        "Fig. 8: fraction of TAGE8 IPC opportunity remaining (TAGE-SC-L 1024KB + exec-count oracle)",
-        "fig8",
-        &table,
-    );
-    println!("(paper means: 34.3% after perfect >1000; 27.4% after perfect >100)");
+    let _run = cli.metrics_run("fig8");
+    reports::fig8_report(&cli.dataset()).emit(&cli);
 }

@@ -2,47 +2,10 @@
 //! IPs in the LCF dataset — long-timescale phase behaviour exists and is
 //! exploitable by helper predictors.
 
-use bp_analysis::RecurrenceAnalysis;
-use bp_core::Table;
-use bp_experiments::Cli;
-use bp_workloads::lcf_suite;
+use bp_experiments::{reports, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let cfg = cli.dataset();
-    // Pool per-IP medians across the whole dataset, as the paper does.
-    let mut fractions_sum: Vec<f64> = Vec::new();
-    let mut labels: Vec<String> = Vec::new();
-    let mut total_ips = 0u64;
-    let napps = lcf_suite().len() as f64;
-    for spec in &lcf_suite() {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let rec = RecurrenceAnalysis::compute(&trace);
-        let h = rec.histogram(trace.len() as u64);
-        total_ips += h.total();
-        if labels.is_empty() {
-            labels = h.labels().to_vec();
-            fractions_sum = vec![0.0; labels.len()];
-        }
-        for (acc, f) in fractions_sum.iter_mut().zip(h.fractions()) {
-            *acc += f / napps;
-        }
-    }
-    let mut table = Table::new(vec!["MRI bin (paper-equiv instructions)", "fraction of static IPs"]);
-    for (label, frac) in labels.iter().zip(&fractions_sum) {
-        table.row(vec![label.clone(), format!("{frac:.4}")]);
-    }
-    cli.emit(
-        &format!("Fig. 9: median recurrence interval distribution over {total_ips} static IPs (LCF)"),
-        "fig9",
-        &table,
-    );
-    let peak = labels
-        .iter()
-        .zip(&fractions_sum)
-        .skip(1) // ignore the singleton 0-1 bin, as the paper does
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(l, _)| l.clone())
-        .unwrap_or_default();
-    println!("peak bin (excluding singletons): {peak} (paper: 100K-1M)");
+    let _run = cli.metrics_run("fig9");
+    reports::fig9_report(&cli.dataset()).emit(&cli);
 }

@@ -129,6 +129,7 @@ fn phase_study(spec: &WorkloadSpec, cfg: &DatasetConfig, cli: &Cli) {
 
 fn main() {
     let cli = Cli::parse();
+    let _run = cli.metrics_run("helpers");
     let cfg = cli.dataset();
     for name in ["605.mcf_s", "641.leela_s"] {
         let suite = specint_suite();

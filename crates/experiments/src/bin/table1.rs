@@ -1,84 +1,10 @@
 //! Table I: summary statistics of the SPECint 2017 dataset under
 //! TAGE-SC-L 8KB, over multiple application inputs per benchmark.
 
-use bp_core::{characterize_workload, f3, pct, Table};
-use bp_experiments::Cli;
-use bp_predictors::TageScL;
-use bp_workloads::specint_suite;
+use bp_experiments::{reports, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let cfg = cli.dataset();
-    let mut table = Table::new(vec![
-        "benchmark",
-        "avg-phases",
-        "static-br-total",
-        "static-br-med/slice",
-        "avg-acc",
-        "acc-excl-h2p",
-        "inputs",
-        "h2p-total",
-        "h2p-3+inputs",
-        "h2p-avg/input",
-        "h2p-avg/slice",
-        "h2p-execs/slice",
-        "h2p-mispred-share",
-    ]);
-    let mut means = [0.0f64; 12];
-    let suite = specint_suite();
-    for spec in &suite {
-        let c = characterize_workload(spec, &cfg, TageScL::kb8);
-        let cells = [
-            c.avg_phases,
-            c.total_static_branches as f64,
-            c.median_static_per_slice as f64,
-            c.avg_accuracy,
-            c.avg_accuracy_excl_h2p,
-            f64::from(cfg.inputs_for(spec.inputs)),
-            c.h2p_union.len() as f64,
-            c.h2p_3plus_inputs as f64,
-            c.avg_h2p_per_input,
-            c.avg_h2p_per_slice,
-            c.avg_h2p_execs_per_slice,
-            c.avg_h2p_mispredict_share,
-        ];
-        for (m, v) in means.iter_mut().zip(cells) {
-            *m += v / suite.len() as f64;
-        }
-        table.row(vec![
-            c.name.clone(),
-            format!("{:.1}", cells[0]),
-            format!("{}", c.total_static_branches),
-            format!("{}", c.median_static_per_slice),
-            f3(cells[3]),
-            f3(cells[4]),
-            format!("{}", cells[5] as u64),
-            format!("{}", c.h2p_union.len()),
-            format!("{}", c.h2p_3plus_inputs),
-            format!("{:.1}", cells[8]),
-            format!("{:.1}", cells[9]),
-            format!("{:.0}", cells[10]),
-            pct(cells[11]),
-        ]);
-    }
-    table.row(vec![
-        "MEAN".into(),
-        format!("{:.1}", means[0]),
-        format!("{:.0}", means[1]),
-        format!("{:.0}", means[2]),
-        f3(means[3]),
-        f3(means[4]),
-        format!("{:.1}", means[5]),
-        format!("{:.0}", means[6]),
-        format!("{:.1}", means[7]),
-        format!("{:.1}", means[8]),
-        format!("{:.1}", means[9]),
-        format!("{:.0}", means[10]),
-        pct(means[11]),
-    ]);
-    cli.emit(
-        "Table I: SPECint 2017 dataset summary (TAGE-SC-L 8KB)",
-        "table1",
-        &table,
-    );
+    let _run = cli.metrics_run("table1");
+    reports::table1_report(&cli.dataset()).emit(&cli);
 }

@@ -1,67 +1,10 @@
 //! Table II: summary branch statistics of the large-code-footprint
 //! applications under TAGE-SC-L 8KB (single trace per application).
 
-use bp_analysis::{BranchProfile, H2pCriteria};
-use bp_core::{f3, Table};
-use bp_experiments::Cli;
-use bp_predictors::TageScL;
-use bp_trace::SliceConfig;
-use bp_workloads::lcf_suite;
+use bp_experiments::{reports, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let cfg = cli.dataset();
-    let mut table = Table::new(vec![
-        "application",
-        "static-branch-ips",
-        "avg-execs/static",
-        "avg-acc/static",
-        "h2ps",
-        "agg-acc",
-    ]);
-    let mut means = [0.0f64; 4];
-    let suite = lcf_suite();
-    for spec in &suite {
-        // The paper analyzes each LCF app as one 30M-instruction trace;
-        // we use the whole trace as a single slice.
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let whole = SliceConfig::new(cfg.trace_len);
-        let mut bpu = TageScL::kb8();
-        let profile = BranchProfile::collect(&mut bpu, trace.insts());
-        let h2ps = H2pCriteria::paper().screen(&profile, whole);
-        let cells = [
-            profile.static_branch_count() as f64,
-            profile.mean_execs_per_static_branch(),
-            profile.mean_accuracy_per_static_branch(),
-            h2ps.len() as f64,
-        ];
-        for (m, v) in means.iter_mut().zip(cells) {
-            *m += v / suite.len() as f64;
-        }
-        table.row(vec![
-            spec.name.clone(),
-            format!("{}", profile.static_branch_count()),
-            format!("{:.1}", cells[1]),
-            f3(cells[2]),
-            format!("{}", h2ps.len()),
-            f3(profile.accuracy()),
-        ]);
-    }
-    table.row(vec![
-        "MEAN".into(),
-        format!("{:.0}", means[0]),
-        format!("{:.1}", means[1]),
-        f3(means[2]),
-        format!("{:.1}", means[3]),
-        String::new(),
-    ]);
-    cli.emit(
-        "Table II: LCF application branch statistics (TAGE-SC-L 8KB)",
-        "table2",
-        &table,
-    );
-    println!(
-        "(paper means: 14,072 static IPs; 612.8 execs/static; 0.85 accuracy; 5.2 H2Ps — \
-         static counts scale with trace length, ratios should match)"
-    );
+    let _run = cli.metrics_run("table2");
+    reports::table2_report(&cli.dataset()).emit(&cli);
 }

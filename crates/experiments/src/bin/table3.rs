@@ -12,6 +12,7 @@ use bp_workloads::specint_suite;
 
 fn main() {
     let cli = Cli::parse();
+    let _run = cli.metrics_run("table3");
     let cfg = cli.dataset();
     let mut table = Table::new(vec![
         "benchmark",

@@ -11,6 +11,8 @@ use std::path::PathBuf;
 
 use bp_core::{DatasetConfig, Table};
 
+pub mod reports;
+
 /// Parsed command-line options common to all experiment binaries.
 #[derive(Clone, Debug, Default)]
 pub struct Cli {
@@ -61,6 +63,24 @@ impl Cli {
             Some(len) => base.with_trace_len(len),
             None => base,
         }
+    }
+
+    /// Starts a `bp-metrics` run for this binary. The returned guard
+    /// writes `<sink>/<name>.json` on drop when `BRANCH_LAB_METRICS`
+    /// selects a sink directory; otherwise it is inert. The manifest's
+    /// `info` block records the dataset shape so runs are comparable.
+    #[must_use]
+    pub fn metrics_run(&self, name: &str) -> bp_metrics::RunGuard {
+        let cfg = self.dataset();
+        let mut guard = bp_metrics::RunGuard::begin(name);
+        guard.info("trace_len", cfg.trace_len);
+        guard.info("slice_len", cfg.slice.len());
+        guard.info(
+            "max_inputs",
+            cfg.max_inputs.map_or_else(|| "none".to_owned(), |n| n.to_string()),
+        );
+        guard.info("quick", self.quick);
+        guard
     }
 
     /// Prints a table under a heading and optionally writes CSV.

@@ -1,0 +1,544 @@
+//! Library entry points for the experiment binaries.
+//!
+//! Each `*_report` function runs one table/figure's full computation and
+//! returns a [`Report`] — an ordered list of sections (heading + named
+//! table) and free-form note lines. [`Report::render`] reproduces the
+//! binary's stdout byte-for-byte (without `--csv`), which is what the
+//! golden-master suite in `tests/golden.rs` snapshots; the binaries
+//! themselves go through [`Report::emit`], which additionally handles
+//! CSV output. Keeping the logic here means a golden test exercises
+//! exactly the code the binary ships.
+
+use bp_analysis::{
+    paper_equivalent, rank_heavy_hitters, top_n_fraction, BinSpec, BranchProfile, H2pCriteria,
+    RecurrenceAnalysis,
+};
+use bp_core::{
+    characterize_workload, f3, pct, rare_oracle_study, scaling_study, storage_scaling_study,
+    DatasetConfig, Table,
+};
+use bp_predictors::TageScL;
+use bp_trace::SliceConfig;
+use bp_workloads::{lcf_suite, specint_suite};
+
+use crate::Cli;
+
+/// One element of a report, in output order.
+pub enum ReportItem {
+    /// A table under a `== heading ==` banner; `name` keys the CSV file.
+    Section {
+        /// Human-readable heading.
+        heading: String,
+        /// CSV/file stem, e.g. `"fig3_accuracy"`.
+        name: String,
+        /// The rendered table.
+        table: Table,
+    },
+    /// A free-form line printed verbatim (may itself contain newlines).
+    Note(String),
+}
+
+/// An experiment's complete printable output.
+#[derive(Default)]
+pub struct Report {
+    /// Items in output order.
+    pub items: Vec<ReportItem>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a table section.
+    pub fn section(&mut self, heading: impl Into<String>, name: impl Into<String>, table: Table) {
+        self.items.push(ReportItem::Section {
+            heading: heading.into(),
+            name: name.into(),
+            table,
+        });
+    }
+
+    /// Appends a note line (printed as `println!` would).
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.items.push(ReportItem::Note(line.into()));
+    }
+
+    /// The exact stdout of the owning binary when run without `--csv`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            match item {
+                ReportItem::Section { heading, table, .. } => {
+                    out.push_str(&format!("\n== {heading} ==\n"));
+                    out.push_str(&table.render());
+                }
+                ReportItem::Note(line) => {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Prints the report through `cli` (tables via [`Cli::emit`], which
+    /// also writes CSVs when `--csv` is set).
+    pub fn emit(&self, cli: &Cli) {
+        for item in &self.items {
+            match item {
+                ReportItem::Section {
+                    heading,
+                    name,
+                    table,
+                } => cli.emit(heading, name, table),
+                ReportItem::Note(line) => println!("{line}"),
+            }
+        }
+    }
+}
+
+/// Table I: SPECint 2017 dataset summary under TAGE-SC-L 8KB.
+#[must_use]
+pub fn table1_report(cfg: &DatasetConfig) -> Report {
+    let mut table = Table::new(vec![
+        "benchmark",
+        "avg-phases",
+        "static-br-total",
+        "static-br-med/slice",
+        "avg-acc",
+        "acc-excl-h2p",
+        "inputs",
+        "h2p-total",
+        "h2p-3+inputs",
+        "h2p-avg/input",
+        "h2p-avg/slice",
+        "h2p-execs/slice",
+        "h2p-mispred-share",
+    ]);
+    let mut means = [0.0f64; 12];
+    let suite = specint_suite();
+    for spec in &suite {
+        let c = characterize_workload(spec, cfg, TageScL::kb8);
+        let cells = [
+            c.avg_phases,
+            c.total_static_branches as f64,
+            c.median_static_per_slice as f64,
+            c.avg_accuracy,
+            c.avg_accuracy_excl_h2p,
+            f64::from(cfg.inputs_for(spec.inputs)),
+            c.h2p_union.len() as f64,
+            c.h2p_3plus_inputs as f64,
+            c.avg_h2p_per_input,
+            c.avg_h2p_per_slice,
+            c.avg_h2p_execs_per_slice,
+            c.avg_h2p_mispredict_share,
+        ];
+        for (m, v) in means.iter_mut().zip(cells) {
+            *m += v / suite.len() as f64;
+        }
+        table.row(vec![
+            c.name.clone(),
+            format!("{:.1}", cells[0]),
+            format!("{}", c.total_static_branches),
+            format!("{}", c.median_static_per_slice),
+            f3(cells[3]),
+            f3(cells[4]),
+            format!("{}", cells[5] as u64),
+            format!("{}", c.h2p_union.len()),
+            format!("{}", c.h2p_3plus_inputs),
+            format!("{:.1}", cells[8]),
+            format!("{:.1}", cells[9]),
+            format!("{:.0}", cells[10]),
+            pct(cells[11]),
+        ]);
+    }
+    table.row(vec![
+        "MEAN".into(),
+        format!("{:.1}", means[0]),
+        format!("{:.0}", means[1]),
+        format!("{:.0}", means[2]),
+        f3(means[3]),
+        f3(means[4]),
+        format!("{:.1}", means[5]),
+        format!("{:.0}", means[6]),
+        format!("{:.1}", means[7]),
+        format!("{:.1}", means[8]),
+        format!("{:.1}", means[9]),
+        format!("{:.0}", means[10]),
+        pct(means[11]),
+    ]);
+    let mut report = Report::new();
+    report.section(
+        "Table I: SPECint 2017 dataset summary (TAGE-SC-L 8KB)",
+        "table1",
+        table,
+    );
+    report
+}
+
+/// Table II: LCF application branch statistics under TAGE-SC-L 8KB.
+#[must_use]
+pub fn table2_report(cfg: &DatasetConfig) -> Report {
+    let mut table = Table::new(vec![
+        "application",
+        "static-branch-ips",
+        "avg-execs/static",
+        "avg-acc/static",
+        "h2ps",
+        "agg-acc",
+    ]);
+    let mut means = [0.0f64; 4];
+    let suite = lcf_suite();
+    for spec in &suite {
+        // The paper analyzes each LCF app as one 30M-instruction trace;
+        // we use the whole trace as a single slice.
+        let trace = spec.cached_trace(0, cfg.trace_len);
+        let whole = SliceConfig::new(cfg.trace_len);
+        let mut bpu = TageScL::kb8();
+        let profile = BranchProfile::collect(&mut bpu, trace.insts());
+        let h2ps = H2pCriteria::paper().screen(&profile, whole);
+        let cells = [
+            profile.static_branch_count() as f64,
+            profile.mean_execs_per_static_branch(),
+            profile.mean_accuracy_per_static_branch(),
+            h2ps.len() as f64,
+        ];
+        for (m, v) in means.iter_mut().zip(cells) {
+            *m += v / suite.len() as f64;
+        }
+        table.row(vec![
+            spec.name.clone(),
+            format!("{}", profile.static_branch_count()),
+            format!("{:.1}", cells[1]),
+            f3(cells[2]),
+            format!("{}", h2ps.len()),
+            f3(profile.accuracy()),
+        ]);
+    }
+    table.row(vec![
+        "MEAN".into(),
+        format!("{:.0}", means[0]),
+        format!("{:.1}", means[1]),
+        f3(means[2]),
+        format!("{:.1}", means[3]),
+        String::new(),
+    ]);
+    let mut report = Report::new();
+    report.section(
+        "Table II: LCF application branch statistics (TAGE-SC-L 8KB)",
+        "table2",
+        table,
+    );
+    report.note(
+        "(paper means: 14,072 static IPs; 612.8 execs/static; 0.85 accuracy; 5.2 H2Ps — \
+         static counts scale with trace length, ratios should match)",
+    );
+    report
+}
+
+/// Fig. 1: IPC vs pipeline capacity scaling for the SPECint suite.
+#[must_use]
+pub fn fig1_report(cfg: &DatasetConfig) -> Report {
+    let study = scaling_study(&specint_suite(), cfg);
+    let mut table = Table::new(vec![
+        "scale",
+        "TAGE-SC-L 8KB",
+        "TAGE-SC-L 64KB",
+        "Perfect H2Ps",
+        "Perfect BP",
+        "opportunity (perfect/tage8)",
+    ]);
+    for (si, &scale) in study.scales.iter().enumerate() {
+        let v = |label: &str| {
+            study
+                .series
+                .iter()
+                .find(|s| s.label == label)
+                .map(|s| s.relative_ipc[si])
+                .unwrap_or(f64::NAN)
+        };
+        let tage8 = v("TAGE-SC-L 8KB");
+        let perfect = v("Perfect BP");
+        table.row(vec![
+            format!("{scale}x"),
+            f3(tage8),
+            f3(v("TAGE-SC-L 64KB")),
+            f3(v("Perfect H2Ps")),
+            f3(perfect),
+            f3(perfect / tage8),
+        ]);
+    }
+    let mut report = Report::new();
+    report.section(
+        "Fig. 1: IPC vs pipeline capacity scaling, SPECint suite",
+        "fig1",
+        table,
+    );
+    // The paper's headline numbers for comparison.
+    let at = |label: &str, scale: u32| study.value(label, scale);
+    report.note(format!(
+        "IPC opportunity at 1x: {:.1}% (paper: 18.5%)   at 4x: {:.1}% (paper: 55.3%)",
+        (at("Perfect BP", 1) / at("TAGE-SC-L 8KB", 1) - 1.0) * 100.0,
+        (at("Perfect BP", 4) / at("TAGE-SC-L 8KB", 4) - 1.0) * 100.0,
+    ));
+    report.note(format!(
+        "H2P share of the 1x opportunity: {:.1}% (paper: 75.7%)",
+        (at("Perfect H2Ps", 1) - 1.0) / (at("Perfect BP", 1) - 1.0).max(1e-9) * 100.0
+    ));
+    report
+}
+
+/// Fig. 2: cumulative misprediction share of the n-th H2P heavy hitter.
+#[must_use]
+pub fn fig2_report(cfg: &DatasetConfig) -> Report {
+    let ns = [1usize, 2, 3, 5, 10, 20, 50];
+    let mut headers = vec!["benchmark".to_owned()];
+    headers.extend(ns.iter().map(|n| format!("top-{n}")));
+    let mut table = Table::new(headers.iter().map(String::as_str).collect());
+    let mut top5_sum = 0.0;
+    let suite = specint_suite();
+    for spec in &suite {
+        let c = characterize_workload(spec, cfg, TageScL::kb8);
+        // Merge profiles across inputs; rank the H2P union by executions.
+        let mut merged = BranchProfile::new();
+        for ic in &c.inputs {
+            merged.merge(&ic.profile);
+        }
+        let hitters = rank_heavy_hitters(&merged, c.h2p_union.iter().copied());
+        top5_sum += top_n_fraction(&hitters, 5);
+        let mut row = vec![c.name.clone()];
+        row.extend(
+            ns.iter()
+                .map(|&n| format!("{:.3}", top_n_fraction(&hitters, n))),
+        );
+        table.row(row);
+    }
+    let mut report = Report::new();
+    report.section(
+        "Fig. 2: cumulative fraction of TAGE8 mispredictions vs n-th H2P heavy hitter",
+        "fig2",
+        table,
+    );
+    report.note(format!(
+        "Top-5 heavy hitters own {:.1}% of mispredictions on average (paper: 37%)",
+        top5_sum / suite.len() as f64 * 100.0
+    ));
+    report
+}
+
+/// Fig. 3: misprediction / execution / accuracy distributions over the
+/// static branches of the LCF dataset.
+#[must_use]
+pub fn fig3_report(cfg: &DatasetConfig) -> Report {
+    // Pool per-branch stats across all LCF applications, in
+    // paper-equivalent counts.
+    let mut mispredicts = Vec::new();
+    let mut execs = Vec::new();
+    let mut accuracy = Vec::new();
+    for spec in &lcf_suite() {
+        let trace = spec.cached_trace(0, cfg.trace_len);
+        let mut bpu = TageScL::kb8();
+        let profile = BranchProfile::collect(&mut bpu, trace.insts());
+        let window = profile.instructions;
+        for (_, s) in profile.iter() {
+            mispredicts.push(paper_equivalent(s.mispredicts, window));
+            execs.push(paper_equivalent(s.execs, window));
+            accuracy.push(s.accuracy());
+        }
+    }
+
+    let mut report = Report::new();
+    let specs = [
+        ("mispredictions", BinSpec::mispredictions(), &mispredicts),
+        ("executions", BinSpec::executions(), &execs),
+        ("accuracy", BinSpec::accuracy(), &accuracy),
+    ];
+    for (name, bins, values) in specs {
+        let h = bins.histogram(values.iter().copied());
+        let mut table = Table::new(vec!["bin", "fraction of static IPs"]);
+        for (label, frac) in h.labels().iter().zip(h.fractions()) {
+            table.row(vec![label.clone(), format!("{frac:.4}")]);
+        }
+        report.section(
+            format!("Fig. 3 ({name}) over {} static branch IPs", h.total()),
+            format!("fig3_{name}"),
+            table,
+        );
+    }
+
+    // The paper's headline fractions.
+    let exec_h = BinSpec::executions().histogram(execs.iter().copied());
+    let acc_h = BinSpec::accuracy().histogram(accuracy.iter().copied());
+    report.note(format!(
+        "\nbranches with <100 paper-equivalent executions: {:.1}% (paper: 85%)",
+        exec_h.fraction_of("0-100") * 100.0
+    ));
+    report.note(format!(
+        "branches with accuracy >= 0.99: {:.1}% (paper: 55%)",
+        acc_h.fraction_of("0.99-1") * 100.0
+    ));
+    report.note(format!(
+        "branches with accuracy <= 0.10: {:.1}% (paper: 12%)",
+        acc_h.fraction_of("0.00-0.10") * 100.0
+    ));
+    report
+}
+
+/// Fig. 5: IPC vs pipeline capacity scaling for the LCF suite.
+#[must_use]
+pub fn fig5_report(cfg: &DatasetConfig) -> Report {
+    let study = scaling_study(&lcf_suite(), cfg);
+    let mut table = Table::new(vec![
+        "scale",
+        "TAGE-SC-L 8KB",
+        "TAGE-SC-L 64KB",
+        "Perfect H2Ps",
+        "Perfect BP",
+        "h2p share of opportunity",
+    ]);
+    for (si, &scale) in study.scales.iter().enumerate() {
+        let v = |label: &str| {
+            study
+                .series
+                .iter()
+                .find(|s| s.label == label)
+                .map(|s| s.relative_ipc[si])
+                .unwrap_or(f64::NAN)
+        };
+        let share = (v("Perfect H2Ps") - v("TAGE-SC-L 8KB"))
+            / (v("Perfect BP") - v("TAGE-SC-L 8KB")).max(1e-9);
+        table.row(vec![
+            format!("{scale}x"),
+            f3(v("TAGE-SC-L 8KB")),
+            f3(v("TAGE-SC-L 64KB")),
+            f3(v("Perfect H2Ps")),
+            f3(v("Perfect BP")),
+            format!("{:.1}%", share * 100.0),
+        ]);
+    }
+    let mut report = Report::new();
+    report.section(
+        "Fig. 5: IPC vs pipeline capacity scaling, LCF suite (paper: H2P share 37.8% at 1x, 33.7% at 32x)",
+        "fig5",
+        table,
+    );
+    report
+}
+
+/// Fig. 7: fraction of the TAGE8→perfect IPC gap closed by storage.
+#[must_use]
+pub fn fig7_report(cfg: &DatasetConfig) -> Report {
+    let study = storage_scaling_study(&lcf_suite(), cfg);
+    let mut report = Report::new();
+    for (si, &scale) in study.scales.iter().enumerate() {
+        let mut headers = vec!["application".to_owned()];
+        headers.extend(study.storages_kb.iter().map(|kb| format!("TAGE{kb}")));
+        let mut table = Table::new(headers.iter().map(String::as_str).collect());
+        let mut maxima = 0.0f64;
+        for row in &study.rows {
+            let mut cells = vec![row.name.clone()];
+            for &v in &row.gap_closed[si] {
+                cells.push(format!("{v:.3}"));
+                maxima = maxima.max(v);
+            }
+            table.row(cells);
+        }
+        report.section(
+            format!("Fig. 7 ({scale}x pipeline): fraction of TAGE8→perfect IPC gap closed"),
+            format!("fig7_{scale}x"),
+            table,
+        );
+        if scale == 32 {
+            report.note(format!(
+                "max fraction closed at 32x: {:.2} (paper: at most 0.34 — storage alone cannot rescue rare branches)",
+                maxima
+            ));
+        }
+    }
+    report
+}
+
+/// Fig. 8: IPC opportunity remaining after perfectly predicting all
+/// branches above a dynamic-execution threshold.
+#[must_use]
+pub fn fig8_report(cfg: &DatasetConfig) -> Report {
+    let rows = rare_oracle_study(&lcf_suite(), cfg);
+    let mut table = Table::new(vec![
+        "application",
+        "remaining after perfect >1000",
+        "remaining after perfect >100",
+    ]);
+    let mut m1000 = 0.0;
+    let mut m100 = 0.0;
+    for r in &rows {
+        m1000 += r.remaining_after_1000 / rows.len() as f64;
+        m100 += r.remaining_after_100 / rows.len() as f64;
+        table.row(vec![
+            r.name.clone(),
+            format!("{:.3}", r.remaining_after_1000),
+            format!("{:.3}", r.remaining_after_100),
+        ]);
+    }
+    table.row(vec![
+        "MEAN".into(),
+        format!("{m1000:.3}"),
+        format!("{m100:.3}"),
+    ]);
+    let mut report = Report::new();
+    report.section(
+        "Fig. 8: fraction of TAGE8 IPC opportunity remaining (TAGE-SC-L 1024KB + exec-count oracle)",
+        "fig8",
+        table,
+    );
+    report.note("(paper means: 34.3% after perfect >1000; 27.4% after perfect >100)");
+    report
+}
+
+/// Fig. 9: median recurrence interval distribution over LCF static IPs.
+#[must_use]
+pub fn fig9_report(cfg: &DatasetConfig) -> Report {
+    // Pool per-IP medians across the whole dataset, as the paper does.
+    let mut fractions_sum: Vec<f64> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut total_ips = 0u64;
+    let napps = lcf_suite().len() as f64;
+    for spec in &lcf_suite() {
+        let trace = spec.cached_trace(0, cfg.trace_len);
+        let rec = RecurrenceAnalysis::compute(&trace);
+        let h = rec.histogram(trace.len() as u64);
+        total_ips += h.total();
+        if labels.is_empty() {
+            labels = h.labels().to_vec();
+            fractions_sum = vec![0.0; labels.len()];
+        }
+        for (acc, f) in fractions_sum.iter_mut().zip(h.fractions()) {
+            *acc += f / napps;
+        }
+    }
+    let mut table = Table::new(vec![
+        "MRI bin (paper-equiv instructions)",
+        "fraction of static IPs",
+    ]);
+    for (label, frac) in labels.iter().zip(&fractions_sum) {
+        table.row(vec![label.clone(), format!("{frac:.4}")]);
+    }
+    let mut report = Report::new();
+    report.section(
+        format!("Fig. 9: median recurrence interval distribution over {total_ips} static IPs (LCF)"),
+        "fig9",
+        table,
+    );
+    let peak = labels
+        .iter()
+        .zip(&fractions_sum)
+        .skip(1) // ignore the singleton 0-1 bin, as the paper does
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(l, _)| l.clone())
+        .unwrap_or_default();
+    report.note(format!("peak bin (excluding singletons): {peak} (paper: 100K-1M)"));
+    report
+}

@@ -1,0 +1,269 @@
+//! Per-run manifests: a deterministic JSON summary of one experiment
+//! run (identity, configuration, thread count, stage wall times, and the
+//! full counter table).
+//!
+//! Two schemas exist:
+//!
+//! * `bp-metrics/run-v1` — one process's run, written by [`RunGuard`]
+//!   as `<sink>/<run>.json`.
+//! * `bp-metrics/merged-v1` — the `all` binary's merge of its children:
+//!   `{"runs": [<run manifests…>], "schema": "bp-metrics/merged-v1"}`.
+//!
+//! Serialization goes through [`crate::json::Value::to_json`], so output
+//! is canonical: sorted keys, two-space indent, stable escapes. The only
+//! fields that legitimately vary between identical runs are wall-clock
+//! derived (`timers_ns`, `wall_time_ns`) plus the `threads` count;
+//! [`normalize`] strips exactly those, which is what the
+//! `BRANCH_LAB_THREADS=1` vs `=8` manifest-equality test compares.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::json::{self, JsonError, Value};
+
+/// Keys that may differ between two otherwise-identical runs.
+const VOLATILE_KEYS: [&str; 3] = ["threads", "timers_ns", "wall_time_ns"];
+
+/// Schema tag for a single-run manifest.
+pub const RUN_SCHEMA: &str = "bp-metrics/run-v1";
+/// Schema tag for a merged multi-run manifest.
+pub const MERGED_SCHEMA: &str = "bp-metrics/merged-v1";
+
+/// A captured summary of one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    /// Run name (normally the experiment binary name).
+    pub run: String,
+    /// Free-form configuration: workload suite, trace length, predictor
+    /// config, input counts — anything that identifies the run.
+    pub info: BTreeMap<String, String>,
+    /// Engine worker-thread count at capture time.
+    pub threads: usize,
+    /// Whole-run wall time in nanoseconds.
+    pub wall_time_ns: u64,
+    /// Counter table at capture time (name → value), sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// Cumulative stage timers in nanoseconds (name → ns), sorted.
+    pub timers_ns: BTreeMap<String, u64>,
+}
+
+impl Manifest {
+    /// Snapshots the live registry into a manifest.
+    #[must_use]
+    pub fn capture(run: &str, info: BTreeMap<String, String>, wall_time_ns: u64) -> Manifest {
+        Manifest {
+            run: run.to_string(),
+            info,
+            threads: crate::thread_count(),
+            wall_time_ns,
+            counters: crate::snapshot_counters().into_iter().collect(),
+            timers_ns: crate::snapshot_timers().into_iter().collect(),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("schema".to_string(), Value::Str(RUN_SCHEMA.to_string()));
+        map.insert("run".to_string(), Value::Str(self.run.clone()));
+        map.insert(
+            "info".to_string(),
+            Value::Obj(
+                self.info
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        );
+        map.insert("threads".to_string(), Value::uint(self.threads as u64));
+        map.insert("wall_time_ns".to_string(), Value::uint(self.wall_time_ns));
+        map.insert(
+            "counters".to_string(),
+            Value::Obj(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::uint(*v)))
+                    .collect(),
+            ),
+        );
+        map.insert(
+            "timers_ns".to_string(),
+            Value::Obj(
+                self.timers_ns
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::uint(*v)))
+                    .collect(),
+            ),
+        );
+        Value::Obj(map)
+    }
+
+    /// Canonical JSON rendering (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+/// Strips the volatile fields (`threads`, `timers_ns`, `wall_time_ns`)
+/// from every object in a manifest document and re-serializes it
+/// canonically. Two runs of the same experiment — at any thread count —
+/// normalize to byte-identical strings.
+pub fn normalize(manifest_json: &str) -> Result<String, JsonError> {
+    let mut value = json::parse(manifest_json)?;
+    strip_volatile(&mut value);
+    Ok(value.to_json())
+}
+
+fn strip_volatile(value: &mut Value) {
+    match value {
+        Value::Obj(map) => {
+            for key in VOLATILE_KEYS {
+                map.remove(key);
+            }
+            for child in map.values_mut() {
+                strip_volatile(child);
+            }
+        }
+        Value::Arr(items) => {
+            for child in items.iter_mut() {
+                strip_volatile(child);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Merges single-run manifest documents into one `bp-metrics/merged-v1`
+/// document: `runs` sorted by each run's `run` name. Fails if any input
+/// is not valid JSON.
+pub fn merge_manifests(run_jsons: &[String]) -> Result<String, JsonError> {
+    let mut runs = Vec::with_capacity(run_jsons.len());
+    for raw in run_jsons {
+        runs.push(json::parse(raw)?);
+    }
+    runs.sort_by_key(run_name);
+    let mut map = BTreeMap::new();
+    map.insert("schema".to_string(), Value::Str(MERGED_SCHEMA.to_string()));
+    map.insert("runs".to_string(), Value::Arr(runs));
+    Ok(Value::Obj(map).to_json())
+}
+
+fn run_name(value: &Value) -> String {
+    value
+        .as_obj()
+        .and_then(|map| map.get("run"))
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Scopes one run: construct at the top of `main`, annotate with
+/// [`RunGuard::info`], and on drop — if the environment configured a
+/// manifest sink — the captured manifest is written to
+/// `<sink>/<run>.json`. Never touches stdout, so experiment output stays
+/// byte-identical with metrics on or off.
+pub struct RunGuard {
+    run: String,
+    info: BTreeMap<String, String>,
+    start: Instant,
+}
+
+impl RunGuard {
+    /// Starts the run clock.
+    #[must_use]
+    pub fn begin(run: &str) -> RunGuard {
+        RunGuard {
+            run: run.to_string(),
+            info: BTreeMap::new(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Records one configuration key for the manifest's `info` table.
+    pub fn info(&mut self, key: &str, value: impl ToString) {
+        self.info.insert(key.to_string(), value.to_string());
+    }
+
+    /// Captures the manifest now (without writing it) — used by tests.
+    #[must_use]
+    pub fn capture(&self) -> Manifest {
+        let wall = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Manifest::capture(&self.run, self.info.clone(), wall)
+    }
+}
+
+impl Drop for RunGuard {
+    fn drop(&mut self) {
+        let Some(dir) = crate::sink_dir() else {
+            return;
+        };
+        let manifest = self.capture();
+        let path = dir.join(format!("{}.json", self.run));
+        let payload = format!("{}\n", manifest.to_json());
+        let result = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, payload));
+        if let Err(err) = result {
+            eprintln!("bp-metrics: failed to write {}: {err}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(run: &str, threads: usize, wall: u64) -> Manifest {
+        let mut info = BTreeMap::new();
+        info.insert("trace_len".to_string(), "120000".to_string());
+        let mut counters = BTreeMap::new();
+        counters.insert("tage.lookup".to_string(), 42);
+        let mut timers = BTreeMap::new();
+        timers.insert("engine.map".to_string(), wall / 2);
+        Manifest {
+            run: run.to_string(),
+            info,
+            threads,
+            wall_time_ns: wall,
+            counters,
+            timers_ns: timers,
+        }
+    }
+
+    #[test]
+    fn manifest_json_is_valid_and_sorted() {
+        let json_text = sample("fig1", 8, 1000).to_json();
+        let value = json::parse(&json_text).unwrap();
+        let map = value.as_obj().unwrap();
+        assert_eq!(map["schema"].as_str(), Some(RUN_SCHEMA));
+        assert_eq!(map["run"].as_str(), Some("fig1"));
+        assert_eq!(map["threads"].as_u64(), Some(8));
+        // Canonical: serializing the parse result reproduces the input.
+        assert_eq!(value.to_json(), json_text);
+    }
+
+    #[test]
+    fn normalize_strips_only_volatile_fields() {
+        let a = sample("fig1", 1, 111).to_json();
+        let b = sample("fig1", 8, 999_999).to_json();
+        assert_ne!(a, b);
+        assert_eq!(normalize(&a).unwrap(), normalize(&b).unwrap());
+        let normalized = normalize(&a).unwrap();
+        assert!(normalized.contains("tage.lookup"));
+        assert!(!normalized.contains("wall_time_ns"));
+        assert!(!normalized.contains("threads"));
+    }
+
+    #[test]
+    fn merge_sorts_runs_and_tags_schema() {
+        let merged = merge_manifests(&[
+            sample("fig2", 4, 5).to_json(),
+            sample("fig1", 4, 5).to_json(),
+        ])
+        .unwrap();
+        let value = json::parse(&merged).unwrap();
+        let map = value.as_obj().unwrap();
+        assert_eq!(map["schema"].as_str(), Some(MERGED_SCHEMA));
+        let runs = map["runs"].as_arr().unwrap();
+        assert_eq!(run_name(&runs[0]), "fig1");
+        assert_eq!(run_name(&runs[1]), "fig2");
+    }
+}

@@ -16,6 +16,7 @@
 //! with mispredictions present, scaling capacity saturates because fetch
 //! keeps waiting on branch resolution, while perfect prediction scales.
 
+use bp_metrics::Counter;
 use bp_trace::{InstClass, Trace, NUM_REGS};
 
 use crate::cache::CacheModel;
@@ -52,6 +53,33 @@ impl SimStats {
             0.0
         } else {
             self.mispredictions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// `bp-metrics` handles for the scoreboard, resolved once per
+/// [`simulate`] call in the `METRICS = true` instantiation only. The hot
+/// loop accumulates plain locals; totals are flushed through the handles
+/// at the end, so even the enabled path does nothing atomic per
+/// instruction.
+struct PipeCounters {
+    sim_runs: Counter,
+    instructions: Counter,
+    cycles: Counter,
+    flushes: Counter,
+    refetch_bubbles: Counter,
+    rob_stalls: Counter,
+}
+
+impl PipeCounters {
+    fn get() -> Self {
+        PipeCounters {
+            sim_runs: Counter::get("pipeline.sim_runs"),
+            instructions: Counter::get("pipeline.instructions"),
+            cycles: Counter::get("pipeline.cycles"),
+            flushes: Counter::get("pipeline.flushes"),
+            refetch_bubbles: Counter::get("pipeline.refetch_bubble_cycles"),
+            rob_stalls: Counter::get("pipeline.rob_stall_events"),
         }
     }
 }
@@ -108,6 +136,21 @@ impl CycleRing {
 /// ```
 #[must_use]
 pub fn simulate(trace: &Trace, mispredicted: &[bool], config: &PipelineConfig) -> SimStats {
+    // Monomorphize the hot loop on the metrics switch: the disabled
+    // instantiation carries no accumulators at all, so replay throughput
+    // with metrics off is identical to a build without observability.
+    if bp_metrics::enabled() {
+        simulate_impl::<true>(trace, mispredicted, config)
+    } else {
+        simulate_impl::<false>(trace, mispredicted, config)
+    }
+}
+
+fn simulate_impl<const METRICS: bool>(
+    trace: &Trace,
+    mispredicted: &[bool],
+    config: &PipelineConfig,
+) -> SimStats {
     assert!(
         mispredicted.len() >= trace.conditional_branch_count(),
         "need one misprediction flag per conditional branch"
@@ -139,13 +182,22 @@ pub fn simulate(trace: &Trace, mispredicted: &[bool], config: &PipelineConfig) -
     let mut last_retire = 0u64;
     let mut flag_idx = 0usize;
 
+    // Observability accumulators (flushed to counters after the loop).
+    // Keeping them live unconditionally costs register pressure in a loop
+    // this tight, hence the METRICS monomorphization.
+    let mut refetch_bubbles = 0u64;
+    let mut rob_stalls = 0u64;
+
     for (i64idx, inst) in trace.iter().enumerate() {
         let i = i64idx as u64;
 
         // Enter the window: front-end bandwidth, redirect stall, ROB space.
-        let enter = fetch_base
-            .max(fetch_ring.oldest(i) + 1)
-            .max(retire_ring.oldest(i)); // ROB slot frees at old retire
+        let bw_enter = fetch_base.max(fetch_ring.oldest(i) + 1);
+        let rob_free = retire_ring.oldest(i); // ROB slot frees at old retire
+        if METRICS {
+            rob_stalls += u64::from(rob_free > bw_enter);
+        }
+        let enter = bw_enter.max(rob_free);
         fetch_ring.record(i, enter);
 
         // Dataflow: sources ready?
@@ -191,7 +243,13 @@ pub fn simulate(trace: &Trace, mispredicted: &[bool], config: &PipelineConfig) -
             flag_idx += 1;
             if wrong {
                 stats.mispredictions += 1;
-                fetch_base = fetch_base.max(done + u64::from(config.mispredict_penalty));
+                let redirect = done + u64::from(config.mispredict_penalty);
+                if METRICS {
+                    // Front-end bubble: cycles fetch is held past the
+                    // cycle after this branch entered the window.
+                    refetch_bubbles += redirect.saturating_sub(enter + 1);
+                }
+                fetch_base = fetch_base.max(redirect);
             }
         }
 
@@ -207,6 +265,16 @@ pub fn simulate(trace: &Trace, mispredicted: &[bool], config: &PipelineConfig) -
     // Finite L2/DRAM bandwidth floors total execution time; this is what
     // ultimately bounds perfect-BP pipeline scaling (Fig. 1's ceiling).
     stats.cycles = last_retire.max(cache.bandwidth_floor_cycles()).max(1);
+
+    if METRICS {
+        let counters = PipeCounters::get();
+        counters.sim_runs.incr();
+        counters.instructions.add(stats.instructions);
+        counters.cycles.add(stats.cycles);
+        counters.flushes.add(stats.mispredictions);
+        counters.refetch_bubbles.add(refetch_bubbles);
+        counters.rob_stalls.add(rob_stalls);
+    }
     stats
 }
 

@@ -5,6 +5,8 @@
 //! established. Domain-specific models like this one are derived from
 //! expert analysis of design-time benchmarks (§II).
 
+use bp_metrics::Counter;
+
 /// One loop-table entry.
 #[derive(Clone, Copy, Debug, Default)]
 struct LoopEntry {
@@ -63,6 +65,13 @@ pub struct LoopPredictor {
     entries: Vec<LoopEntry>,
     /// Confidence required before `confident` is reported.
     threshold: u8,
+    /// Snapshot of [`bp_metrics::enabled`] at construction, gating the
+    /// per-lookup counting on one predictable branch.
+    metrics_on: bool,
+    /// `loop.hit` — lookups that found a tracked loop.
+    hits: Counter,
+    /// `loop.confident_hit` — tracked-loop lookups at full confidence.
+    confident_hits: Counter,
 }
 
 /// Maximum trip count the table can represent.
@@ -83,6 +92,9 @@ impl LoopPredictor {
         LoopPredictor {
             entries: vec![LoopEntry::default(); entries],
             threshold: 3,
+            metrics_on: bp_metrics::enabled(),
+            hits: Counter::get("loop.hit"),
+            confident_hits: Counter::get("loop.confident_hit"),
         }
     }
 
@@ -104,10 +116,14 @@ impl LoopPredictor {
         }
         // Predict the exit on the iteration matching the learned trip.
         let taken = if e.current >= e.trip { !e.dir } else { e.dir };
-        Some(LoopPrediction {
-            taken,
-            confident: e.confidence >= self.threshold,
-        })
+        let confident = e.confidence >= self.threshold;
+        if self.metrics_on {
+            self.hits.incr();
+            if confident {
+                self.confident_hits.incr();
+            }
+        }
+        Some(LoopPrediction { taken, confident })
     }
 
     /// Trains the table with the resolved outcome of `ip`.

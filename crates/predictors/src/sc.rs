@@ -6,6 +6,8 @@
 //! trained threshold, the corrector overrides TAGE. This is the "ensemble
 //! model / boosting" element described in §II.
 
+use bp_metrics::Counter;
+
 use crate::counter::SignedCounter;
 use crate::Predictor;
 
@@ -47,6 +49,13 @@ pub struct StatisticalCorrector {
     /// Threshold training counter.
     tc: i32,
     last_sum: i32,
+    /// Snapshot of [`bp_metrics::enabled`] at construction, gating the
+    /// per-refine counting on one predictable branch.
+    metrics_on: bool,
+    /// `sc.refine` call counter (no-op unless metrics are enabled).
+    refines: Counter,
+    /// `sc.override` counter: decisions that flipped the input.
+    overrides: Counter,
 }
 
 /// Decision returned by [`StatisticalCorrector::refine`].
@@ -82,6 +91,9 @@ impl StatisticalCorrector {
             threshold: 6,
             tc: 0,
             last_sum: 0,
+            metrics_on: bp_metrics::enabled(),
+            refines: Counter::get("sc.refine"),
+            overrides: Counter::get("sc.override"),
             config,
         }
     }
@@ -114,6 +126,9 @@ impl StatisticalCorrector {
     /// true when the upstream predictor is at high confidence (the
     /// corrector then demands a stronger conviction to override).
     pub fn refine(&mut self, ip: u64, input_pred: bool, input_confident: bool) -> ScDecision {
+        if self.metrics_on {
+            self.refines.incr();
+        }
         let sum = self.sum(ip, input_pred);
         self.last_sum = sum;
         let sc_pred = sum >= 0;
@@ -123,6 +138,9 @@ impl StatisticalCorrector {
             self.threshold
         };
         if sc_pred != input_pred && sum.abs() >= margin {
+            if self.metrics_on {
+                self.overrides.incr();
+            }
             ScDecision {
                 taken: sc_pred,
                 overrode: true,

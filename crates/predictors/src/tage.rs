@@ -9,6 +9,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use bp_metrics::Counter;
+
 use crate::counter::{SatCounter, SignedCounter};
 use crate::history::{BitHistory, FoldedHistory, PathHistory};
 use crate::Predictor;
@@ -136,6 +138,53 @@ impl AllocationTracker {
     }
 }
 
+/// Global `bp-metrics` counter handles, resolved once per predictor
+/// construction. All handles are no-ops unless `BRANCH_LAB_METRICS`
+/// enables the registry, so the hot path pays one predictable branch.
+/// Counters aggregate across every `Tage` instance in the process.
+#[derive(Clone, Debug)]
+struct TageCounters {
+    /// Snapshot of [`bp_metrics::enabled`] at construction: the whole
+    /// per-prediction counting block sits behind this one predictable
+    /// branch, because even disabled `Counter` null-checks are measurable
+    /// at several sites per lookup.
+    on: bool,
+    /// Prediction-context computations ("table lookups").
+    lookups: Counter,
+    /// Lookups where no tagged table hit (bimodal base provided).
+    base_predictions: Counter,
+    /// Per-bank provider hits: `tage.bankNN.hit`.
+    bank_hits: Vec<Counter>,
+    /// Per-bank successful allocations: `tage.bankNN.alloc`.
+    bank_allocs: Vec<Counter>,
+    /// Mispredictions where every candidate entry was useful (no room).
+    alloc_failures: Counter,
+    /// Predictions where the newly-allocated provider was overridden by
+    /// the alternate prediction (`use_alt_on_na` policy).
+    alt_overrides: Counter,
+    /// Graceful usefulness-aging events.
+    u_resets: Counter,
+}
+
+impl TageCounters {
+    fn new(num_tables: usize) -> Self {
+        TageCounters {
+            on: bp_metrics::enabled(),
+            lookups: Counter::get("tage.lookup"),
+            base_predictions: Counter::get("tage.base_pred"),
+            bank_hits: (0..num_tables)
+                .map(|t| Counter::get(&format!("tage.bank{t:02}.hit")))
+                .collect(),
+            bank_allocs: (0..num_tables)
+                .map(|t| Counter::get(&format!("tage.bank{t:02}.alloc")))
+                .collect(),
+            alloc_failures: Counter::get("tage.alloc_fail"),
+            alt_overrides: Counter::get("tage.alt_override"),
+            u_resets: Counter::get("tage.u_reset"),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct PredictionCtx {
     ip: u64,
@@ -186,6 +235,7 @@ pub struct Tage {
     updates: u64,
     ctx: Option<PredictionCtx>,
     tracker: Option<Box<AllocationTracker>>,
+    counters: TageCounters,
 }
 
 impl Tage {
@@ -223,6 +273,7 @@ impl Tage {
             lfsr: 0xACE1_u64,
             updates: 0,
             ctx: None,
+            counters: TageCounters::new(config.num_tables),
             lengths,
             config,
             tracker: None,
@@ -325,11 +376,18 @@ impl Tage {
             }
             None => (bimodal_pred, false),
         };
-        let pred = if provider.is_some() && provider_new && self.use_alt_on_na.value() >= 0 {
-            alt_pred
-        } else {
-            provider_pred
-        };
+        let used_alt = provider.is_some() && provider_new && self.use_alt_on_na.value() >= 0;
+        let pred = if used_alt { alt_pred } else { provider_pred };
+        if self.counters.on {
+            self.counters.lookups.incr();
+            match provider {
+                Some(t) => self.counters.bank_hits[t].incr(),
+                None => self.counters.base_predictions.incr(),
+            }
+            if used_alt {
+                self.counters.alt_overrides.incr();
+            }
+        }
         PredictionCtx {
             ip,
             indices,
@@ -372,6 +430,9 @@ impl Tage {
                 let e = &mut self.tables[t][ctx.indices[t]];
                 e.useful.update(false);
             }
+            if self.counters.on {
+                self.counters.alloc_failures.incr();
+            }
             return;
         }
         // Prefer shorter histories with geometric probability, as in the
@@ -392,12 +453,16 @@ impl Tage {
             SatCounter::weakly_not_taken(3)
         };
         e.useful.set(0);
+        if self.counters.on {
+            self.counters.bank_allocs[chosen].incr();
+        }
         if let Some(tracker) = self.tracker.as_deref_mut() {
             tracker.record(ctx.ip, chosen, idx);
         }
     }
 
     fn age_useful(&mut self) {
+        self.counters.u_resets.incr();
         for table in &mut self.tables {
             for e in table.iter_mut() {
                 let halved = e.useful.value() >> 1;

@@ -6,6 +6,8 @@
 //! study (§IV, Fig. 7). Per the paper's configurations, maximum history is
 //! 1,000 bits at 8KB and 3,000 bits at 64KB and above.
 
+use bp_metrics::Counter;
+
 use crate::counter::SignedCounter;
 use crate::loop_pred::LoopPredictor;
 use crate::sc::{ScConfig, StatisticalCorrector};
@@ -128,6 +130,14 @@ pub struct TageScL {
     with_loop: SignedCounter,
     name: String,
     ctx: Option<EnsembleCtx>,
+    /// Snapshot of [`bp_metrics::enabled`] at construction, gating the
+    /// per-prediction counting on one predictable branch.
+    metrics_on: bool,
+    /// `tagescl.prediction` — ensemble prediction-context computations.
+    predictions: Counter,
+    /// `tagescl.loop_override` — final predictions taken from the loop
+    /// predictor against TAGE's direction.
+    loop_overrides: Counter,
 }
 
 impl TageScL {
@@ -151,6 +161,9 @@ impl TageScL {
             with_loop: SignedCounter::new(7),
             name,
             ctx: None,
+            metrics_on: bp_metrics::enabled(),
+            predictions: Counter::get("tagescl.prediction"),
+            loop_overrides: Counter::get("tagescl.loop_override"),
         }
     }
 
@@ -178,6 +191,9 @@ impl TageScL {
     }
 
     fn compute(&mut self, ip: u64) -> EnsembleCtx {
+        if self.metrics_on {
+            self.predictions.incr();
+        }
         let tage_pred = self.tage.predict(ip);
         let tage_confident = self.tage.last_confidence_high();
 
@@ -189,6 +205,9 @@ impl TageScL {
                     loop_vote = Some(l.taken);
                     if self.with_loop.value() >= 0 {
                         pred = l.taken;
+                        if self.metrics_on && pred != tage_pred {
+                            self.loop_overrides.incr();
+                        }
                     }
                 }
             }

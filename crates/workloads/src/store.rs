@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use bp_metrics::Counter;
 use bp_trace::Trace;
 
 use crate::program::Program;
@@ -79,6 +80,11 @@ pub struct TraceStore {
     generated: AtomicU64,
     disk_loads: AtomicU64,
     hits: AtomicU64,
+    /// `bp-metrics` mirrors of the three stats above (no-ops unless
+    /// `BRANCH_LAB_METRICS` enables the registry).
+    m_generated: Counter,
+    m_disk_loads: Counter,
+    m_hits: Counter,
 }
 
 impl TraceStore {
@@ -92,6 +98,9 @@ impl TraceStore {
             generated: AtomicU64::new(0),
             disk_loads: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            m_generated: Counter::get("trace_store.generate"),
+            m_disk_loads: Counter::get("trace_store.disk_load"),
+            m_hits: Counter::get("trace_store.hit"),
         }
     }
 
@@ -135,6 +144,7 @@ impl TraceStore {
         };
         if let Some(t) = slot.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.m_hits.incr();
             return Arc::clone(t);
         }
         Arc::clone(slot.get_or_init(|| Arc::new(self.load_or_generate(spec, &key))))
@@ -143,14 +153,18 @@ impl TraceStore {
     fn load_or_generate(&self, spec: &WorkloadSpec, key: &TraceKey) -> Trace {
         if let Some(dir) = &self.cache_dir {
             let path = dir.join(key.file_name());
-            if let Some(t) = load_valid(&path, key) {
+            if let Some(t) = bp_metrics::time("trace_store.disk_load", || load_valid(&path, key)) {
                 self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                self.m_disk_loads.incr();
                 return t;
             }
         }
         let program = self.program(spec);
-        let trace = spec.trace_with(&program, key.input, key.len);
+        let trace = bp_metrics::time("trace_store.generate", || {
+            spec.trace_with(&program, key.input, key.len)
+        });
         self.generated.fetch_add(1, Ordering::Relaxed);
+        self.m_generated.incr();
         if let Some(dir) = &self.cache_dir {
             // Persistence is best-effort: a full disk or read-only cache
             // directory must not fail the experiment.

@@ -14,6 +14,8 @@
 //! * [`analysis`] — H2P / rare-branch characterization ([`bp_analysis`]).
 //! * [`helpers`] — offline-trained helper predictors ([`bp_helpers`]).
 //! * [`core`] — dataset construction and experiment running ([`bp_core`]).
+//! * [`metrics`] — the `BRANCH_LAB_METRICS` observability layer
+//!   ([`bp_metrics`]).
 //!
 //! # Quick start
 //!
@@ -43,6 +45,7 @@
 pub use bp_analysis as analysis;
 pub use bp_core as core;
 pub use bp_helpers as helpers;
+pub use bp_metrics as metrics;
 pub use bp_pipeline as pipeline;
 pub use bp_predictors as predictors;
 pub use bp_trace as trace;

@@ -7,8 +7,8 @@
 //! report the case seed for replay.
 
 use branch_lab::predictors::{
-    measure, misprediction_flags, Bimodal, GShare, Perceptron, Ppm, PpmConfig, Predictor,
-    SatCounter, SignedCounter, TageScL,
+    measure, misprediction_flags, Bimodal, BitHistory, FoldedHistory, GShare, Perceptron, Ppm,
+    PpmConfig, Predictor, SatCounter, SignedCounter, TageScL,
 };
 use branch_lab::pipeline::{simulate, PipelineConfig};
 use branch_lab::trace::{Cond, Reg, RetiredInst, SliceConfig, Trace, TraceMeta};
@@ -266,6 +266,86 @@ fn slices_partition_traces() {
             assert!(last.len() * 2 >= slice_len, "case {case}");
         }
     }
+}
+
+/// The O(1) folded-history register always equals a naive refold of the
+/// raw global history: for every prefix of a random push sequence, XORing
+/// the newest `olen` bits of the [`BitHistory`] into position
+/// `age % clen` reproduces [`FoldedHistory::value`] exactly. This pins
+/// the cyclic-shift-register construction (and its `outpoint` wraparound)
+/// against the ground-truth definition, over random geometries — not just
+/// the few hand-picked ones in the unit tests.
+#[test]
+fn folded_history_matches_naive_refold() {
+    for case in 0..CASES {
+        let mut g = Gen::new(0x8000 + case);
+        let clen = g.range(1, 33) as u32;
+        let olen = g.range(1, 600);
+        let pushes = g.range(olen + 1, 2 * olen + 64);
+        let mut raw = BitHistory::new(olen.max(2));
+        let mut folded = FoldedHistory::new(olen, clen);
+        let mut age = 0usize; // bits pushed so far
+        for _ in 0..pushes {
+            let newbit = g.bool();
+            // The incremental update needs the bit about to age past olen,
+            // read from the raw history *before* the push.
+            let outgoing = age >= olen && raw.bit(olen - 1);
+            folded.update(newbit, outgoing);
+            raw.push(newbit);
+            age += 1;
+
+            let mut expect = 0u64;
+            for a in 0..olen.min(age) {
+                if raw.bit(a) {
+                    expect ^= 1 << (a as u32 % clen);
+                }
+            }
+            assert_eq!(
+                folded.value(),
+                expect,
+                "case {case}: olen={olen} clen={clen} after {age} pushes"
+            );
+        }
+    }
+}
+
+/// With `BRANCH_LAB_METRICS` unset (this test binary never enables it),
+/// the metrics facade must be fully inert: driving the instrumented
+/// paths — prediction, pipeline simulation, a parallel study — registers
+/// no counters and no timers at all, so the instrumentation cannot
+/// perturb or observe anything in the default configuration.
+#[test]
+fn metrics_disabled_registers_nothing() {
+    assert!(
+        !branch_lab::metrics::enabled(),
+        "test binary must run with metrics disabled"
+    );
+    // Exercise predictor counters, pipeline counters, and the engine /
+    // study / trace-store instrumentation.
+    let mut g = Gen::new(0x9000);
+    let mut t = Trace::new(TraceMeta::new("inert", 0));
+    let mut state = g.u64() | 1;
+    for _ in 0..400 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let ip = 0x400 + u64::from((state >> 33) as u8 & 31) * 4;
+        t.push(RetiredInst::cond_branch(ip, state & 1 == 1, 0, None, None));
+    }
+    let flags = misprediction_flags(&mut TageScL::kb8(), &t);
+    let _ = simulate(&t, &flags, &PipelineConfig::skylake());
+    let spec = &branch_lab::workloads::specint_suite()[0];
+    let cfg = branch_lab::core::DatasetConfig::quick().with_trace_len(10_000);
+    let _ = branch_lab::core::characterize_workload(spec, &cfg, TageScL::kb8);
+
+    assert!(
+        branch_lab::metrics::snapshot_counters().is_empty(),
+        "disabled run registered counters: {:?}",
+        branch_lab::metrics::snapshot_counters()
+    );
+    assert!(
+        branch_lab::metrics::snapshot_timers().is_empty(),
+        "disabled run registered timers: {:?}",
+        branch_lab::metrics::snapshot_timers()
+    );
 }
 
 /// `measure` accuracy equals 1 - (flagged mispredictions / branches).
