@@ -15,6 +15,40 @@ echo "== golden (release) =="
 BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
     cargo test --release -q --test golden --test metrics_manifest
 
+echo "== fault injection =="
+cargo test --release -q --test fault_tolerance
+
+# One keep-going sweep with a deterministically injected child failure:
+# the runner must finish the other children, print the summary table,
+# write a partial all.json naming the failed child, and exit nonzero —
+# then a --resume run must re-run only the failed child.
+FAULT_SINK=target/ci-fault-metrics
+rm -rf "$FAULT_SINK" && mkdir -p "$FAULT_SINK"
+set +e
+BRANCH_LAB_FAULTS=all.child.fig3:fail \
+BRANCH_LAB_METRICS="$FAULT_SINK" \
+BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
+BRANCH_LAB_RETRY_DELAY_MS=10 \
+    target/release/all --keep-going --quick \
+    > "$FAULT_SINK/all.log" 2> "$FAULT_SINK/all.err"
+rc=$?
+set -e
+[ "$rc" -ne 0 ] || { echo "fault leg: expected nonzero exit from all"; exit 1; }
+grep -q "== all: per-child summary ==" "$FAULT_SINK/all.log"
+grep -Eq "fig3 +failed: injected fault: child failure +2" "$FAULT_SINK/all.log"
+grep -Eq "fig4 +ok +1" "$FAULT_SINK/all.log"
+grep -q '"fig3": "failed: injected fault: child failure"' "$FAULT_SINK/all.json"
+grep -q '"fig4": "ok"' "$FAULT_SINK/all.json"
+
+BRANCH_LAB_METRICS="$FAULT_SINK" \
+BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
+    target/release/all --keep-going --resume --quick \
+    > "$FAULT_SINK/resume.log" 2> "$FAULT_SINK/resume.err"
+[ "$(grep -c 'skipped: already succeeded' "$FAULT_SINK/resume.log")" -eq 15 ] \
+    || { echo "fault leg: resume should skip the 15 checkpointed children"; exit 1; }
+grep -Eq "fig3 +ok +1" "$FAULT_SINK/resume.log"
+grep -q '"fig3": "ok"' "$FAULT_SINK/all.json"
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

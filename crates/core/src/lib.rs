@@ -36,5 +36,12 @@ pub use experiment::{
     storage_scaling_study, storage_scaling_study_with, RareOracleRow, ScalingSeries, ScalingStudy,
     StorageScalingRow, StorageScalingStudy,
 };
-pub use parallel::{thread_count, Engine};
+pub use parallel::{thread_count, Engine, TaskError};
 pub use report::{f3, pct, Table};
+
+/// Deterministic fault injection (re-export of [`bp_metrics::faultpoint`]).
+///
+/// Lives in `bp-metrics` so the lowest layers (trace store, engine) can
+/// host fault sites, but `bp_core::faultpoint` is the canonical path for
+/// experiment code and tests.
+pub use bp_metrics::faultpoint;

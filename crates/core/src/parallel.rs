@@ -8,24 +8,91 @@
 //! order-sensitive reduction (e.g. geometric-mean accumulation) serially
 //! afterwards, so floating-point results match the serial path exactly.
 //!
+//! Long sweeps additionally need *partial* failure to stay partial: one
+//! panicking storage point three hours into a study must not take the other
+//! results with it. [`Engine::try_map`] runs every task under
+//! `catch_unwind`, optionally retries it, and returns per-task
+//! `Result<R, TaskError>` in input order; [`Engine::map`] is a thin wrapper
+//! that re-raises the first failure.
+//!
 //! The engine uses only `std::thread::scope` — no dependencies — and honors
 //! a `BRANCH_LAB_THREADS` override (set it to `1` to force the serial
-//! path).
+//! path). Tasks pass the `engine.task` fault site (see
+//! [`bp_metrics::faultpoint`]), which the fault-injection tests use to
+//! panic an arbitrary task on demand.
 
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Number of worker threads the process should use: the
 /// `BRANCH_LAB_THREADS` env var when set to a positive integer, otherwise
-/// the machine's available parallelism.
+/// the machine's available parallelism. An unparsable override is a
+/// misconfiguration, not a request for a serial run: it logs one warning
+/// to stderr and falls back to the machine width.
 #[must_use]
 pub fn thread_count() -> usize {
+    let available =
+        || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     match std::env::var("BRANCH_LAB_THREADS") {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
-            _ => 1,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "branch-lab: BRANCH_LAB_THREADS={v:?} is not a positive integer; \
+                         using available parallelism"
+                    );
+                });
+                available()
+            }
         },
-        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        Err(_) => available(),
+    }
+}
+
+/// One task's failure inside [`Engine::try_map`]: which task, what it was
+/// working on, and what the panic said.
+#[derive(Clone, Debug)]
+pub struct TaskError {
+    /// Index of the failed item in the input slice.
+    pub index: usize,
+    /// Human-readable item label (defaults to `#<index>`).
+    pub label: String,
+    /// Rendered panic payload (the `&str`/`String` message when there was
+    /// one, a placeholder hint otherwise).
+    pub message: String,
+    /// Total attempts made, retries included.
+    pub attempts: u32,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} ({}) panicked after {} attempt{}: {}",
+            self.index,
+            self.label,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+impl Error for TaskError {}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -58,30 +125,106 @@ impl Engine {
     /// results in input order. `f` receives `(index, item)`. With one
     /// thread (or one item) this is a plain serial loop.
     ///
+    /// Implemented on top of [`Engine::try_map`]: sibling tasks always run
+    /// to completion, then the first failure (in input order) is
+    /// re-raised.
+    ///
     /// # Panics
     ///
-    /// Propagates panics from `f` (via `std::thread::scope` join).
+    /// Panics with the failing task's [`TaskError`] rendering when `f`
+    /// panicked for any item.
     pub fn map<T, R, F>(self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.try_map(items, f)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("engine task failed: {e}")))
+            .collect()
+    }
+
+    /// Like [`Engine::map`], but panic-isolating: each task runs under
+    /// `catch_unwind`, and the output carries one `Result` per input item,
+    /// in input order. A panicking task costs exactly its own slot —
+    /// sibling results are preserved bit-for-bit.
+    pub fn try_map<T, R, F>(self, items: &[T], f: F) -> Vec<Result<R, TaskError>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.try_map_with(items, 0, |i, _| format!("#{i}"), f)
+    }
+
+    /// The fully-general fault-isolating mapper: up to `retries` extra
+    /// attempts per task, and a `label` callback that names items in
+    /// [`TaskError::label`] (e.g. the workload name) for diagnostics.
+    ///
+    /// Retrying assumes `f` is effectively idempotent per item — true for
+    /// the pure trace-replay tasks the engine runs. Transient panics
+    /// (injected faults, resource blips) succeed on a later attempt;
+    /// deterministic panics exhaust their attempts and report the final
+    /// payload.
+    pub fn try_map_with<T, R, F, L>(
+        self,
+        items: &[T],
+        retries: u32,
+        label: L,
+        f: F,
+    ) -> Vec<Result<R, TaskError>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        L: Fn(usize, &T) -> String + Sync,
+    {
         // Observability: fan-out shape and cumulative wall time. All
         // no-ops (one relaxed load each) unless BRANCH_LAB_METRICS is on.
         bp_metrics::Counter::get("engine.map_calls").incr();
         bp_metrics::Counter::get("engine.tasks").add(items.len() as u64);
         let _map_timer = bp_metrics::stage("engine.map");
-        let run = |i: usize, item: &T| bp_metrics::time("engine.task", || f(i, item));
+        let run = |i: usize, item: &T| {
+            bp_metrics::time("engine.task", || {
+                bp_metrics::faultpoint::panic_point("engine.task");
+                f(i, item)
+            })
+        };
+        let attempt = |i: usize, item: &T| -> Result<R, TaskError> {
+            let mut attempts = 0u32;
+            loop {
+                attempts += 1;
+                match catch_unwind(AssertUnwindSafe(|| run(i, item))) {
+                    Ok(r) => return Ok(r),
+                    Err(payload) => {
+                        bp_metrics::Counter::get("engine.task_panics").incr();
+                        if attempts > retries {
+                            return Err(TaskError {
+                                index: i,
+                                label: label(i, item),
+                                message: panic_message(payload.as_ref()),
+                                attempts,
+                            });
+                        }
+                        bp_metrics::Counter::get("engine.task_retries").incr();
+                    }
+                }
+            }
+        };
 
         let workers = self.threads.min(items.len());
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, t)| run(i, t)).collect();
+            return items.iter().enumerate().map(|(i, t)| attempt(i, t)).collect();
         }
         // Work-stealing by atomic index; results carry their index so the
-        // output order is independent of scheduling.
+        // output order is independent of scheduling. Lock poisoning is
+        // recovered, not propagated: with per-task catch_unwind a worker
+        // cannot die mid-extend in practice, but even if one did, the
+        // other workers' results must still be collected.
         let next = AtomicUsize::new(0);
-        let indexed: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        let indexed: Mutex<Vec<(usize, Result<R, TaskError>)>> =
+            Mutex::new(Vec::with_capacity(items.len()));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -89,13 +232,13 @@ impl Engine {
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        local.push((i, run(i, item)));
+                        local.push((i, attempt(i, item)));
                     }
-                    indexed.lock().expect("engine results poisoned").extend(local);
+                    indexed.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
                 });
             }
         });
-        let mut v = indexed.into_inner().expect("engine results poisoned");
+        let mut v = indexed.into_inner().unwrap_or_else(PoisonError::into_inner);
         v.sort_unstable_by_key(|&(i, _)| i);
         v.into_iter().map(|(_, r)| r).collect()
     }
@@ -136,5 +279,82 @@ mod tests {
     #[test]
     fn with_threads_clamps_to_one() {
         assert_eq!(Engine::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_and_keeps_siblings() {
+        let items: Vec<u32> = (0..24).collect();
+        for threads in [1, 3, 8] {
+            let out = Engine::with_threads(threads).try_map(&items, |_, &x| {
+                assert!(x != 7 && x != 19, "boom at {x}");
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) => {
+                        assert!(i != 7 && i != 19);
+                        assert_eq!(*v, (i as u32) * 2);
+                    }
+                    Err(e) => {
+                        assert!(i == 7 || i == 19);
+                        assert_eq!(e.index, i);
+                        assert_eq!(e.label, format!("#{i}"));
+                        assert_eq!(e.attempts, 1);
+                        assert!(e.message.contains("boom"), "{}", e.message);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_with_retries_transient_failures() {
+        use std::sync::atomic::AtomicU32;
+        let items: Vec<u32> = (0..8).collect();
+        let tries: Vec<AtomicU32> = items.iter().map(|_| AtomicU32::new(0)).collect();
+        let out = Engine::with_threads(4).try_map_with(
+            &items,
+            2,
+            |i, _| format!("item-{i}"),
+            |i, &x| {
+                // Item 5 fails on its first two attempts, then succeeds.
+                if i == 5 && tries[i].fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                x + 1
+            },
+        );
+        assert!(out.iter().all(Result::is_ok));
+        assert_eq!(tries[5].load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn try_map_with_reports_exhausted_retries() {
+        let items = ["alpha", "beta"];
+        let out = Engine::with_threads(2).try_map_with(
+            &items,
+            1,
+            |_, item: &&str| (*item).to_string(),
+            |_, item| {
+                assert_ne!(*item, "beta", "always fails");
+                item.len()
+            },
+        );
+        assert_eq!(*out[0].as_ref().unwrap(), 5);
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.label, "beta");
+        assert_eq!(err.attempts, 2);
+        assert!(err.to_string().contains("after 2 attempts"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "engine task failed")]
+    fn map_reraises_task_panics() {
+        let items: Vec<u32> = (0..4).collect();
+        let _ = Engine::with_threads(2).map(&items, |_, &x| {
+            assert_ne!(x, 2, "die");
+            x
+        });
     }
 }

@@ -1,0 +1,272 @@
+//! Deterministic, environment-driven fault injection.
+//!
+//! Long batch runs die in ways unit tests never exercise: a worker
+//! panics three hours in, a trace write is cut short by `kill -9`, one
+//! child of the `all` runner segfaults. This module lets tests and CI
+//! trigger those failures **on purpose and reproducibly**, so every
+//! degradation path in the suite is executable on demand.
+//!
+//! # Activation
+//!
+//! Faults are described by the `BRANCH_LAB_FAULTS` environment variable,
+//! read once per process. The syntax is a comma-separated list of
+//! `site:action[@n]` entries:
+//!
+//! ```text
+//! BRANCH_LAB_FAULTS=trace_store.save:fail@2,engine.task:panic@5
+//! ```
+//!
+//! * `site` — a dot-separated name compiled into the code under test
+//!   (e.g. `trace_store.save`, `engine.task`, `all.child.fig3`).
+//! * `action` — `fail` (the site reports an injected failure) or
+//!   `panic` (the site panics with an `"injected fault"` payload).
+//! * `@n` — fire only on the *n*-th arrival at that site (1-based).
+//!   Without `@n` the fault fires on **every** arrival.
+//!
+//! # Determinism
+//!
+//! There is no randomness: each site keeps a per-process hit counter,
+//! and a spec fires as a pure function of that count. Re-running the
+//! same binary with the same environment and thread count replays the
+//! same injections. (Sites reached from worker threads should be hit a
+//! deterministic number of times per run — all current sites are.)
+//!
+//! # Cost
+//!
+//! When `BRANCH_LAB_FAULTS` is unset (every production run), a fault
+//! check is one relaxed atomic load and a predictable branch — no
+//! locking, no allocation, no string work. Sites only pay for bookkeeping
+//! when a plan is installed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// What an armed fault does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// The instrumented site should behave as if the operation failed.
+    Fail,
+    /// The instrumented site panics (exercises panic-isolation paths).
+    Panic,
+}
+
+/// One parsed `site:action[@n]` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Site name the spec arms.
+    pub site: String,
+    /// What happens when it fires.
+    pub action: Action,
+    /// `Some(n)`: fire only on the n-th hit (1-based). `None`: every hit.
+    pub at_hit: Option<u64>,
+}
+
+struct Plan {
+    specs: Vec<FaultSpec>,
+    hits: Mutex<HashMap<String, u64>>,
+}
+
+/// Fast-path switch: false until a non-empty plan is installed.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PLAN: OnceLock<Mutex<Option<Plan>>> = OnceLock::new();
+
+fn plan_cell() -> &'static Mutex<Option<Plan>> {
+    PLAN.get_or_init(|| {
+        let plan = std::env::var("BRANCH_LAB_FAULTS")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+            .and_then(|raw| match parse(&raw) {
+                Ok(specs) => Some(Plan { specs, hits: Mutex::new(HashMap::new()) }),
+                Err(err) => {
+                    eprintln!("branch-lab: ignoring BRANCH_LAB_FAULTS ({err})");
+                    None
+                }
+            });
+        if plan.is_some() {
+            ACTIVE.store(true, Ordering::Release);
+        }
+        Mutex::new(plan)
+    })
+}
+
+/// Parses a `BRANCH_LAB_FAULTS` value into fault specs.
+///
+/// # Errors
+///
+/// Returns a human-readable message for a malformed entry; the whole
+/// value is rejected so a typo cannot half-arm a test.
+pub fn parse(raw: &str) -> Result<Vec<FaultSpec>, String> {
+    let mut specs = Vec::new();
+    for entry in raw.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let (site, rest) = entry
+            .rsplit_once(':')
+            .ok_or_else(|| format!("`{entry}` is missing `:action`"))?;
+        let (action_str, at_hit) = match rest.split_once('@') {
+            Some((a, n)) => {
+                let n: u64 = n
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("`{entry}`: `@{n}` must be a positive integer"))?;
+                (a, Some(n))
+            }
+            None => (rest, None),
+        };
+        let action = match action_str {
+            "fail" => Action::Fail,
+            "panic" => Action::Panic,
+            other => return Err(format!("`{entry}`: unknown action `{other}` (use fail|panic)")),
+        };
+        if site.is_empty() {
+            return Err(format!("`{entry}` has an empty site name"));
+        }
+        specs.push(FaultSpec { site: site.to_string(), action, at_hit });
+    }
+    Ok(specs)
+}
+
+/// True when a fault plan is installed (i.e. `BRANCH_LAB_FAULTS` parsed
+/// to at least one spec, or a test installed a plan).
+#[must_use]
+pub fn active() -> bool {
+    if !ACTIVE.load(Ordering::Acquire) {
+        // Force the one-time env read so `active()` is accurate even
+        // before any site was hit.
+        let _ = plan_cell();
+    }
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Registers one arrival at `site` and returns the action of a fault
+/// that fires now, if any. The no-plan fast path is a single atomic
+/// load.
+#[must_use]
+pub fn hit(site: &str) -> Option<Action> {
+    if !ACTIVE.load(Ordering::Acquire) && PLAN.get().is_some() {
+        return None; // plan resolved to "no faults": steady-state fast path
+    }
+    let cell = plan_cell();
+    let guard = cell.lock().unwrap_or_else(PoisonError::into_inner);
+    let plan = guard.as_ref()?;
+    let mut hits = plan.hits.lock().unwrap_or_else(PoisonError::into_inner);
+    let count = hits.entry(site.to_string()).or_insert(0);
+    *count += 1;
+    let now = *count;
+    drop(hits);
+    plan.specs
+        .iter()
+        .find(|s| s.site == site && s.at_hit.is_none_or(|n| n == now))
+        .map(|s| s.action)
+}
+
+/// True when a `fail` fault fires at `site` on this arrival.
+///
+/// Instrumented code treats `true` as "the operation failed" and takes
+/// its error path.
+#[must_use]
+pub fn should_fail(site: &str) -> bool {
+    hit(site) == Some(Action::Fail)
+}
+
+/// Panics when a `panic` fault fires at `site` on this arrival.
+///
+/// # Panics
+///
+/// Panics with an `injected fault` payload when armed — that is its job.
+pub fn panic_point(site: &str) {
+    if hit(site) == Some(Action::Panic) {
+        panic!("injected fault: panic at {site}");
+    }
+}
+
+/// Installs (or clears, with `None`) a fault plan programmatically,
+/// bypassing the environment. Returns the previous plan's specs.
+///
+/// Intended for tests: fault state is process-global, so tests that use
+/// this must serialize themselves (e.g. behind a shared `Mutex`).
+///
+/// # Panics
+///
+/// Panics if `spec` does not parse — a test asking for a malformed plan
+/// is a bug in the test.
+pub fn install_for_tests(spec: Option<&str>) -> Vec<FaultSpec> {
+    let cell = plan_cell();
+    let mut guard = cell.lock().unwrap_or_else(PoisonError::into_inner);
+    let old = guard.take().map(|p| p.specs).unwrap_or_default();
+    *guard = spec.map(|raw| {
+        let specs = parse(raw).expect("test fault spec must parse");
+        Plan { specs, hits: Mutex::new(HashMap::new()) }
+    });
+    ACTIVE.store(guard.is_some(), Ordering::Release);
+    old
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global-state tests must not interleave.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_syntax() {
+        let specs = parse("trace_store.save:fail@2, engine.task:panic@5,all.child.fig3:fail")
+            .expect("parses");
+        assert_eq!(
+            specs,
+            vec![
+                FaultSpec { site: "trace_store.save".into(), action: Action::Fail, at_hit: Some(2) },
+                FaultSpec { site: "engine.task".into(), action: Action::Panic, at_hit: Some(5) },
+                FaultSpec { site: "all.child.fig3".into(), action: Action::Fail, at_hit: None },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(parse("noaction").is_err());
+        assert!(parse("site:explode").is_err());
+        assert!(parse("site:fail@0").is_err());
+        assert!(parse("site:fail@x").is_err());
+        assert!(parse(":fail").is_err());
+    }
+
+    #[test]
+    fn counted_faults_fire_exactly_on_the_nth_hit() {
+        let _g = lock();
+        install_for_tests(Some("s.a:fail@3"));
+        assert_eq!(hit("s.a"), None);
+        assert_eq!(hit("s.a"), None);
+        assert_eq!(hit("s.a"), Some(Action::Fail));
+        assert_eq!(hit("s.a"), None, "fires only on the exact hit");
+        assert_eq!(hit("s.other"), None, "unarmed sites never fire");
+        install_for_tests(None);
+    }
+
+    #[test]
+    fn uncounted_faults_fire_every_hit_and_sites_are_independent() {
+        let _g = lock();
+        install_for_tests(Some("s.b:panic"));
+        for _ in 0..3 {
+            assert_eq!(hit("s.b"), Some(Action::Panic));
+        }
+        assert_eq!(hit("s.c"), None);
+        install_for_tests(None);
+        assert_eq!(hit("s.b"), None, "cleared plan disarms everything");
+    }
+
+    #[test]
+    fn panic_point_panics_with_injected_payload() {
+        let _g = lock();
+        install_for_tests(Some("s.d:panic@1"));
+        let err = std::panic::catch_unwind(|| panic_point("s.d")).expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("injected fault"), "{msg}");
+        panic_point("s.d"); // second hit: disarmed
+        install_for_tests(None);
+    }
+}

@@ -26,10 +26,11 @@
 //! are deterministic across thread counts — only the timing fields vary
 //! (see [`manifest::normalize`]).
 
+pub mod faultpoint;
 pub mod json;
 pub mod manifest;
 
-pub use manifest::{merge_manifests, normalize, Manifest, RunGuard};
+pub use manifest::{merge_manifests, merge_manifests_with_children, normalize, Manifest, RunGuard};
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;

@@ -137,6 +137,18 @@ fn strip_volatile(value: &mut Value) {
 /// document: `runs` sorted by each run's `run` name. Fails if any input
 /// is not valid JSON.
 pub fn merge_manifests(run_jsons: &[String]) -> Result<String, JsonError> {
+    merge_manifests_with_children(run_jsons, &[])
+}
+
+/// Like [`merge_manifests`], but additionally records a per-child status
+/// table under a `children` key (`{name: status}`), so a *partial* merge
+/// — some children failed or never ran — names exactly what is missing
+/// from `runs` and why. With an empty `children` slice the output is
+/// byte-identical to [`merge_manifests`].
+pub fn merge_manifests_with_children(
+    run_jsons: &[String],
+    children: &[(String, String)],
+) -> Result<String, JsonError> {
     let mut runs = Vec::with_capacity(run_jsons.len());
     for raw in run_jsons {
         runs.push(json::parse(raw)?);
@@ -145,6 +157,17 @@ pub fn merge_manifests(run_jsons: &[String]) -> Result<String, JsonError> {
     let mut map = BTreeMap::new();
     map.insert("schema".to_string(), Value::Str(MERGED_SCHEMA.to_string()));
     map.insert("runs".to_string(), Value::Arr(runs));
+    if !children.is_empty() {
+        map.insert(
+            "children".to_string(),
+            Value::Obj(
+                children
+                    .iter()
+                    .map(|(name, status)| (name.clone(), Value::Str(status.clone())))
+                    .collect(),
+            ),
+        );
+    }
     Ok(Value::Obj(map).to_json())
 }
 
@@ -250,6 +273,24 @@ mod tests {
         assert!(normalized.contains("tage.lookup"));
         assert!(!normalized.contains("wall_time_ns"));
         assert!(!normalized.contains("threads"));
+    }
+
+    #[test]
+    fn merge_with_children_records_statuses_and_empty_matches_plain() {
+        let runs = vec![sample("fig1", 4, 5).to_json()];
+        assert_eq!(
+            merge_manifests(&runs).unwrap(),
+            merge_manifests_with_children(&runs, &[]).unwrap()
+        );
+        let children = vec![
+            ("fig1".to_string(), "ok".to_string()),
+            ("fig2".to_string(), "failed: exit status: 101".to_string()),
+        ];
+        let merged = merge_manifests_with_children(&runs, &children).unwrap();
+        let value = json::parse(&merged).unwrap();
+        let table = value.as_obj().unwrap()["children"].as_obj().unwrap();
+        assert_eq!(table["fig1"].as_str(), Some("ok"));
+        assert_eq!(table["fig2"].as_str(), Some("failed: exit status: 101"));
     }
 
     #[test]

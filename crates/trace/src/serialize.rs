@@ -6,20 +6,89 @@
 //! collections can be written once and re-analyzed many times.
 //!
 //! Format (little-endian): magic `BPTR`, version u16, metadata (name
-//! length u16 + UTF-8 bytes, input u32), record count u64, then one
-//! fixed-layout record per instruction.
+//! length u16 + UTF-8 bytes, input u32), record count u64, one
+//! fixed-layout record per instruction, and — since version 2 — a
+//! trailing FNV-1a 64-bit checksum over every preceding byte (magic and
+//! version included). The checksum turns torn writes and bit rot into
+//! loud [`ReadTraceError::ChecksumMismatch`] errors instead of silently
+//! wrong replay data; version-1 files (no trailer) remain readable for
+//! backward compatibility, they just skip verification.
+//!
+//! [`Trace::save`] is crash-safe: it writes to a unique temporary file in
+//! the destination directory and atomically renames it into place, so a
+//! concurrent reader (or a `kill -9` mid-write) can never observe a
+//! half-written trace at the final path.
 
 use std::error::Error;
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::isa::{BranchKind, InstClass, Reg};
 use crate::record::{BranchInfo, RetiredInst};
 use crate::trace::{Trace, TraceMeta};
 
 const MAGIC: &[u8; 4] = b"BPTR";
-const VERSION: u16 = 1;
+/// Current write version: v2 appends the FNV-1a trailer.
+const VERSION: u16 = 2;
+/// Oldest version still accepted by [`Trace::read_from`].
+const MIN_VERSION: u16 = 1;
 const NO_REG: u8 = 0xFF;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64 over a byte stream.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// A writer adapter that hashes everything written through it.
+struct HashingWriter<W> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter { inner, hash: FNV_OFFSET }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        fnv1a(&mut self.hash, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader adapter that hashes everything read through it.
+struct HashingReader<R> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader { inner, hash: FNV_OFFSET }
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        fnv1a(&mut self.hash, &buf[..n]);
+        Ok(n)
+    }
+}
 
 /// Errors produced when decoding a serialized trace.
 #[derive(Debug)]
@@ -32,6 +101,14 @@ pub enum ReadTraceError {
     UnsupportedVersion(u16),
     /// A field held an invalid value (register, class, or branch kind).
     Corrupt(&'static str),
+    /// The v2 trailing checksum did not match the payload: the file was
+    /// torn mid-write or corrupted at rest.
+    ChecksumMismatch {
+        /// Checksum recorded in the file's trailer.
+        stored: u64,
+        /// Checksum recomputed over the payload actually read.
+        computed: u64,
+    },
 }
 
 impl fmt::Display for ReadTraceError {
@@ -43,6 +120,10 @@ impl fmt::Display for ReadTraceError {
                 write!(f, "unsupported trace format version {v}")
             }
             ReadTraceError::Corrupt(what) => write!(f, "corrupt trace: invalid {what}"),
+            ReadTraceError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "corrupt trace: checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
         }
     }
 }
@@ -157,7 +238,8 @@ fn decode_kind(b: u8) -> Result<BranchKind, ReadTraceError> {
 }
 
 impl Trace {
-    /// Serializes the trace to `writer` in the `BPTR` v1 format.
+    /// Serializes the trace to `writer` in the `BPTR` v2 format
+    /// (checksummed; see the module docs).
     ///
     /// A `&mut` reference can be passed for `writer` (e.g. `&mut file`).
     ///
@@ -167,7 +249,8 @@ impl Trace {
     /// [`WriteTraceError::NameTooLong`] when the workload name exceeds the
     /// format's u16 length field (truncating it would make a `save`/`load`
     /// round trip silently alter [`TraceMeta`]).
-    pub fn write_to<W: Write>(&self, mut writer: W) -> Result<(), WriteTraceError> {
+    pub fn write_to<W: Write>(&self, writer: W) -> Result<(), WriteTraceError> {
+        let mut writer = HashingWriter::new(writer);
         writer.write_all(MAGIC)?;
         writer.write_all(&VERSION.to_le_bytes())?;
         let name = self.meta().name.as_bytes();
@@ -198,6 +281,11 @@ impl Trace {
             }
             writer.write_all(&buf)?;
         }
+        // The trailer is the digest of everything before it, so it is
+        // written through the inner writer (hashing it would be circular).
+        let digest = writer.hash;
+        writer.inner.write_all(&digest.to_le_bytes())?;
+        writer.inner.flush()?;
         Ok(())
     }
 
@@ -205,10 +293,14 @@ impl Trace {
     ///
     /// A `&mut` reference can be passed for `reader`.
     ///
+    /// Both format versions are accepted: v2 files have their trailing
+    /// checksum verified, v1 files (written before the trailer existed)
+    /// are decoded without verification.
+    ///
     /// # Errors
     ///
     /// Returns [`ReadTraceError`] on I/O failure, bad magic, unsupported
-    /// version, or corrupt field values.
+    /// version, corrupt field values, or a checksum mismatch.
     ///
     /// # Examples
     ///
@@ -226,7 +318,8 @@ impl Trace {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn read_from<R: Read>(mut reader: R) -> Result<Trace, ReadTraceError> {
+    pub fn read_from<R: Read>(reader: R) -> Result<Trace, ReadTraceError> {
+        let mut reader = HashingReader::new(reader);
         let mut magic = [0u8; 4];
         reader.read_exact(&mut magic)?;
         if &magic != MAGIC {
@@ -235,7 +328,7 @@ impl Trace {
         let mut u16b = [0u8; 2];
         reader.read_exact(&mut u16b)?;
         let version = u16::from_le_bytes(u16b);
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(ReadTraceError::UnsupportedVersion(version));
         }
         reader.read_exact(&mut u16b)?;
@@ -283,18 +376,60 @@ impl Trace {
                 branch,
             });
         }
+        if version >= 2 {
+            // Snapshot the digest before the trailer bytes pass through
+            // the hashing reader.
+            let computed = reader.hash;
+            let mut trailer = [0u8; 8];
+            reader.read_exact(&mut trailer)?;
+            let stored = u64::from_le_bytes(trailer);
+            if stored != computed {
+                return Err(ReadTraceError::ChecksumMismatch { stored, computed });
+            }
+        }
         Ok(trace)
     }
 
-    /// Writes the trace to a file at `path` (see [`Trace::write_to`]).
+    /// Writes the trace to a file at `path` (see [`Trace::write_to`]),
+    /// atomically: bytes go to a unique temporary file in the same
+    /// directory, which is fsynced and renamed over `path`. Readers (and
+    /// concurrent savers racing on the same path) therefore only ever see
+    /// either the old complete file or the new complete file; a crash
+    /// mid-write leaves at worst an orphaned `.tmp` file, never a torn
+    /// trace at `path`.
     ///
     /// # Errors
     ///
-    /// Propagates file-creation and write errors, plus
-    /// [`WriteTraceError::NameTooLong`] for oversized workload names.
+    /// Propagates file-creation, write, and rename errors, plus
+    /// [`WriteTraceError::NameTooLong`] for oversized workload names. On
+    /// error the temporary file is removed (best-effort).
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), WriteTraceError> {
-        let file = std::fs::File::create(path)?;
-        self.write_to(io::BufWriter::new(file))
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = path.as_ref();
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        let base = path.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+        let tmp = dir.join(format!(
+            ".{base}.{}.{}.tmp",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = || -> Result<(), WriteTraceError> {
+            let file = std::fs::File::create(&tmp)?;
+            let mut writer = io::BufWriter::new(file);
+            self.write_to(&mut writer)?;
+            // BufWriter::into_inner flushes; sync so the rename cannot be
+            // durable before the data it points at.
+            let file = writer.into_inner().map_err(io::IntoInnerError::into_error)?;
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)?;
+            Ok(())
+        };
+        write().inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     /// Reads a trace from a file at `path` (see [`Trace::read_from`]).
@@ -388,9 +523,69 @@ mod tests {
         }
         let mut bytes = Vec::new();
         t.write_to(&mut bytes).unwrap();
-        assert_eq!(bytes.len(), 4 + 2 + 2 + 3 + 4 + 8 + 37 * 10_000);
+        // Header + records + 8-byte checksum trailer.
+        assert_eq!(bytes.len(), 4 + 2 + 2 + 3 + 4 + 8 + 37 * 10_000 + 8);
         let back = Trace::read_from(bytes.as_slice()).unwrap();
         assert_eq!(back.len(), 10_000);
         assert_eq!(back.insts(), t.insts());
+    }
+
+    /// Rewrites v2 `bytes` as the v1 format: drop the trailer, patch the
+    /// version field. This is exactly what pre-checksum branch-lab wrote.
+    fn downgrade_to_v1(mut bytes: Vec<u8>) -> Vec<u8> {
+        bytes.truncate(bytes.len() - 8);
+        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn v1_files_without_checksum_still_load() {
+        let t = sample();
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes).unwrap();
+        let back = Trace::read_from(downgrade_to_v1(bytes).as_slice()).unwrap();
+        assert_eq!(back.meta(), t.meta());
+        assert_eq!(back.insts(), t.insts());
+    }
+
+    #[test]
+    fn bit_flip_in_payload_fails_the_checksum() {
+        let t = sample();
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes).unwrap();
+        // Flip one bit in the first record's dst_value — a field whose
+        // every value decodes fine, so only the checksum can catch it.
+        let dst_value_off = 4 + 2 + 2 + t.meta().name.len() + 4 + 8 + 8;
+        bytes[dst_value_off] ^= 0x40;
+        let err = Trace::read_from(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::ChecksumMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn corrupt_trailer_fails_the_checksum() {
+        let t = sample();
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let err = Trace::read_from(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let t = sample();
+        let dir = std::env::temp_dir().join(format!("bp_trace_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.bptr");
+        t.save(&path).unwrap();
+        t.save(&path).unwrap(); // overwrite is atomic too
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["atomic.bptr".to_string()], "{names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

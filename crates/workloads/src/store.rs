@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use bp_metrics::Counter;
 use bp_trace::Trace;
@@ -63,6 +63,9 @@ pub struct StoreStats {
     pub disk_loads: u64,
     /// Requests satisfied from memory (neither generated nor loaded).
     pub hits: u64,
+    /// Cache files found torn/corrupt, quarantined as `.corrupt`, and
+    /// regenerated.
+    pub corrupt: u64,
 }
 
 /// One memoization slot. The `OnceLock` guarantees exactly-once generation
@@ -80,11 +83,13 @@ pub struct TraceStore {
     generated: AtomicU64,
     disk_loads: AtomicU64,
     hits: AtomicU64,
-    /// `bp-metrics` mirrors of the three stats above (no-ops unless
+    corrupt: AtomicU64,
+    /// `bp-metrics` mirrors of the stats above (no-ops unless
     /// `BRANCH_LAB_METRICS` enables the registry).
     m_generated: Counter,
     m_disk_loads: Counter,
     m_hits: Counter,
+    m_corrupt: Counter,
 }
 
 impl TraceStore {
@@ -98,9 +103,11 @@ impl TraceStore {
             generated: AtomicU64::new(0),
             disk_loads: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
             m_generated: Counter::get("trace_store.generate"),
             m_disk_loads: Counter::get("trace_store.disk_load"),
             m_hits: Counter::get("trace_store.hit"),
+            m_corrupt: Counter::get("trace_store.corrupt"),
         }
     }
 
@@ -138,8 +145,12 @@ impl TraceStore {
             spec.inputs
         );
         let key = TraceKey::new(spec, input, len);
+        // Map locks recover from poisoning: the guarded maps are only
+        // ever inserted into, so a panicked holder cannot leave them in
+        // an inconsistent state, and one dead worker must not wedge every
+        // later trace request.
         let slot = {
-            let mut map = self.traces.lock().expect("trace store poisoned");
+            let mut map = self.traces.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(map.entry(key.clone()).or_default())
         };
         if let Some(t) = slot.get() {
@@ -153,10 +164,18 @@ impl TraceStore {
     fn load_or_generate(&self, spec: &WorkloadSpec, key: &TraceKey) -> Trace {
         if let Some(dir) = &self.cache_dir {
             let path = dir.join(key.file_name());
-            if let Some(t) = bp_metrics::time("trace_store.disk_load", || load_valid(&path, key)) {
-                self.disk_loads.fetch_add(1, Ordering::Relaxed);
-                self.m_disk_loads.incr();
-                return t;
+            match bp_metrics::time("trace_store.disk_load", || load_valid(&path, key)) {
+                DiskRead::Valid(t) => {
+                    self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                    self.m_disk_loads.incr();
+                    return t;
+                }
+                DiskRead::Corrupt(reason) => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    self.m_corrupt.incr();
+                    quarantine(&path, &reason);
+                }
+                DiskRead::Missing => {}
             }
         }
         let program = self.program(spec);
@@ -167,8 +186,11 @@ impl TraceStore {
         self.m_generated.incr();
         if let Some(dir) = &self.cache_dir {
             // Persistence is best-effort: a full disk or read-only cache
-            // directory must not fail the experiment.
-            if std::fs::create_dir_all(dir).is_ok() {
+            // directory must not fail the experiment. The fault site lets
+            // tests exercise exactly that degradation.
+            let persist_ok = !bp_metrics::faultpoint::should_fail("trace_store.save")
+                && std::fs::create_dir_all(dir).is_ok();
+            if persist_ok {
                 let _ = trace.save(dir.join(key.file_name()));
             }
         }
@@ -178,7 +200,7 @@ impl TraceStore {
     /// Returns the lowered program for `spec`, building it at most once per
     /// workload name.
     pub fn program(&self, spec: &WorkloadSpec) -> Arc<Program> {
-        let mut map = self.programs.lock().expect("program store poisoned");
+        let mut map = self.programs.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(
             map.entry(spec.name.clone()).or_insert_with(|| Arc::new(spec.program())),
         )
@@ -190,6 +212,7 @@ impl TraceStore {
             generated: self.generated.load(Ordering::Relaxed),
             disk_loads: self.disk_loads.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
         }
     }
 }
@@ -200,12 +223,66 @@ impl Default for TraceStore {
     }
 }
 
-/// Loads `path` and validates it against `key`; any mismatch (stale file,
-/// truncation, different format) falls back to regeneration.
-fn load_valid(path: &Path, key: &TraceKey) -> Option<Trace> {
-    let t = Trace::load(path).ok()?;
-    let ok = t.meta().name == key.name && t.meta().input == key.input && t.len() == key.len;
-    ok.then_some(t)
+/// Outcome of probing the on-disk cache for one key.
+enum DiskRead {
+    /// A complete, checksum-verified trace matching the key.
+    Valid(Trace),
+    /// No cache file (the ordinary cold-cache case).
+    Missing,
+    /// A file exists but is torn, corrupt, or carries the wrong identity;
+    /// it must be quarantined and the trace regenerated.
+    Corrupt(String),
+}
+
+/// Loads `path` and validates it against `key`.
+///
+/// The `trace_store.load` fault site simulates a corrupt read without a
+/// corrupt file, so degradation tests don't have to produce real torn
+/// writes.
+fn load_valid(path: &Path, key: &TraceKey) -> DiskRead {
+    if bp_metrics::faultpoint::should_fail("trace_store.load") {
+        return DiskRead::Corrupt("injected fault: trace_store.load".to_string());
+    }
+    let t = match Trace::load(path) {
+        Ok(t) => t,
+        Err(bp_trace::ReadTraceError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            return DiskRead::Missing;
+        }
+        // Anything else — truncation (unexpected EOF), bad magic, bad
+        // field encodings, checksum mismatch — is a damaged cache entry.
+        Err(e) => return DiskRead::Corrupt(e.to_string()),
+    };
+    if t.meta().name == key.name && t.meta().input == key.input && t.len() == key.len {
+        DiskRead::Valid(t)
+    } else {
+        DiskRead::Corrupt(format!(
+            "cache identity mismatch: file holds {}/i{}/l{}, key wants {}/i{}/l{}",
+            t.meta().name,
+            t.meta().input,
+            t.len(),
+            key.name,
+            key.input,
+            key.len
+        ))
+    }
+}
+
+/// Moves a damaged cache file aside as `<name>.corrupt` so it is never
+/// trusted again but stays available for post-mortems. Renaming within a
+/// directory is atomic, so a concurrent reader sees the original file or
+/// no file — never a half-moved one. Best-effort: if even the rename
+/// fails, the file is removed so it cannot poison the next run.
+fn quarantine(path: &Path, reason: &str) {
+    let mut q = path.as_os_str().to_owned();
+    q.push(".corrupt");
+    let quarantined = PathBuf::from(q);
+    if std::fs::rename(path, &quarantined).is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!(
+        "branch-lab: quarantined corrupt trace cache file {} ({reason}); regenerating",
+        path.display()
+    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,280 @@
+//! Fault-tolerance guarantees: torn/corrupt trace-cache files are
+//! detected, quarantined, and regenerated (never trusted); `Trace::save`
+//! is atomic under concurrency; `Engine::try_map` isolates panicking
+//! tasks without losing or perturbing sibling results; and the
+//! `faultpoint` facility drives every degradation path deterministically.
+//!
+//! Fault plans are process-global, so every test here serializes behind
+//! one gate — the suite is cheap, the determinism is worth it.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use branch_lab::core::{faultpoint, Engine};
+use branch_lab::trace::{ReadTraceError, RetiredInst, Trace, TraceMeta};
+use branch_lab::workloads::{lcf_suite, specint_suite, TraceStore};
+
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A fresh private directory under the system temp dir.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "branch-lab-fault-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The single `.bptr` file in `dir`.
+fn cache_file(dir: &std::path::Path) -> std::path::PathBuf {
+    std::fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .find(|p| p.extension().is_some_and(|e| e == "bptr"))
+        .expect("one .bptr cache file")
+}
+
+fn quarantined_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    std::fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "corrupt"))
+        .collect()
+}
+
+#[test]
+fn truncated_cache_file_is_quarantined_and_regenerated() {
+    let _g = gate();
+    let dir = scratch_dir("truncate");
+    let spec = &lcf_suite()[0];
+    let good = TraceStore::with_cache_dir(&dir).get(spec, 0, 12_000);
+
+    // Tear the file the way a crash mid-write (without atomic rename)
+    // would: keep a valid prefix, drop the rest.
+    let path = cache_file(&dir);
+    let bytes = std::fs::read(&path).expect("read cache file");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+
+    let store = TraceStore::with_cache_dir(&dir);
+    let regenerated = store.get(spec, 0, 12_000);
+    let stats = store.stats();
+    assert_eq!(stats.corrupt, 1, "{stats:?}");
+    assert_eq!(stats.disk_loads, 0, "{stats:?}");
+    assert_eq!(stats.generated, 1, "{stats:?}");
+    assert_eq!(regenerated.insts(), good.insts());
+    assert_eq!(quarantined_files(&dir).len(), 1, "torn file kept for post-mortem");
+
+    // Regeneration re-persisted a good copy: a third store disk-loads it.
+    let reloader = TraceStore::with_cache_dir(&dir);
+    let reloaded = reloader.get(spec, 0, 12_000);
+    assert_eq!(reloader.stats().disk_loads, 1);
+    assert_eq!(reloaded.insts(), good.insts());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_cache_file_is_caught_by_the_checksum() {
+    let _g = gate();
+    let dir = scratch_dir("bitflip");
+    let spec = &lcf_suite()[1];
+    let good = TraceStore::with_cache_dir(&dir).get(spec, 0, 12_000);
+
+    // Flip one bit deep inside the record payload. Every value of the
+    // flipped field decodes fine, so only the v2 checksum can notice.
+    let path = cache_file(&dir);
+    let mut bytes = std::fs::read(&path).expect("read cache file");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).expect("rewrite");
+
+    let store = TraceStore::with_cache_dir(&dir);
+    let regenerated = store.get(spec, 0, 12_000);
+    let stats = store.stats();
+    assert_eq!(stats.corrupt, 1, "{stats:?}");
+    assert_eq!(stats.generated, 1, "{stats:?}");
+    assert_eq!(regenerated.insts(), good.insts());
+    assert_eq!(quarantined_files(&dir).len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_files_are_never_loadable_at_any_truncation_point() {
+    let _g = gate();
+    let mut t = Trace::new(TraceMeta::new("torn", 0));
+    for i in 0..50u64 {
+        t.push(RetiredInst::cond_branch(0x400 + i * 4, i % 2 == 0, 0x800, Some(1), None));
+    }
+    let mut bytes = Vec::new();
+    t.write_to(&mut bytes).expect("serialize");
+    // Every proper prefix must fail to decode — including "clean" cuts at
+    // record boundaries and a cut that drops only the checksum trailer.
+    for cut in [bytes.len() - 8, bytes.len() - 8 - 37, bytes.len() / 2, 10, 3] {
+        let err = Trace::read_from(&bytes[..cut]).expect_err("prefix must not load");
+        assert!(
+            matches!(err, ReadTraceError::Io(_) | ReadTraceError::ChecksumMismatch { .. }),
+            "cut at {cut}: unexpected {err:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_savers_and_loaders_never_observe_a_torn_file() {
+    let _g = gate();
+    let dir = scratch_dir("race");
+    let path = dir.join("shared.bptr");
+
+    // Two distinguishable traces under the same path: a reader must see
+    // one of them in full, never a splice or a prefix.
+    let make = |len: u64| {
+        let mut t = Trace::new(TraceMeta::new("race", 0));
+        for i in 0..len {
+            t.push(RetiredInst::cond_branch(0x400 + i * 4, i % 3 == 0, 0x800, Some(1), None));
+        }
+        t
+    };
+    let a = make(400);
+    let b = make(900);
+    a.save(&path).expect("seed file");
+
+    std::thread::scope(|scope| {
+        for t in [&a, &b] {
+            let path = &path;
+            scope.spawn(move || {
+                for _ in 0..60 {
+                    t.save(path).expect("save");
+                }
+            });
+        }
+        for _ in 0..2 {
+            scope.spawn(|| {
+                for _ in 0..200 {
+                    let loaded = Trace::load(&path).expect("load must always succeed");
+                    assert!(
+                        loaded.len() == a.len() || loaded.len() == b.len(),
+                        "unexpected length {}",
+                        loaded.len()
+                    );
+                    let full = if loaded.len() == a.len() { &a } else { &b };
+                    assert_eq!(loaded.insts(), full.insts(), "spliced content");
+                }
+            });
+        }
+    });
+    // The savers' temp files were all renamed or cleaned up.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n != "shared.bptr")
+        .collect();
+    assert!(leftovers.is_empty(), "{leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn try_map_panic_costs_one_slot_and_siblings_stay_byte_identical() {
+    let _g = gate();
+    let items: Vec<u64> = (0..40).collect();
+    let f = |_: usize, &x: &u64| {
+        assert!(x != 11 && x != 29, "sacrificial task {x}");
+        (x as f64).sqrt().ln_1p()
+    };
+    let serial = Engine::with_threads(1).try_map(&items, f);
+    for threads in 1..=16 {
+        let out = Engine::with_threads(threads).try_map(&items, f);
+        assert_eq!(out.len(), items.len());
+        for (i, (got, want)) in out.iter().zip(&serial).enumerate() {
+            match (got, want) {
+                (Ok(g), Ok(w)) => {
+                    assert_eq!(g.to_bits(), w.to_bits(), "item {i} at {threads} threads");
+                }
+                (Err(e), Err(_)) => {
+                    assert!(i == 11 || i == 29, "unexpected failure at {i}");
+                    assert_eq!(e.index, i);
+                    assert_eq!(e.label, format!("#{i}"));
+                    assert!(e.message.contains("sacrificial task"), "{}", e.message);
+                }
+                _ => panic!("item {i}: success/failure split differs from serial"),
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_engine_task_panic_is_isolated_and_reported() {
+    let _g = gate();
+    // Fire on the 4th arrival at engine.task. With 1 thread, arrival
+    // order is input order, so item index 3 fails.
+    faultpoint::install_for_tests(Some("engine.task:panic@4"));
+    let items: Vec<u32> = (0..8).collect();
+    let out = Engine::with_threads(1).try_map(&items, |_, &x| x + 100);
+    faultpoint::install_for_tests(None);
+    for (i, r) in out.iter().enumerate() {
+        if i == 3 {
+            let e = r.as_ref().expect_err("task 3 must fail");
+            assert_eq!(e.index, 3);
+            assert!(e.message.contains("injected fault"), "{}", e.message);
+        } else {
+            assert_eq!(*r.as_ref().expect("sibling survives"), (i as u32) + 100);
+        }
+    }
+}
+
+#[test]
+fn injected_transient_panic_is_absorbed_by_retry() {
+    let _g = gate();
+    faultpoint::install_for_tests(Some("engine.task:panic@2"));
+    let items: Vec<u32> = (0..4).collect();
+    let out = Engine::with_threads(1).try_map_with(&items, 1, |i, _| format!("w{i}"), |_, &x| x);
+    faultpoint::install_for_tests(None);
+    assert!(out.iter().all(Result::is_ok), "one retry absorbs a one-shot fault");
+}
+
+#[test]
+fn injected_save_failure_degrades_to_memory_only_operation() {
+    let _g = gate();
+    let dir = scratch_dir("savefail");
+    let spec = &specint_suite()[0];
+    faultpoint::install_for_tests(Some("trace_store.save:fail"));
+    let store = TraceStore::with_cache_dir(&dir);
+    let t = store.get(spec, 0, 8_000);
+    faultpoint::install_for_tests(None);
+    assert_eq!(t.len(), 8_000);
+    assert_eq!(store.stats().generated, 1);
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    assert!(files.is_empty(), "persistence was suppressed: {files:?}");
+
+    // Same key again, post-fault: memory cache still serves it.
+    let again = store.get(spec, 0, 8_000);
+    assert_eq!(store.stats().hits, 1);
+    assert_eq!(again.insts(), t.insts());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_load_failure_quarantines_and_regenerates() {
+    let _g = gate();
+    let dir = scratch_dir("loadfail");
+    let spec = &specint_suite()[1];
+    let good = TraceStore::with_cache_dir(&dir).get(spec, 0, 8_000);
+
+    // The file on disk is fine; the injected fault simulates an
+    // unreadable/corrupt cache entry at load time.
+    faultpoint::install_for_tests(Some("trace_store.load:fail@1"));
+    let store = TraceStore::with_cache_dir(&dir);
+    let t = store.get(spec, 0, 8_000);
+    faultpoint::install_for_tests(None);
+    assert_eq!(store.stats().corrupt, 1);
+    assert_eq!(store.stats().generated, 1);
+    assert_eq!(t.insts(), good.insts());
+    assert_eq!(quarantined_files(&dir).len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

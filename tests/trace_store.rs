@@ -75,7 +75,20 @@ fn a_corrupt_cache_file_falls_back_to_generation() {
     let regenerated = reader.get(spec, 0, 10_000);
     assert_eq!(reader.stats().generated, 1);
     assert_eq!(reader.stats().disk_loads, 0);
+    assert_eq!(reader.stats().corrupt, 1, "damage must be counted");
     assert_eq!(regenerated.insts(), good.insts());
+    // The damaged file was quarantined for post-mortems, not deleted.
+    let quarantined = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter(|e| {
+            e.as_ref()
+                .expect("entry")
+                .path()
+                .extension()
+                .is_some_and(|x| x == "corrupt")
+        })
+        .count();
+    assert_eq!(quarantined, 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
