@@ -52,4 +52,16 @@ grep -q '"fig3": "ok"' "$FAULT_SINK/all.json"
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== perf baseline =="
+# Gate replay throughput against the checked-in BENCH_*.json (newest by
+# filename, at the repo root). The 50% threshold is a cliff detector for
+# accidental slowdowns, not a micro-benchmark gate — CI machines vary.
+# Refresh workflow: EXPERIMENTS.md "Replay throughput & the perf baseline".
+BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
+    cargo run --release -q -p bp-bench --bin bp-perf -- \
+    --check-baseline --threshold 0.5 --samples 3
+
 echo "ci: all checks passed"

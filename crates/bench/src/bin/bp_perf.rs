@@ -1,0 +1,234 @@
+//! `bp-perf` — the pinned replay-performance suite and regression gate.
+//!
+//! Every figure in `EXPERIMENTS.md` re-drives millions of trace records
+//! through TAGE-SC-L and the scoreboard, so replay throughput is the
+//! resource every study spends. This binary measures it reproducibly:
+//!
+//! * `predictor/tage-sc-l-{8,64}kb` — predictor-only replay
+//!   (predict+update per conditional branch, no pipeline);
+//! * `pipeline/scoreboard` — scoreboard-only replay over a precomputed
+//!   misprediction stream;
+//! * `end_to_end/tage-sc-l-8kb[-lcf]` — the full study loop
+//!   (`bp_pipeline::run`): predictor replay + timing simulation, on a
+//!   SPECint-like and an LCF-like trace.
+//!
+//! Default mode records `BENCH_<date>.json` in the current directory
+//! (schema `bp-perf/v1`, see `bp_bench::perf`); `--check-baseline`
+//! compares against a checked-in report instead and exits nonzero on a
+//! regression beyond the threshold. `PERFORMANCE.md` documents the cost
+//! model behind the numbers and the baseline-refresh workflow.
+//!
+//! ```console
+//! $ cargo run --release -p bp-bench --bin bp-perf            # record
+//! $ cargo run --release -p bp-bench --bin bp-perf -- \
+//!       --check-baseline --threshold 0.4                     # gate
+//! ```
+//!
+//! Traces honour `BRANCH_LAB_TRACE_DIR`, so CI reuses its shared cache.
+
+use std::process::ExitCode;
+
+use bp_bench::perf::{self, PerfReport};
+use bp_pipeline::{simulate, PipelineConfig};
+use bp_predictors::{misprediction_flags, TageScL, TageSclConfig};
+use bp_workloads::{lcf_suite, specint_suite};
+
+/// Pinned trace length: large enough that per-branch costs dominate
+/// setup, small enough that a full suite run stays in seconds.
+const TRACE_LEN: usize = 1_000_000;
+
+struct Options {
+    samples: u32,
+    warmup: u32,
+    check_baseline: bool,
+    baseline: Option<String>,
+    threshold: f64,
+    out: Option<String>,
+    date: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bp-perf [--samples N] [--warmup N] [--out FILE] [--date YYYY-MM-DD]\n\
+         \x20              [--check-baseline] [--baseline FILE] [--threshold FRAC]\n\
+         \n\
+         Default: run the pinned suite and write BENCH_<date>.json.\n\
+         --check-baseline: compare against the newest BENCH_*.json (or --baseline FILE)\n\
+         and exit nonzero if any benchmark is more than FRAC slower (default 0.4)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        samples: 7,
+        warmup: 1,
+        check_baseline: false,
+        baseline: None,
+        threshold: 0.4,
+        out: None,
+        date: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--samples" => opts.samples = value("--samples").parse().unwrap_or_else(|_| usage()),
+            "--warmup" => opts.warmup = value("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--check-baseline" => opts.check_baseline = true,
+            "--baseline" => opts.baseline = Some(value("--baseline")),
+            "--threshold" => {
+                opts.threshold = value("--threshold").parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => opts.out = Some(value("--out")),
+            "--date" => opts.date = Some(value("--date")),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// The newest (lexically greatest, i.e. latest-dated) `BENCH_*.json` in
+/// the current directory.
+fn default_baseline() -> Option<String> {
+    let mut candidates: Vec<String> = std::fs::read_dir(".")
+        .ok()?
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    candidates.sort();
+    candidates.pop()
+}
+
+fn run_suite(opts: &Options) -> PerfReport {
+    let (samples, warmup) = (opts.samples, opts.warmup);
+    let cfg = PipelineConfig::skylake();
+
+    // SPECint-like branchy workload (leela-like) and a memory-bound
+    // LCF-like workload: the two ends of the replay cost spectrum.
+    let spec_trace = specint_suite()[6].cached_trace(0, TRACE_LEN);
+    let lcf_trace = lcf_suite()[1].cached_trace(0, TRACE_LEN);
+    let stream: Vec<(u64, bool)> = spec_trace
+        .conditional_branches()
+        .map(|b| (b.ip, b.taken))
+        .collect();
+    let spec_branches = spec_trace.conditional_branch_count() as u64;
+    let lcf_branches = lcf_trace.conditional_branch_count() as u64;
+    // A fixed misprediction stream for the scoreboard-only benchmark.
+    let flags = misprediction_flags(&mut TageScL::kb8(), &spec_trace);
+
+    let mut measurements = Vec::new();
+    let nbr = stream.len() as u64;
+    for kb in [8usize, 64] {
+        measurements.push(perf::measure(
+            &format!("predictor/tage-sc-l-{kb}kb"),
+            nbr,
+            nbr,
+            warmup,
+            samples,
+            || {
+                let mut p = TageScL::new(TageSclConfig::storage_kb(kb));
+                let mut wrong = 0u64;
+                for &(ip, taken) in &stream {
+                    let pred = bp_predictors::Predictor::predict(&mut p, ip);
+                    bp_predictors::Predictor::update(&mut p, ip, taken, pred);
+                    wrong += u64::from(pred != taken);
+                }
+                wrong
+            },
+        ));
+    }
+    measurements.push(perf::measure(
+        "pipeline/scoreboard",
+        spec_trace.len() as u64,
+        spec_branches,
+        warmup,
+        samples,
+        || simulate(&spec_trace, &flags, &cfg).cycles,
+    ));
+    measurements.push(perf::measure(
+        "end_to_end/tage-sc-l-8kb",
+        spec_trace.len() as u64,
+        spec_branches,
+        warmup,
+        samples,
+        || bp_pipeline::run(&spec_trace, &mut TageScL::kb8(), &cfg).cycles,
+    ));
+    measurements.push(perf::measure(
+        "end_to_end/tage-sc-l-8kb-lcf",
+        lcf_trace.len() as u64,
+        lcf_branches,
+        warmup,
+        samples,
+        || bp_pipeline::run(&lcf_trace, &mut TageScL::kb8(), &cfg).cycles,
+    ));
+
+    PerfReport {
+        date: opts.date.clone().unwrap_or_else(perf::utc_date_today),
+        samples,
+        warmup,
+        peak_rss_kb: perf::peak_rss_kb(),
+        measurements,
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let report = run_suite(&opts);
+
+    if opts.check_baseline {
+        let Some(path) = opts.baseline.clone().or_else(default_baseline) else {
+            eprintln!("bp-perf: no baseline given and no BENCH_*.json found in .");
+            return ExitCode::from(2);
+        };
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(err) => {
+                eprintln!("bp-perf: cannot read baseline {path}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match PerfReport::parse(&raw) {
+            Ok(baseline) => baseline,
+            Err(err) => {
+                eprintln!("bp-perf: bad baseline {path}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let checks = perf::check_against_baseline(&report, &baseline, opts.threshold);
+        println!(
+            "== bp-perf vs baseline {path} ({} allowed regression) ==",
+            format_args!("{:.0}%", opts.threshold * 100.0)
+        );
+        let mut failed = false;
+        for c in &checks {
+            println!(
+                "{:<32} {:>12} -> {:>12} rec/s  ({:>5.2}x)  {}",
+                c.name,
+                c.baseline_rps,
+                c.current_rps,
+                c.ratio,
+                if c.pass { "ok" } else { "REGRESSION" }
+            );
+            failed |= !c.pass;
+        }
+        if failed {
+            println!("bp-perf: regression detected (threshold {:.2})", opts.threshold);
+            return ExitCode::FAILURE;
+        }
+        println!("bp-perf: all benchmarks within threshold");
+        return ExitCode::SUCCESS;
+    }
+
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", report.date));
+    let payload = format!("{}\n", report.to_json());
+    if let Err(err) = std::fs::write(&path, payload) {
+        eprintln!("bp-perf: cannot write {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("bp-perf: wrote {path}");
+    ExitCode::SUCCESS
+}

@@ -71,6 +71,8 @@ impl BenchGroup {
     }
 }
 
+pub mod perf;
+
 #[cfg(test)]
 mod tests {
     use super::*;

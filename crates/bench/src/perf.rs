@@ -1,0 +1,424 @@
+//! Machinery behind the `bp-perf` regression runner.
+//!
+//! `bp-perf` (see `src/bin/bp_perf.rs`) executes a pinned suite of replay
+//! benchmarks and emits a deterministic `BENCH_<date>.json` report —
+//! records/sec, ns/branch, peak RSS — rendered through the same canonical
+//! JSON machinery (`bp_metrics::json`) as the run manifests, so reports
+//! diff cleanly and sort stably. This module holds the measurement loop,
+//! the report schema, and the baseline comparison used by
+//! `bp-perf --check-baseline` / the `ci.sh` perf leg; the binary only
+//! parses arguments and defines the suite.
+//!
+//! The report schema (`bp-perf/v1`):
+//!
+//! ```json
+//! {
+//!   "benchmarks": {
+//!     "end_to_end/tage-sc-l-8kb": {
+//!       "branches": 210158,
+//!       "median_ns": 26441000,
+//!       "min_ns": 26242000,
+//!       "ns_per_branch": 125.81,
+//!       "records": 1000000,
+//!       "records_per_sec": 37820203
+//!     }
+//!   },
+//!   "date": "2026-08-05",
+//!   "peak_rss_kb": 181204,
+//!   "samples": 7,
+//!   "schema": "bp-perf/v1",
+//!   "warmup": 1
+//! }
+//! ```
+//!
+//! Timing fields obviously vary run to run; everything else — key order,
+//! number formatting, benchmark set — is fixed, which is what lets a
+//! checked-in report serve as a regression baseline
+//! (see `PERFORMANCE.md`).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use bp_metrics::json::{self, Value};
+
+/// Schema tag written into every report.
+pub const SCHEMA: &str = "bp-perf/v1";
+
+/// One measured benchmark: iteration size and wall-time statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Measurement {
+    /// Stable benchmark id, e.g. `end_to_end/tage-sc-l-8kb`.
+    pub name: String,
+    /// Trace records processed per iteration (instructions for pipeline
+    /// and end-to-end benchmarks, branches for predictor-only ones).
+    pub records: u64,
+    /// Dynamic conditional branches replayed per iteration.
+    pub branches: u64,
+    /// Median wall time of one iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+}
+
+impl Measurement {
+    /// Throughput in records per second, from the median sample.
+    #[must_use]
+    pub fn records_per_sec(&self) -> u64 {
+        if self.median_ns == 0 {
+            return 0;
+        }
+        // records * 1e9 / median_ns, in u128 to avoid overflow.
+        u64::try_from(u128::from(self.records) * 1_000_000_000 / u128::from(self.median_ns))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Median cost of one conditional branch, nanoseconds.
+    #[must_use]
+    pub fn ns_per_branch(&self) -> f64 {
+        if self.branches == 0 {
+            return 0.0;
+        }
+        self.median_ns as f64 / self.branches as f64
+    }
+}
+
+/// Times `f` (`warmup` untimed runs, then `samples` timed ones) and
+/// returns the resulting [`Measurement`]. Prints one stable
+/// `name: ...` progress line to stderr so long suites show liveness
+/// without polluting the machine-readable stdout/report.
+pub fn measure<R>(
+    name: &str,
+    records: u64,
+    branches: u64,
+    warmup: u32,
+    samples: u32,
+    mut f: impl FnMut() -> R,
+) -> Measurement {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut times: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    let m = Measurement {
+        name: name.to_string(),
+        records,
+        branches,
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+    };
+    eprintln!(
+        "{name}: {:.2} Mrec/s  {:.1} ns/branch  (median {:.1} ms over {} samples)",
+        m.records_per_sec() as f64 / 1e6,
+        m.ns_per_branch(),
+        m.median_ns as f64 / 1e6,
+        samples.max(1),
+    );
+    m
+}
+
+/// A full `bp-perf` report: the pinned suite's measurements plus run
+/// metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfReport {
+    /// UTC date the report was recorded (`YYYY-MM-DD`).
+    pub date: String,
+    /// Timed samples per benchmark.
+    pub samples: u32,
+    /// Untimed warm-up iterations per benchmark.
+    pub warmup: u32,
+    /// Peak resident set size of the process, in kilobytes (0 when the
+    /// platform does not expose it).
+    pub peak_rss_kb: u64,
+    /// The suite's measurements, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl PerfReport {
+    /// Renders the canonical JSON document (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut benches = BTreeMap::new();
+        for m in &self.measurements {
+            let mut entry = BTreeMap::new();
+            entry.insert("records".to_string(), Value::uint(m.records));
+            entry.insert("branches".to_string(), Value::uint(m.branches));
+            entry.insert("median_ns".to_string(), Value::uint(m.median_ns));
+            entry.insert("min_ns".to_string(), Value::uint(m.min_ns));
+            entry.insert(
+                "records_per_sec".to_string(),
+                Value::uint(m.records_per_sec()),
+            );
+            entry.insert(
+                "ns_per_branch".to_string(),
+                Value::Num(format!("{:.2}", m.ns_per_branch())),
+            );
+            benches.insert(m.name.clone(), Value::Obj(entry));
+        }
+        let mut map = BTreeMap::new();
+        map.insert("schema".to_string(), Value::Str(SCHEMA.to_string()));
+        map.insert("date".to_string(), Value::Str(self.date.clone()));
+        map.insert("samples".to_string(), Value::uint(u64::from(self.samples)));
+        map.insert("warmup".to_string(), Value::uint(u64::from(self.warmup)));
+        map.insert("peak_rss_kb".to_string(), Value::uint(self.peak_rss_kb));
+        map.insert("benchmarks".to_string(), Value::Obj(benches));
+        Value::Obj(map).to_json()
+    }
+
+    /// Parses a report previously written by [`PerfReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the document is not valid
+    /// JSON or not a `bp-perf/v1` report.
+    pub fn parse(raw: &str) -> Result<PerfReport, String> {
+        let value = json::parse(raw).map_err(|e| format!("invalid JSON: {e}"))?;
+        let map = value.as_obj().ok_or("report root must be an object")?;
+        let schema = map.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?}, expected {SCHEMA:?}"));
+        }
+        let get_u64 = |obj: &BTreeMap<String, Value>, key: &str| {
+            obj.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let mut measurements = Vec::new();
+        let benches = map
+            .get("benchmarks")
+            .and_then(Value::as_obj)
+            .ok_or("missing benchmarks object")?;
+        for (name, entry) in benches {
+            let obj = entry
+                .as_obj()
+                .ok_or_else(|| format!("benchmark {name:?} must be an object"))?;
+            measurements.push(Measurement {
+                name: name.clone(),
+                records: get_u64(obj, "records")?,
+                branches: get_u64(obj, "branches")?,
+                median_ns: get_u64(obj, "median_ns")?,
+                min_ns: get_u64(obj, "min_ns")?,
+            });
+        }
+        Ok(PerfReport {
+            date: map
+                .get("date")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            samples: u32::try_from(get_u64(map, "samples")?).unwrap_or(0),
+            warmup: u32::try_from(get_u64(map, "warmup")?).unwrap_or(0),
+            peak_rss_kb: get_u64(map, "peak_rss_kb")?,
+            measurements,
+        })
+    }
+}
+
+/// Outcome of comparing one benchmark against the baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineCheck {
+    /// Benchmark id.
+    pub name: String,
+    /// Baseline throughput, records/sec.
+    pub baseline_rps: u64,
+    /// Current throughput, records/sec (0 when the benchmark is missing
+    /// from the current run).
+    pub current_rps: u64,
+    /// `current / baseline` (1.0 means unchanged, below 1.0 is slower).
+    pub ratio: f64,
+    /// Whether the benchmark stayed within the allowed regression.
+    pub pass: bool,
+}
+
+/// Compares `current` against `baseline`: every benchmark present in the
+/// baseline must reach `baseline_rps * (1 - allowed_regression)` records
+/// per second. Benchmarks missing from `current` fail; benchmarks only in
+/// `current` (newly added) are ignored, so a baseline refresh is not
+/// required just to add coverage.
+#[must_use]
+pub fn check_against_baseline(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    allowed_regression: f64,
+) -> Vec<BaselineCheck> {
+    let floor_scale = (1.0 - allowed_regression).max(0.0);
+    baseline
+        .measurements
+        .iter()
+        .map(|base| {
+            let baseline_rps = base.records_per_sec();
+            let current_rps = current
+                .measurements
+                .iter()
+                .find(|m| m.name == base.name)
+                .map_or(0, Measurement::records_per_sec);
+            let ratio = if baseline_rps == 0 {
+                1.0
+            } else {
+                current_rps as f64 / baseline_rps as f64
+            };
+            BaselineCheck {
+                name: base.name.clone(),
+                baseline_rps,
+                current_rps,
+                ratio,
+                pass: current_rps as f64 >= baseline_rps as f64 * floor_scale,
+            }
+        })
+        .collect()
+}
+
+/// Peak resident set size of this process in kilobytes, from
+/// `/proc/self/status` (`VmHWM`). Returns 0 where that interface does
+/// not exist.
+#[must_use]
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                let rest = line.strip_prefix("VmHWM:")?;
+                rest.trim().trim_end_matches("kB").trim().parse().ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no external
+/// time crate: civil-from-days per Howard Hinnant's algorithm).
+#[must_use]
+pub fn utc_date_today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let days = i64::try_from(secs / 86_400).unwrap_or(0);
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Converts days since 1970-01-01 to a `(year, month, day)` civil date.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = u32::try_from(doy - (153 * mp + 2) / 5 + 1).unwrap_or(1);
+    let m = u32::try_from(if mp < 10 { mp + 3 } else { mp - 9 }).unwrap_or(1);
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PerfReport {
+        PerfReport {
+            date: "2026-08-05".to_string(),
+            samples: 7,
+            warmup: 1,
+            peak_rss_kb: 4321,
+            measurements: vec![
+                Measurement {
+                    name: "end_to_end/tage-sc-l-8kb".to_string(),
+                    records: 1_000_000,
+                    branches: 200_000,
+                    median_ns: 20_000_000,
+                    min_ns: 19_000_000,
+                },
+                Measurement {
+                    name: "pipeline/scoreboard".to_string(),
+                    records: 1_000_000,
+                    branches: 200_000,
+                    median_ns: 10_000_000,
+                    min_ns: 9_500_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn throughput_math() {
+        let m = &sample_report().measurements[0];
+        assert_eq!(m.records_per_sec(), 50_000_000);
+        assert!((m.ns_per_branch() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = sample_report();
+        let rendered = report.to_json();
+        let parsed = PerfReport::parse(&rendered).unwrap();
+        assert_eq!(parsed, report);
+        // Canonical: re-rendering reproduces the bytes.
+        assert_eq!(parsed.to_json(), rendered);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let err = PerfReport::parse("{\"schema\": \"other/v9\"}").unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn baseline_check_flags_regressions_only() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        // 10% slower on the first benchmark, faster on the second.
+        current.measurements[0].median_ns = 22_223_000;
+        current.measurements[1].median_ns = 5_000_000;
+        let strict = check_against_baseline(&current, &baseline, 0.05);
+        assert!(!strict[0].pass && strict[1].pass);
+        let generous = check_against_baseline(&current, &baseline, 0.25);
+        assert!(generous.iter().all(|c| c.pass));
+        assert!(strict[0].ratio < 0.95 && strict[1].ratio > 1.9);
+    }
+
+    #[test]
+    fn missing_benchmark_fails_check() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        current.measurements.remove(1);
+        let checks = check_against_baseline(&current, &baseline, 0.25);
+        let missing = checks.iter().find(|c| c.name == "pipeline/scoreboard");
+        assert!(missing.is_some_and(|c| !c.pass && c.current_rps == 0));
+    }
+
+    #[test]
+    fn extra_benchmark_in_current_is_ignored() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        current.measurements.push(Measurement {
+            name: "new/one".to_string(),
+            records: 1,
+            branches: 1,
+            median_ns: 1,
+            min_ns: 1,
+        });
+        assert_eq!(check_against_baseline(&current, &baseline, 0.1).len(), 2);
+    }
+
+    #[test]
+    fn civil_date_conversion() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        // 2026-08-05 is 20670 days after the epoch.
+        assert_eq!(civil_from_days(20_670), (2026, 8, 5));
+    }
+
+    #[test]
+    fn measure_counts_and_orders() {
+        let m = measure("self/test", 1000, 100, 0, 3, || {
+            std::hint::black_box((0..100u64).sum::<u64>())
+        });
+        assert_eq!(m.records, 1000);
+        assert!(m.min_ns <= m.median_ns);
+    }
+}

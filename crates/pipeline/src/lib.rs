@@ -21,6 +21,8 @@
 //! assert!(perfect.ipc() >= tage.ipc());
 //! ```
 
+#![warn(missing_docs)]
+
 mod cache;
 mod config;
 mod scoreboard;

@@ -84,29 +84,143 @@ impl PipeCounters {
     }
 }
 
+/// A deterministic open-addressed map from memory address to ready cycle,
+/// used for store-to-load forwarding in the replay loop.
+///
+/// Replaces `std::collections::HashMap` on the hot path: `std`'s SipHash
+/// costs tens of cycles per store/load and its growth policy allocates
+/// during the loop. This map is preallocated from the trace length,
+/// multiplicatively hashed, linearly probed, and never deletes — the
+/// access pattern (`insert` overwrites per store, `get` per load) needs
+/// exactly map semantics, so simulation results are unchanged.
+#[derive(Clone, Debug)]
+struct AddrMap {
+    /// Keys stored offset by +1 so 0 marks an empty slot.
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    mask: usize,
+    len: usize,
+    /// Value for `u64::MAX`, the one address the +1 offset can't encode.
+    max_key_val: Option<u64>,
+}
+
+impl AddrMap {
+    fn with_capacity(cap: usize) -> Self {
+        let size = cap.next_power_of_two().max(16);
+        AddrMap {
+            keys: vec![0; size],
+            vals: vec![0; size],
+            mask: size - 1,
+            len: 0,
+            max_key_val: None,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    fn insert(&mut self, addr: u64, val: u64) {
+        if addr == u64::MAX {
+            self.max_key_val = Some(val);
+            return;
+        }
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let key = addr + 1;
+        let mut i = self.slot(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                self.vals[i] = val;
+                return;
+            }
+            if k == 0 {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn get(&self, addr: u64) -> Option<u64> {
+        if addr == u64::MAX {
+            return self.max_key_val;
+        }
+        let key = addr + 1;
+        let mut i = self.slot(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == 0 {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_size = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_size]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_size]);
+        self.mask = new_size - 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != 0 {
+                let mut i = self.slot(k);
+                while self.keys[i] != 0 {
+                    i = (i + 1) & self.mask;
+                }
+                self.keys[i] = k;
+                self.vals[i] = v;
+            }
+        }
+    }
+}
+
 /// A fixed-size ring of recent cycle timestamps, used for bandwidth and
 /// ROB-occupancy constraints.
+///
+/// The replay loop touches each ring once per instruction in strict
+/// sequence, so the ring keeps its own cursor and advances by one on each
+/// `record` — an increment-and-compare instead of the `i % len` integer
+/// division a position-indexed ring would cost (six divisions per
+/// instruction across the three rings, measurable at replay rates).
 #[derive(Clone, Debug)]
 struct CycleRing {
     buf: Vec<u64>,
-    len: usize,
+    cursor: usize,
 }
 
 impl CycleRing {
     fn new(len: usize) -> Self {
         CycleRing {
             buf: vec![0; len.max(1)],
-            len: len.max(1),
+            cursor: 0,
         }
     }
 
-    /// Timestamp of the event `self.len` positions ago (0 if not yet seen).
-    fn oldest(&self, i: u64) -> u64 {
-        self.buf[(i % self.len as u64) as usize]
+    /// Timestamp of the event `len` positions ago (0 if not yet seen):
+    /// the slot the next `record` will overwrite.
+    #[inline]
+    fn oldest(&self) -> u64 {
+        self.buf[self.cursor]
     }
 
-    fn record(&mut self, i: u64, cycle: u64) {
-        self.buf[(i % self.len as u64) as usize] = cycle;
+    /// Records the current event's timestamp and advances the ring.
+    #[inline]
+    fn record(&mut self, cycle: u64) {
+        self.buf[self.cursor] = cycle;
+        self.cursor += 1;
+        if self.cursor == self.buf.len() {
+            self.cursor = 0;
+        }
     }
 }
 
@@ -169,7 +283,11 @@ fn simulate_impl<const METRICS: bool>(
     // Data-cache model: load latency depends on the footprint.
     let mut cache = CacheModel::new(config.cache.clone());
     // Store-to-load forwarding through memory: ready cycle per word.
-    let mut mem_ready: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    // Starts small on purpose: store-free traces (common in the LCF
+    // suite) then cost one 16KB table instead of a footprint-sized
+    // allocation, and store-heavy traces reach their size in a dozen
+    // amortized doublings.
+    let mut mem_ready = AddrMap::with_capacity(1024);
 
     // Front-end bandwidth ring (fetch_width per cycle) and ROB ring.
     let mut fetch_ring = CycleRing::new(config.fetch_width as usize);
@@ -188,17 +306,15 @@ fn simulate_impl<const METRICS: bool>(
     let mut refetch_bubbles = 0u64;
     let mut rob_stalls = 0u64;
 
-    for (i64idx, inst) in trace.iter().enumerate() {
-        let i = i64idx as u64;
-
+    for inst in trace.iter() {
         // Enter the window: front-end bandwidth, redirect stall, ROB space.
-        let bw_enter = fetch_base.max(fetch_ring.oldest(i) + 1);
-        let rob_free = retire_ring.oldest(i); // ROB slot frees at old retire
+        let bw_enter = fetch_base.max(fetch_ring.oldest() + 1);
+        let rob_free = retire_ring.oldest(); // ROB slot frees at old retire
         if METRICS {
             rob_stalls += u64::from(rob_free > bw_enter);
         }
         let enter = bw_enter.max(rob_free);
-        fetch_ring.record(i, enter);
+        fetch_ring.record(enter);
 
         // Dataflow: sources ready?
         let mut ready = enter;
@@ -222,7 +338,7 @@ fn simulate_impl<const METRICS: bool>(
         let mut done = ready + u64::from(latency);
         match inst.class {
             InstClass::Load => {
-                if let Some(&m) = mem_ready.get(&inst.mem_addr) {
+                if let Some(m) = mem_ready.get(inst.mem_addr) {
                     done = done.max(m + 1);
                 }
             }
@@ -256,9 +372,9 @@ fn simulate_impl<const METRICS: bool>(
         // In-order retirement with bandwidth.
         let retire = done
             .max(last_retire)
-            .max(retire_bw_ring.oldest(i) + 1);
-        retire_bw_ring.record(i, retire);
-        retire_ring.record(i, retire);
+            .max(retire_bw_ring.oldest() + 1);
+        retire_bw_ring.record(retire);
+        retire_ring.record(retire);
         last_retire = retire;
     }
 
@@ -455,5 +571,33 @@ mod tests {
         let mut t = Trace::new(TraceMeta::new("b", 0));
         t.push(RetiredInst::cond_branch(4, true, 0, None, None));
         let _ = simulate(&t, &[], &cfg());
+    }
+
+    /// `AddrMap` must behave exactly like a `HashMap` for the scoreboard's
+    /// access pattern (overwriting inserts + lookups), including through
+    /// growth and at the `u64::MAX` sentinel boundary.
+    #[test]
+    fn addr_map_matches_hash_map() {
+        let mut fast = AddrMap::with_capacity(4);
+        let mut slow = std::collections::HashMap::new();
+        let mut state = 99u64;
+        for i in 0..50_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Mixed footprint with deliberate collisions and edge keys.
+            let addr = match state % 5 {
+                0 => state >> 40,
+                1 => (state >> 30) & 0xFFF,
+                2 => u64::MAX,
+                3 => 0,
+                _ => state,
+            };
+            if state.is_multiple_of(3) {
+                fast.insert(addr, i);
+                slow.insert(addr, i);
+            } else {
+                assert_eq!(fast.get(addr), slow.get(&addr).copied(), "addr {addr:#x}");
+            }
+        }
+        assert_eq!(fast.len, slow.len() - usize::from(slow.contains_key(&u64::MAX)));
     }
 }

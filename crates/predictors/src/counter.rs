@@ -108,6 +108,49 @@ impl SatCounter {
     }
 }
 
+/// Branchless saturating-counter step over a raw counter lane.
+///
+/// The flattened TAGE tables (see [`crate::Tage`]) store counters as bare
+/// `u8` lanes of a structure-of-arrays table rather than as
+/// [`SatCounter`] values, so the hot path updates them with this free
+/// function: it computes exactly `SatCounter::update` (guaranteed by the
+/// `sat_helpers_match_sat_counter` exhaustive test) but compiles to two
+/// compare/mask steps with no data-dependent branch, which matters when
+/// the branch predictor being *simulated* makes the update direction
+/// unpredictable.
+#[inline]
+#[must_use]
+pub fn sat_update(value: u8, max: u8, taken: bool) -> u8 {
+    let up = u8::from(taken) & u8::from(value < max);
+    let down = u8::from(!taken) & u8::from(value > 0);
+    value + up - down
+}
+
+/// Branchless form of [`SatCounter::taken`] over a raw counter lane:
+/// taken when in the upper half of the `0..=max` range.
+#[inline]
+#[must_use]
+pub fn sat_taken(value: u8, max: u8) -> bool {
+    value > max / 2
+}
+
+/// Branchless form of [`SatCounter::is_weak`] over a raw counter lane:
+/// true at the two central (low-confidence) values.
+#[inline]
+#[must_use]
+pub fn sat_is_weak(value: u8, max: u8) -> bool {
+    let mid = max / 2;
+    value == mid || value == mid + 1
+}
+
+/// Branchless form of [`SatCounter::is_strong`] over a raw counter lane:
+/// true at either saturation point.
+#[inline]
+#[must_use]
+pub fn sat_is_strong(value: u8, max: u8) -> bool {
+    value == 0 || value == max
+}
+
 /// A signed saturating counter, used by perceptron weights and the
 /// statistical corrector.
 ///
@@ -235,5 +278,30 @@ mod tests {
     #[should_panic(expected = "width")]
     fn zero_width_panics() {
         let _ = SatCounter::new(0, 0);
+    }
+
+    /// The branchless lane helpers must agree with the `SatCounter` state
+    /// machine at every (width, value, direction) — they are the hot-path
+    /// form of the same hardware element.
+    #[test]
+    fn sat_helpers_match_sat_counter() {
+        for bits in 1..=8u32 {
+            let max = SatCounter::new(bits, 0).max();
+            for value in 0..=max {
+                let c = SatCounter::new(bits, value);
+                assert_eq!(sat_taken(value, max), c.taken(), "taken {bits}/{value}");
+                assert_eq!(sat_is_weak(value, max), c.is_weak(), "weak {bits}/{value}");
+                assert_eq!(sat_is_strong(value, max), c.is_strong(), "strong {bits}/{value}");
+                for taken in [false, true] {
+                    let mut stepped = c;
+                    stepped.update(taken);
+                    assert_eq!(
+                        sat_update(value, max, taken),
+                        stepped.value(),
+                        "update {bits}/{value}/{taken}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -22,7 +22,16 @@
 pub struct BitHistory {
     bits: Vec<u64>,
     head: usize,
+    /// Requested (logical) capacity: the age range `bit` accepts.
     capacity: usize,
+    /// Ring-position mask. The ring is sized to the next power of two of
+    /// `capacity` so the per-push / per-read position arithmetic is a
+    /// mask instead of an integer division — `push` and `bit` sit inside
+    /// TAGE's per-branch folded-history update, a few calls per bank per
+    /// branch. Holding more than `capacity` bits never changes an answer:
+    /// `bit(age)` is only defined for `age < capacity`, and those
+    /// positions hold identical outcomes in either ring size.
+    mask: usize,
 }
 
 impl BitHistory {
@@ -34,10 +43,12 @@ impl BitHistory {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "history capacity must be positive");
+        let ring = capacity.next_power_of_two();
         BitHistory {
-            bits: vec![0; capacity.div_ceil(64) + 1],
+            bits: vec![0; ring.div_ceil(64)],
             head: 0,
             capacity,
+            mask: ring - 1,
         }
     }
 
@@ -48,15 +59,12 @@ impl BitHistory {
     }
 
     /// Pushes the newest outcome, discarding the oldest.
+    #[inline]
     pub fn push(&mut self, taken: bool) {
-        self.head = (self.head + 1) % self.capacity;
+        self.head = (self.head + 1) & self.mask;
         let w = self.head / 64;
         let b = self.head % 64;
-        if taken {
-            self.bits[w] |= 1 << b;
-        } else {
-            self.bits[w] &= !(1 << b);
-        }
+        self.bits[w] = (self.bits[w] & !(1 << b)) | (u64::from(taken) << b);
     }
 
     /// Returns the outcome `age` branches ago (0 = most recent).
@@ -64,10 +72,11 @@ impl BitHistory {
     /// # Panics
     ///
     /// Panics if `age >= capacity`.
+    #[inline]
     #[must_use]
     pub fn bit(&self, age: usize) -> bool {
         assert!(age < self.capacity, "age {age} out of range");
-        let pos = (self.head + self.capacity - age) % self.capacity;
+        let pos = (self.head.wrapping_sub(age)) & self.mask;
         (self.bits[pos / 64] >> (pos % 64)) & 1 == 1
     }
 }

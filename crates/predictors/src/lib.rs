@@ -29,10 +29,14 @@
 //! assert!(stats.accuracy() > 0.6);
 //! ```
 
+#![warn(missing_docs)]
+
 mod counter;
+mod digest;
 mod eval;
 mod history;
 mod loop_pred;
+pub mod naive;
 mod oracle;
 mod perceptron;
 mod ppm;
@@ -42,7 +46,7 @@ mod tage;
 mod tagescl;
 mod tournament;
 
-pub use counter::{SatCounter, SignedCounter};
+pub use counter::{sat_is_strong, sat_is_weak, sat_taken, sat_update, SatCounter, SignedCounter};
 pub use eval::{measure, misprediction_flags, AccuracyStats};
 pub use history::{BitHistory, FoldedHistory, PathHistory};
 pub use loop_pred::{LoopPrediction, LoopPredictor};

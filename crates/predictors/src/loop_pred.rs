@@ -7,6 +7,8 @@
 
 use bp_metrics::Counter;
 
+use crate::digest::Fnv;
+
 /// One loop-table entry.
 #[derive(Clone, Copy, Debug, Default)]
 struct LoopEntry {
@@ -175,6 +177,23 @@ impl LoopPredictor {
     pub fn storage_bits(&self) -> usize {
         // tag 16 + trip 16 + current 16 + conf 4 + dir 1 + age 3 + valid 1
         self.entries.len() * 57
+    }
+
+    /// FNV-1a digest of every table entry. Used by the bit-identity
+    /// suite — see `tests/bit_identity.rs`.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for e in &self.entries {
+            h.push(u64::from(e.tag));
+            h.push(u64::from(e.trip));
+            h.push(u64::from(e.current));
+            h.push(u64::from(e.confidence));
+            h.push(u64::from(e.dir));
+            h.push(u64::from(e.age));
+            h.push(u64::from(e.valid));
+        }
+        h.finish()
     }
 }
 

@@ -9,6 +9,7 @@
 use bp_metrics::Counter;
 
 use crate::counter::SignedCounter;
+use crate::digest::Fnv;
 use crate::Predictor;
 
 /// Configuration of the statistical corrector.
@@ -49,6 +50,12 @@ pub struct StatisticalCorrector {
     /// Threshold training counter.
     tc: i32,
     last_sum: i32,
+    /// Table indices computed by the last `refine`, reused by `train` for
+    /// the same branch. The global history only advances at the end of
+    /// `train`, so between the two calls every index is unchanged —
+    /// recomputing them (one multiplicative mix per GEHL component) was
+    /// pure duplicated work on the replay hot path.
+    cached: ScIndexCache,
     /// Snapshot of [`bp_metrics::enabled`] at construction, gating the
     /// per-refine counting on one predictable branch.
     metrics_on: bool,
@@ -56,6 +63,17 @@ pub struct StatisticalCorrector {
     refines: Counter,
     /// `sc.override` counter: decisions that flipped the input.
     overrides: Counter,
+}
+
+/// See `StatisticalCorrector::cached`. `gehl_idxs` is allocated once at
+/// construction and refilled in place.
+#[derive(Clone, Debug)]
+struct ScIndexCache {
+    valid: bool,
+    ip: u64,
+    input_pred: bool,
+    bias_idx: usize,
+    gehl_idxs: Vec<usize>,
 }
 
 /// Decision returned by [`StatisticalCorrector::refine`].
@@ -91,6 +109,13 @@ impl StatisticalCorrector {
             threshold: 6,
             tc: 0,
             last_sum: 0,
+            cached: ScIndexCache {
+                valid: false,
+                ip: 0,
+                input_pred: false,
+                bias_idx: 0,
+                gehl_idxs: vec![0; config.history_lengths.len()],
+            },
             metrics_on: bp_metrics::enabled(),
             refines: Counter::get("sc.refine"),
             overrides: Counter::get("sc.override"),
@@ -112,10 +137,24 @@ impl StatisticalCorrector {
         (((ip >> 2) ^ mixed ^ (h << 1)) & mask) as usize
     }
 
-    fn sum(&self, ip: u64, input_pred: bool) -> i32 {
-        let mut s = self.bias[self.bias_index(ip, input_pred)].centered();
-        for (c, table) in self.gehl.iter().enumerate() {
-            s += table[self.gehl_index(ip, c)].centered();
+    /// Recomputes and caches every table index for (`ip`, `input_pred`).
+    fn fill_cache(&mut self, ip: u64, input_pred: bool) {
+        let bias_idx = self.bias_index(ip, input_pred);
+        self.cached.valid = true;
+        self.cached.ip = ip;
+        self.cached.input_pred = input_pred;
+        self.cached.bias_idx = bias_idx;
+        for c in 0..self.gehl.len() {
+            let idx = self.gehl_index(ip, c);
+            self.cached.gehl_idxs[c] = idx;
+        }
+    }
+
+    /// Summed conviction over the cached indices.
+    fn cached_sum(&self, input_pred: bool) -> i32 {
+        let mut s = self.bias[self.cached.bias_idx].centered();
+        for (table, &idx) in self.gehl.iter().zip(&self.cached.gehl_idxs) {
+            s += table[idx].centered();
         }
         // The input prediction itself gets a strong fixed vote, so the
         // corrector only flips when statistics are decisive.
@@ -129,7 +168,8 @@ impl StatisticalCorrector {
         if self.metrics_on {
             self.refines.incr();
         }
-        let sum = self.sum(ip, input_pred);
+        self.fill_cache(ip, input_pred);
+        let sum = self.cached_sum(input_pred);
         self.last_sum = sum;
         let sc_pred = sum >= 0;
         let margin = if input_confident {
@@ -160,10 +200,16 @@ impl StatisticalCorrector {
         let sum = self.last_sum;
         // Train on mispredictions and on low-margin correct predictions.
         if final_pred != taken || sum.abs() < self.threshold * 4 {
-            let bidx = self.bias_index(ip, input_pred);
-            self.bias[bidx].update(taken);
+            // The cache from `refine` is valid as long as the branch (and
+            // therefore the history) hasn't changed; recompute otherwise
+            // (e.g. `train` without a matching `refine`, after clone).
+            if !(self.cached.valid && self.cached.ip == ip && self.cached.input_pred == input_pred)
+            {
+                self.fill_cache(ip, input_pred);
+            }
+            self.bias[self.cached.bias_idx].update(taken);
             for c in 0..self.gehl.len() {
-                let idx = self.gehl_index(ip, c);
+                let idx = self.cached.gehl_idxs[c];
                 self.gehl[c][idx].update(taken);
             }
         }
@@ -186,6 +232,8 @@ impl StatisticalCorrector {
             }
         }
         self.history = (self.history << 1) | u64::from(taken);
+        // The history just advanced: every cached GEHL index is stale.
+        self.cached.valid = false;
     }
 
     /// Approximate storage in bits.
@@ -193,6 +241,27 @@ impl StatisticalCorrector {
     pub fn storage_bits(&self) -> usize {
         let cb = self.config.counter_bits as usize;
         self.bias.len() * cb + self.gehl.iter().map(|t| t.len() * cb).sum::<usize>() + 64
+    }
+
+    /// FNV-1a digest of the complete trained state (bias and GEHL
+    /// counters, dynamic threshold, history). Used by the bit-identity
+    /// suite — see `tests/bit_identity.rs`.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for b in &self.bias {
+            h.push(b.value() as u64);
+        }
+        for table in &self.gehl {
+            for c in table {
+                h.push(c.value() as u64);
+            }
+        }
+        h.push(self.threshold as u64);
+        h.push(self.tc as u64);
+        h.push(self.history);
+        h.push(self.last_sum as u64);
+        h.finish()
     }
 }
 

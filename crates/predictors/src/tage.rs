@@ -6,14 +6,38 @@
 //! usefulness counter driving allocation and reclamation — the mechanism
 //! whose thrashing on H2P branches the paper measures in §IV-A. The
 //! [`AllocationTracker`] instrumentation reproduces those measurements.
+//!
+//! # Replay hot path
+//!
+//! This implementation is the throughput-critical inner loop of every
+//! study (see `PERFORMANCE.md`): tagged entries live in flat
+//! structure-of-arrays tables (`ctrs`/`tags`/`useful` lanes addressed by
+//! `bank << table_log2 | index`), per-prediction state is a fixed-size
+//! [`Copy`] struct so `predict` never allocates, per-bank index/tag
+//! hash parameters are precomputed at construction, and saturating
+//! counters step through the branchless [`crate::sat_update`] kernel.
+//! The naive per-entry formulation is retained as
+//! [`crate::naive::NaiveTage`] and `tests/bit_identity.rs` proves both
+//! produce identical prediction streams and final state.
 
 use std::collections::{HashMap, HashSet};
 
 use bp_metrics::Counter;
 
-use crate::counter::{SatCounter, SignedCounter};
+use crate::counter::{sat_is_strong, sat_is_weak, sat_taken, sat_update, SignedCounter};
+use crate::digest::Fnv;
 use crate::history::{BitHistory, FoldedHistory, PathHistory};
 use crate::Predictor;
+
+/// Upper bound on `TageConfig::num_tables`, sized so per-prediction
+/// index/tag arrays can live on the stack.
+const MAX_BANKS: usize = 24;
+
+/// Saturation points of the table counters: 3-bit tagged direction
+/// counters, 2-bit usefulness counters, 2-bit bimodal counters.
+const CTR_MAX: u8 = 7;
+const USEFUL_MAX: u8 = 3;
+const BIMODAL_MAX: u8 = 3;
 
 /// Geometry and policy parameters for a [`Tage`] predictor.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,7 +68,7 @@ impl TageConfig {
     #[must_use]
     pub fn history_lengths(&self) -> Vec<usize> {
         assert!((1..=24).contains(&self.bimodal_log2));
-        assert!((2..=24).contains(&self.num_tables));
+        assert!((2..=MAX_BANKS).contains(&self.num_tables));
         assert!((1..=24).contains(&self.table_log2));
         assert!((6..=15).contains(&self.tag_bits));
         assert!(self.min_hist >= 2 && self.max_hist > self.min_hist);
@@ -75,23 +99,6 @@ impl Default for TageConfig {
             min_hist: 4,
             max_hist: 1000,
             u_reset_period: 1 << 18,
-        }
-    }
-}
-
-#[derive(Clone, Copy, Debug)]
-struct TageEntry {
-    ctr: SatCounter,
-    tag: u16,
-    useful: SatCounter,
-}
-
-impl TageEntry {
-    fn empty() -> Self {
-        TageEntry {
-            ctr: SatCounter::weakly_not_taken(3),
-            tag: 0,
-            useful: SatCounter::new(2, 0),
         }
     }
 }
@@ -185,16 +192,39 @@ impl TageCounters {
     }
 }
 
-#[derive(Clone, Debug)]
+/// Per-prediction state carried from `predict` to `update` so the bank
+/// indices and tags — the expensive folded-history hashes — are computed
+/// once per branch. Fixed-size arrays keep this `Copy` and off the heap.
+#[derive(Clone, Copy, Debug)]
 struct PredictionCtx {
     ip: u64,
-    indices: Vec<usize>,
-    tags: Vec<u16>,
+    indices: [u32; MAX_BANKS],
+    tags: [u16; MAX_BANKS],
     provider: Option<usize>,
     alt_pred: bool,
     provider_pred: bool,
     provider_new: bool,
+    /// Provider (or bimodal) counter at a saturation point — cached here
+    /// so [`Tage::last_confidence_high`] doesn't re-read the tables.
+    confident: bool,
     pred: bool,
+}
+
+/// Per-bank index-hash parameters, fixed at construction: the path-history
+/// mask (`lengths[t]` capped at 16 bits) and the second IP shift amount.
+#[derive(Clone, Copy, Debug)]
+struct BankGeom {
+    path_mask: u64,
+    ip_shift: u32,
+}
+
+/// The three folded-history registers of one bank, stored interleaved so
+/// `push_history` walks one contiguous array per branch.
+#[derive(Clone, Copy, Debug)]
+struct BankFolded {
+    idx: FoldedHistory,
+    tag0: FoldedHistory,
+    tag1: FoldedHistory,
 }
 
 /// The TAGE predictor.
@@ -223,11 +253,16 @@ struct PredictionCtx {
 pub struct Tage {
     config: TageConfig,
     lengths: Vec<usize>,
-    bimodal: Vec<SatCounter>,
-    tables: Vec<Vec<TageEntry>>,
-    folded_idx: Vec<FoldedHistory>,
-    folded_tag0: Vec<FoldedHistory>,
-    folded_tag1: Vec<FoldedHistory>,
+    /// Bimodal base counters (2-bit lanes).
+    bimodal: Vec<u8>,
+    /// Tagged-table lanes, structure-of-arrays: entry `(t, i)` lives at
+    /// offset `(t << table_log2) + i` in each lane. One contiguous block
+    /// per lane keeps the provider scan and update in a few cache lines.
+    ctrs: Vec<u8>,
+    tags: Vec<u16>,
+    useful: Vec<u8>,
+    folded: Vec<BankFolded>,
+    geom: Vec<BankGeom>,
     ghist: BitHistory,
     path: PathHistory,
     use_alt_on_na: SignedCounter,
@@ -248,26 +283,31 @@ impl Tage {
     #[must_use]
     pub fn new(config: TageConfig) -> Self {
         let lengths = config.history_lengths();
-        let table_entries = 1usize << config.table_log2;
-        let folded_idx = lengths
+        let tagged_entries = config.num_tables << config.table_log2;
+        let folded = lengths
             .iter()
-            .map(|&l| FoldedHistory::new(l, config.table_log2))
+            .map(|&l| BankFolded {
+                idx: FoldedHistory::new(l, config.table_log2),
+                tag0: FoldedHistory::new(l, config.tag_bits),
+                tag1: FoldedHistory::new(l, config.tag_bits - 1),
+            })
             .collect();
-        let folded_tag0 = lengths
+        let geom = lengths
             .iter()
-            .map(|&l| FoldedHistory::new(l, config.tag_bits))
-            .collect();
-        let folded_tag1 = lengths
-            .iter()
-            .map(|&l| FoldedHistory::new(l, config.tag_bits - 1))
+            .enumerate()
+            .map(|(t, &l)| BankGeom {
+                path_mask: (1u64 << l.min(16)) - 1,
+                ip_shift: config.table_log2.saturating_sub((t % 4) as u32),
+            })
             .collect();
         Tage {
             ghist: BitHistory::new(config.max_hist + 8),
-            bimodal: vec![SatCounter::weakly_not_taken(2); 1 << config.bimodal_log2],
-            tables: vec![vec![TageEntry::empty(); table_entries]; config.num_tables],
-            folded_idx,
-            folded_tag0,
-            folded_tag1,
+            bimodal: vec![BIMODAL_MAX / 2; 1 << config.bimodal_log2],
+            ctrs: vec![CTR_MAX / 2; tagged_entries],
+            tags: vec![0; tagged_entries],
+            useful: vec![0; tagged_entries],
+            folded,
+            geom,
             path: PathHistory::new(),
             use_alt_on_na: SignedCounter::new(4),
             lfsr: 0xACE1_u64,
@@ -306,6 +346,12 @@ impl Tage {
         &self.lengths
     }
 
+    /// Lane offset of entry `idx` in tagged bank `t`.
+    #[inline]
+    fn off(&self, t: usize, idx: usize) -> usize {
+        (t << self.config.table_log2) + idx
+    }
+
     fn next_rand(&mut self) -> u64 {
         // xorshift64
         let mut x = self.lfsr;
@@ -316,41 +362,45 @@ impl Tage {
         x
     }
 
+    #[inline]
     fn bimodal_index(&self, ip: u64) -> usize {
         ((ip >> 2) & ((1u64 << self.config.bimodal_log2) - 1)) as usize
     }
 
+    #[inline]
     fn table_index(&self, ip: u64, t: usize) -> usize {
         let mask = (1u64 << self.config.table_log2) - 1;
-        let path_bits = self.path.value() & ((1 << self.lengths[t].min(16)) - 1);
-        let h = self.folded_idx[t].value()
+        let g = self.geom[t];
+        let h = self.folded[t].idx.value()
             ^ (ip >> 2)
-            ^ ((ip >> 2) >> (u64::from(self.config.table_log2).saturating_sub(t as u64 % 4)))
-            ^ path_bits;
+            ^ ((ip >> 2) >> g.ip_shift)
+            ^ (self.path.value() & g.path_mask);
         (h & mask) as usize
     }
 
+    #[inline]
     fn tag(&self, ip: u64, t: usize) -> u16 {
         let mask = (1u64 << self.config.tag_bits) - 1;
-        (((ip >> 2) ^ self.folded_tag0[t].value() ^ (self.folded_tag1[t].value() << 1)) & mask)
-            as u16
+        let f = &self.folded[t];
+        (((ip >> 2) ^ f.tag0.value() ^ (f.tag1.value() << 1)) & mask) as u16
     }
 
     /// Computes the full prediction context (used by both `predict` and
     /// the statistical corrector, which needs provider confidence).
     fn compute(&mut self, ip: u64) -> PredictionCtx {
         let n = self.config.num_tables;
-        let mut indices = Vec::with_capacity(n);
-        let mut tags = Vec::with_capacity(n);
+        let mut indices = [0u32; MAX_BANKS];
+        let mut tags = [0u16; MAX_BANKS];
         for t in 0..n {
-            indices.push(self.table_index(ip, t));
-            tags.push(self.tag(ip, t));
+            indices[t] = self.table_index(ip, t) as u32;
+            tags[t] = self.tag(ip, t);
         }
-        let bimodal_pred = self.bimodal[self.bimodal_index(ip)].taken();
+        let bimodal_ctr = self.bimodal[self.bimodal_index(ip)];
+        let bimodal_pred = sat_taken(bimodal_ctr, BIMODAL_MAX);
         let mut provider = None;
         let mut alt = None;
         for t in (0..n).rev() {
-            if self.tables[t][indices[t]].tag == tags[t] {
+            if self.tags[self.off(t, indices[t] as usize)] == tags[t] {
                 if provider.is_none() {
                     provider = Some(t);
                 } else {
@@ -360,21 +410,26 @@ impl Tage {
             }
         }
         let alt_pred = match alt {
-            Some(t) => self.tables[t][indices[t]].ctr.taken(),
+            Some(t) => sat_taken(self.ctrs[self.off(t, indices[t] as usize)], CTR_MAX),
             None => bimodal_pred,
         };
-        let (provider_pred, provider_new) = match provider {
+        let (provider_pred, provider_new, confident) = match provider {
             Some(t) => {
-                let e = &self.tables[t][indices[t]];
+                let off = self.off(t, indices[t] as usize);
+                let ctr = self.ctrs[off];
                 // An entry is "not yet trustworthy" until it has either
                 // left the weak counter states or proven useful (predicted
                 // correctly against the alternate at least once). Deferring
                 // to the alternate until then keeps noise-allocated
                 // entries from overriding the base predictor's long-run
                 // per-IP statistics on rare branches.
-                (e.ctr.taken(), e.ctr.is_weak() || e.useful.value() == 0)
+                (
+                    sat_taken(ctr, CTR_MAX),
+                    sat_is_weak(ctr, CTR_MAX) || self.useful[off] == 0,
+                    sat_is_strong(ctr, CTR_MAX),
+                )
             }
-            None => (bimodal_pred, false),
+            None => (bimodal_pred, false, sat_is_strong(bimodal_ctr, BIMODAL_MAX)),
         };
         let used_alt = provider.is_some() && provider_new && self.use_alt_on_na.value() >= 0;
         let pred = if used_alt { alt_pred } else { provider_pred };
@@ -396,18 +451,20 @@ impl Tage {
             alt_pred,
             provider_pred,
             provider_new,
+            confident,
             pred,
         }
     }
 
     /// Whether the last prediction came from a high-confidence provider
     /// (used by the statistical corrector to decide when to intervene).
+    ///
+    /// The confidence is captured at `predict` time, when the provider
+    /// counter is already in hand — no table state changes between
+    /// `predict` and this call under the [`Predictor`] contract.
     #[must_use]
     pub fn last_confidence_high(&self) -> bool {
-        self.ctx.as_ref().is_some_and(|c| match c.provider {
-            Some(t) => self.tables[t][c.indices[t]].ctr.is_strong(),
-            None => self.bimodal[self.bimodal_index(c.ip)].is_strong(),
-        })
+        self.ctx.as_ref().is_some_and(|c| c.confident)
     }
 
     fn allocate(&mut self, ctx: &PredictionCtx, taken: bool) {
@@ -417,18 +474,20 @@ impl Tage {
             return;
         }
         // Collect candidate tables with a free (u == 0) entry.
-        let mut free = Vec::new();
+        let mut free = [0usize; MAX_BANKS];
+        let mut free_len = 0usize;
         for t in start..n {
-            if self.tables[t][ctx.indices[t]].useful.value() == 0 {
-                free.push(t);
+            if self.useful[self.off(t, ctx.indices[t] as usize)] == 0 {
+                free[free_len] = t;
+                free_len += 1;
             }
         }
-        if free.is_empty() {
+        if free_len == 0 {
             // No room: age the would-be victims so future allocations can
             // succeed (TAGE's anti-ping-pong mechanism).
             for t in start..n {
-                let e = &mut self.tables[t][ctx.indices[t]];
-                e.useful.update(false);
+                let off = self.off(t, ctx.indices[t] as usize);
+                self.useful[off] = sat_update(self.useful[off], USEFUL_MAX, false);
             }
             if self.counters.on {
                 self.counters.alloc_failures.incr();
@@ -438,21 +497,17 @@ impl Tage {
         // Prefer shorter histories with geometric probability, as in the
         // reference implementation.
         let mut chosen = free[0];
-        for &t in &free[1..] {
+        for &t in &free[1..free_len] {
             if self.next_rand().is_multiple_of(2) {
                 break;
             }
             chosen = t;
         }
-        let idx = ctx.indices[chosen];
-        let e = &mut self.tables[chosen][idx];
-        e.tag = ctx.tags[chosen];
-        e.ctr = if taken {
-            SatCounter::weakly_taken(3)
-        } else {
-            SatCounter::weakly_not_taken(3)
-        };
-        e.useful.set(0);
+        let idx = ctx.indices[chosen] as usize;
+        let off = self.off(chosen, idx);
+        self.tags[off] = ctx.tags[chosen];
+        self.ctrs[off] = CTR_MAX / 2 + u8::from(taken);
+        self.useful[off] = 0;
         if self.counters.on {
             self.counters.bank_allocs[chosen].incr();
         }
@@ -463,24 +518,48 @@ impl Tage {
 
     fn age_useful(&mut self) {
         self.counters.u_resets.incr();
-        for table in &mut self.tables {
-            for e in table.iter_mut() {
-                let halved = e.useful.value() >> 1;
-                e.useful.set(halved);
-            }
+        for u in &mut self.useful {
+            *u >>= 1;
         }
     }
 
     fn push_history(&mut self, ip: u64, taken: bool) {
-        for t in 0..self.config.num_tables {
-            let olen = self.lengths[t];
-            let outgoing = self.ghist.bit(olen - 1);
-            self.folded_idx[t].update(taken, outgoing);
-            self.folded_tag0[t].update(taken, outgoing);
-            self.folded_tag1[t].update(taken, outgoing);
+        let ghist = &self.ghist;
+        for (f, &olen) in self.folded.iter_mut().zip(&self.lengths) {
+            let outgoing = ghist.bit(olen - 1);
+            f.idx.update(taken, outgoing);
+            f.tag0.update(taken, outgoing);
+            f.tag1.update(taken, outgoing);
         }
         self.ghist.push(taken);
         self.path.push(ip);
+    }
+
+    /// FNV-1a digest of the complete architectural state: every table
+    /// counter and tag, folded-history register, and policy counter.
+    /// Used by the bit-identity suite to compare against
+    /// [`crate::naive::NaiveTage`] — see `tests/bit_identity.rs`.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for &b in &self.bimodal {
+            h.push(u64::from(b));
+        }
+        for off in 0..self.tags.len() {
+            h.push(u64::from(self.ctrs[off]));
+            h.push(u64::from(self.tags[off]));
+            h.push(u64::from(self.useful[off]));
+        }
+        for f in &self.folded {
+            h.push(f.idx.value());
+            h.push(f.tag0.value());
+            h.push(f.tag1.value());
+        }
+        h.push(self.path.value());
+        h.push(self.use_alt_on_na.value() as u64);
+        h.push(self.lfsr);
+        h.push(self.updates);
+        h.finish()
     }
 }
 
@@ -507,13 +586,13 @@ impl Predictor for Tage {
         // Train the provider (or the bimodal base).
         match ctx.provider {
             Some(t) => {
-                let idx = ctx.indices[t];
+                let off = self.off(t, ctx.indices[t] as usize);
                 // Usefulness: provider proved better/worse than alt.
                 if ctx.provider_pred != ctx.alt_pred {
                     let correct = ctx.provider_pred == taken;
-                    self.tables[t][idx].useful.update(correct);
+                    self.useful[off] = sat_update(self.useful[off], USEFUL_MAX, correct);
                 }
-                self.tables[t][idx].ctr.update(taken);
+                self.ctrs[off] = sat_update(self.ctrs[off], CTR_MAX, taken);
                 // When the provider entry is fresh, also train the alt
                 // chooser.
                 if ctx.provider_new && ctx.provider_pred != ctx.alt_pred {
@@ -522,12 +601,12 @@ impl Predictor for Tage {
                 // Keep the bimodal warm when it served as the alternate.
                 if ctx.provider_new {
                     let bidx = self.bimodal_index(ip);
-                    self.bimodal[bidx].update(taken);
+                    self.bimodal[bidx] = sat_update(self.bimodal[bidx], BIMODAL_MAX, taken);
                 }
             }
             None => {
                 let bidx = self.bimodal_index(ip);
-                self.bimodal[bidx].update(taken);
+                self.bimodal[bidx] = sat_update(self.bimodal[bidx], BIMODAL_MAX, taken);
             }
         }
 
@@ -545,12 +624,7 @@ impl Predictor for Tage {
 
     fn storage_bits(&self) -> usize {
         let entry_bits = (3 + 2 + self.config.tag_bits) as usize;
-        let tagged: usize = self
-            .tables
-            .iter()
-            .map(|t| t.len() * entry_bits)
-            .sum();
-        self.bimodal.len() * 2 + tagged + self.config.max_hist + 64
+        self.bimodal.len() * 2 + self.tags.len() * entry_bits + self.config.max_hist + 64
     }
 }
 
@@ -698,5 +772,15 @@ mod tests {
         // Call update directly; the predictor must recompute context.
         t.update(0x40, true, true);
         let _ = t.predict(0x40);
+    }
+
+    #[test]
+    fn state_digest_tracks_training() {
+        let mut a = Tage::new(TageConfig::default());
+        let b = Tage::new(TageConfig::default());
+        assert_eq!(a.state_digest(), b.state_digest());
+        let p = a.predict(0x40);
+        a.update(0x40, true, p);
+        assert_ne!(a.state_digest(), b.state_digest());
     }
 }

@@ -9,6 +9,7 @@
 use bp_metrics::Counter;
 
 use crate::counter::SignedCounter;
+use crate::digest::Fnv;
 use crate::loop_pred::LoopPredictor;
 use crate::sc::{ScConfig, StatisticalCorrector};
 use crate::tage::{AllocationTracker, Tage, TageConfig};
@@ -188,6 +189,20 @@ impl TageScL {
     #[must_use]
     pub fn tracker(&self) -> Option<&AllocationTracker> {
         self.tage.tracker()
+    }
+
+    /// FNV-1a digest of the complete ensemble state: TAGE tables and
+    /// histories, SC counters, loop table, and the loop chooser. Used by
+    /// the bit-identity suite to compare against
+    /// [`crate::naive::NaiveTageScL`] — see `tests/bit_identity.rs`.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.push(self.tage.state_digest());
+        h.push(self.sc.as_ref().map_or(0, StatisticalCorrector::state_digest));
+        h.push(self.loop_pred.as_ref().map_or(0, LoopPredictor::state_digest));
+        h.push(self.with_loop.value() as u64);
+        h.finish()
     }
 
     fn compute(&mut self, ip: u64) -> EnsembleCtx {

@@ -1,0 +1,86 @@
+//! Bit-identity proof for the optimized replay hot path.
+//!
+//! `crates/predictors` keeps two TAGE-SC-L implementations: the optimized
+//! structure-of-arrays hot path (`TageScL`) and the naive
+//! array-of-structs reference it was derived from
+//! (`bp_predictors::naive::NaiveTageScL`). Every optimization must be
+//! behavior-preserving — the studies' golden fixtures depend on
+//! byte-identical prediction streams (see `PERFORMANCE.md`). This suite
+//! replays all nine SPECint-like workloads through both implementations
+//! at multiple storage points and asserts:
+//!
+//! * the prediction stream matches branch-for-branch;
+//! * periodic and final `state_digest` values match, i.e. every table
+//!   counter, folded history, and policy counter ends identical.
+
+use bp_predictors::naive::NaiveTageScL;
+use bp_predictors::{Predictor, TageScL, TageSclConfig};
+use bp_workloads::specint_suite;
+
+/// Long enough to exercise allocation, u-reset aging (period 2^18 is not
+/// reached — covered by the synthetic in-crate tests), loop confidence,
+/// and SC threshold training on every workload, short enough to keep the
+/// suite in seconds.
+const TRACE_LEN: usize = 150_000;
+
+/// Compare digests at this many dynamic-branch intervals, so a divergence
+/// is localized to a window rather than reported only at the end.
+const DIGEST_STRIDE: u64 = 10_000;
+
+fn assert_bit_identical(config: &TageSclConfig, label: &str) {
+    for spec in specint_suite() {
+        let trace = spec.cached_trace(0, TRACE_LEN);
+        let mut fast = TageScL::new(config.clone());
+        let mut slow = NaiveTageScL::new(config.clone());
+        let mut branches = 0u64;
+        for br in trace.conditional_branches() {
+            let pf = fast.predict(br.ip);
+            let ps = slow.predict(br.ip);
+            assert_eq!(
+                pf, ps,
+                "{label}/{}: prediction diverged at dynamic branch {branches} (ip {:#x})",
+                spec.name, br.ip
+            );
+            fast.update(br.ip, br.taken, pf);
+            slow.update(br.ip, br.taken, ps);
+            branches += 1;
+            if branches.is_multiple_of(DIGEST_STRIDE) {
+                assert_eq!(
+                    fast.state_digest(),
+                    slow.state_digest(),
+                    "{label}/{}: state diverged within branches {}..{branches}",
+                    spec.name,
+                    branches - DIGEST_STRIDE
+                );
+            }
+        }
+        assert!(
+            branches > 5_000,
+            "{label}/{}: trace too branch-light ({branches}) to prove anything",
+            spec.name
+        );
+        assert_eq!(
+            fast.state_digest(),
+            slow.state_digest(),
+            "{label}/{}: final state diverged after {branches} branches",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn optimized_matches_naive_at_8kb() {
+    assert_bit_identical(&TageSclConfig::storage_kb(8), "tage-sc-l-8kb");
+}
+
+#[test]
+fn optimized_matches_naive_at_64kb() {
+    assert_bit_identical(&TageSclConfig::storage_kb(64), "tage-sc-l-64kb");
+}
+
+/// The ablation path (no SC, no loop predictor) exercises the bare TAGE
+/// core arbitration, which the ensemble otherwise partially masks.
+#[test]
+fn optimized_matches_naive_tage_only() {
+    assert_bit_identical(&TageSclConfig::tage_only(8), "tage-8kb");
+}
