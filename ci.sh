@@ -6,6 +6,16 @@ cd "$(dirname "$0")"
 echo "== build (release) =="
 cargo build --release --workspace
 
+echo "== branch-lab CLI =="
+# The registry-backed CLI is the single entry point every study bin shims
+# into: `list` exercises registry wiring, and the smoke sweep drives the
+# single-pass engine end-to-end (lockstep predictors + lane replay) on a
+# trace small enough to finish in well under a second.
+target/release/branch-lab list > /dev/null
+BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
+    target/release/branch-lab sweep --workload streaming \
+    --predictors gshare,tage-sc-l-8kb,perfect --len 30000 > /dev/null
+
 echo "== test =="
 cargo test -q --workspace
 

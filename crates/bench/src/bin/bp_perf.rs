@@ -10,7 +10,12 @@
 //!   misprediction stream;
 //! * `end_to_end/tage-sc-l-8kb[-lcf]` — the full study loop
 //!   (`bp_pipeline::run`): predictor replay + timing simulation, on a
-//!   SPECint-like and an LCF-like trace.
+//!   SPECint-like and an LCF-like trace;
+//! * `sweep/storage-8pt` — one workload of the Fig. 7 storage sweep on
+//!   the single-pass engine (`sweep_flags` + one prepared `SweepReplay`
+//!   driving all eight lanes at every pipeline scale), with
+//!   `sweep/storage-8pt-per-config` keeping the per-config shape it
+//!   replaced so the speedup stays pinned.
 //!
 //! Default mode records `BENCH_<date>.json` in the current directory
 //! (schema `bp-perf/v1`, see `bp_bench::perf`); `--check-baseline`
@@ -29,8 +34,8 @@
 use std::process::ExitCode;
 
 use bp_bench::perf::{self, PerfReport};
-use bp_pipeline::{simulate, PipelineConfig};
-use bp_predictors::{misprediction_flags, TageScL, TageSclConfig};
+use bp_pipeline::{simulate, PipelineConfig, SweepReplay};
+use bp_predictors::{misprediction_flags, sweep_flags, DirectionPredictor, TageScL, TageSclConfig};
 use bp_workloads::{lcf_suite, specint_suite};
 
 /// Pinned trace length: large enough that per-branch costs dominate
@@ -161,6 +166,76 @@ fn run_suite(opts: &Options) -> PerfReport {
         warmup,
         samples,
         || bp_pipeline::run(&lcf_trace, &mut TageScL::kb8(), &cfg).cycles,
+    ));
+
+    // One workload's share of the Fig. 7 storage sweep, on the LCF trace
+    // the study actually runs: six TAGE-SC-L storage points plus the
+    // 8KB-baseline and perfect lanes, replayed at every pipeline scale.
+    // The first entry is the production path (one lockstep predictor
+    // pass, one prepared `SweepReplay` stepping all eight lanes); the
+    // second keeps the per-config shape it replaced (one predictor pass
+    // and one scalar replay per lane), so the single-pass speedup is
+    // itself baseline-gated. Both count the same logical records, so
+    // their rec/s ratio is the speedup.
+    let sweep_sims =
+        (TageSclConfig::STORAGE_POINTS_KB.len() as u64 + 2) * PipelineConfig::SCALES.len() as u64;
+    measurements.push(perf::measure(
+        "sweep/storage-8pt",
+        lcf_trace.len() as u64 * sweep_sims,
+        lcf_branches * sweep_sims,
+        warmup,
+        samples,
+        || {
+            let mut predictors: Vec<Box<dyn DirectionPredictor>> = TageSclConfig::STORAGE_POINTS_KB
+                .iter()
+                .map(|&kb| {
+                    Box::new(TageScL::new(TageSclConfig::storage_kb(kb)))
+                        as Box<dyn DirectionPredictor>
+                })
+                .collect();
+            let per_storage = sweep_flags(&mut predictors, &lcf_trace);
+            let perfect = vec![false; lcf_trace.conditional_branch_count()];
+            let mut lanes: Vec<&[bool]> = Vec::with_capacity(per_storage.len() + 2);
+            lanes.push(&per_storage[0]);
+            lanes.push(&perfect);
+            lanes.extend(per_storage.iter().map(Vec::as_slice));
+            let sweep = SweepReplay::new(&lcf_trace, &cfg);
+            let mut cycles = 0u64;
+            for scale in PipelineConfig::SCALES {
+                for stats in sweep.simulate_many(&lanes, &cfg.scaled(scale)) {
+                    cycles += stats.cycles;
+                }
+            }
+            cycles
+        },
+    ));
+    measurements.push(perf::measure(
+        "sweep/storage-8pt-per-config",
+        lcf_trace.len() as u64 * sweep_sims,
+        lcf_branches * sweep_sims,
+        warmup,
+        samples,
+        || {
+            let per_storage: Vec<Vec<bool>> = TageSclConfig::STORAGE_POINTS_KB
+                .iter()
+                .map(|&kb| {
+                    misprediction_flags(&mut TageScL::new(TageSclConfig::storage_kb(kb)), &lcf_trace)
+                })
+                .collect();
+            let perfect = vec![false; lcf_trace.conditional_branch_count()];
+            let mut lanes: Vec<&[bool]> = Vec::with_capacity(per_storage.len() + 2);
+            lanes.push(&per_storage[0]);
+            lanes.push(&perfect);
+            lanes.extend(per_storage.iter().map(Vec::as_slice));
+            let mut cycles = 0u64;
+            for scale in PipelineConfig::SCALES {
+                let scaled = cfg.scaled(scale);
+                for lane in &lanes {
+                    cycles += simulate(&lcf_trace, lane, &scaled).cycles;
+                }
+            }
+            cycles
+        },
     ));
 
     PerfReport {

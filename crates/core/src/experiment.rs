@@ -1,18 +1,21 @@
 //! The IPC limit studies: Figs. 1, 5, 7 and 8.
 //!
-//! All studies share one structure: run predictors over a trace once to
-//! get misprediction streams, then replay those streams through the
-//! pipeline timing model at several capacity scalings. Misprediction
-//! streams are scale-independent, so each predictor pass is reused across
-//! all pipeline configurations.
+//! All studies share one structure: step every predictor configuration
+//! through **one** pass over the trace
+//! ([`sweep_flags`](bp_predictors::sweep_flags)) to get misprediction
+//! streams, then replay those streams in lockstep through the pipeline
+//! timing model ([`SweepReplay`]) at several capacity scalings.
+//! Misprediction streams are scale-independent, so each predictor pass is
+//! reused across all pipeline configurations; the prepared trace is
+//! decoded once per workload instead of once per (config, scale) cell.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 
 use bp_analysis::{BranchProfile, H2pCriteria};
-use bp_pipeline::{simulate, PipelineConfig};
+use bp_pipeline::{simulate, PipelineConfig, SweepReplay};
 use bp_predictors::{
-    misprediction_flags, DirectionPredictor, PerfectSetOracle, TageScL, TageSclConfig,
+    misprediction_flags, sweep_flags, DirectionPredictor, PerfectSetOracle, TageScL, TageSclConfig,
 };
 use bp_trace::Trace;
 use bp_workloads::WorkloadSpec;
@@ -74,8 +77,7 @@ struct WorkloadStreams {
 fn streams_for(spec: &WorkloadSpec, config: &DatasetConfig) -> WorkloadStreams {
     let trace = spec.cached_trace(0, config.trace_len);
 
-    // TAGE-SC-L 8KB, with a per-slice H2P screen for the oracle set.
-    let mut tage8 = TageScL::kb8();
+    // Per-slice H2P screen (fresh 8KB predictor) for the oracle set.
     let criteria = H2pCriteria::paper();
     let mut h2ps: HashSet<u64> = HashSet::new();
     {
@@ -85,11 +87,17 @@ fn streams_for(spec: &WorkloadSpec, config: &DatasetConfig) -> WorkloadStreams {
             h2ps.extend(criteria.screen(&profile, config.slice));
         }
     }
-    let tage8_flags = misprediction_flags(&mut tage8, &trace);
-    let mut tage64 = TageScL::kb64();
-    let tage64_flags = misprediction_flags(&mut tage64, &trace);
-    let mut oracle = PerfectSetOracle::new(TageScL::kb8(), h2ps);
-    let perfect_h2p_flags = misprediction_flags(&mut oracle, &trace);
+    // All three honest configurations share one pass over the branch
+    // stream; each still sees exactly its solo training sequence.
+    let mut predictors: Vec<Box<dyn DirectionPredictor>> = vec![
+        Box::new(TageScL::kb8()),
+        Box::new(TageScL::kb64()),
+        Box::new(PerfectSetOracle::new(TageScL::kb8(), h2ps)),
+    ];
+    let mut flags = sweep_flags(&mut predictors, &trace);
+    let perfect_h2p_flags = flags.pop().expect("three streams");
+    let tage64_flags = flags.pop().expect("two streams");
+    let tage8_flags = flags.pop().expect("one stream");
     let perfect = vec![false; trace.conditional_branch_count()];
     WorkloadStreams {
         trace,
@@ -127,17 +135,18 @@ pub fn scaling_study_with(
         "Perfect H2Ps",
         "Perfect BP",
     ];
-    // Per workload: log(ipc ratio) for every (series, scale) cell.
+    // Per workload: log(ipc ratio) for every (series, scale) cell. The
+    // four series replay in lockstep through one prepared trace.
     let contribs: Vec<Vec<Vec<f64>>> = engine.map(specs, |_, spec| {
         let st = streams_for(spec, config);
-        let base_ipc = simulate(&st.trace, &st.tage8, &base_cfg).ipc();
-        let flags = [&st.tage8, &st.tage64, &st.perfect_h2p, &st.perfect];
+        let sweep = SweepReplay::new(&st.trace, &base_cfg);
+        let base_ipc = sweep.simulate(&st.tage8, &base_cfg).ipc();
+        let lanes: [&[bool]; 4] = [&st.tage8, &st.tage64, &st.perfect_h2p, &st.perfect];
         let mut contrib = vec![vec![0.0f64; scales.len()]; labels.len()];
         for (si, &scale) in scales.iter().enumerate() {
             let cfg = base_cfg.scaled(scale);
-            for (li, f) in flags.iter().enumerate() {
-                let ipc = simulate(&st.trace, f, &cfg).ipc();
-                contrib[li][si] = (ipc / base_ipc).ln();
+            for (li, stats) in sweep.simulate_many(&lanes, &cfg).iter().enumerate() {
+                contrib[li][si] = (stats.ipc() / base_ipc).ln();
             }
         }
         contrib
@@ -189,8 +198,9 @@ pub struct StorageScalingStudy {
 
 /// Runs the Fig. 7 limit study: TAGE-SC-L storage from 8KB to 1024KB
 /// across pipeline scales, reporting the fraction of the 8KB→perfect IPC
-/// gap closed. Workloads — and the TAGE passes for the storage points
-/// within a workload — run in parallel on [`Engine::from_env`].
+/// gap closed. Workloads run in parallel on [`Engine::from_env`]; within
+/// a workload, all storage points share a single trace pass
+/// ([`sweep_flags`]) and replay in lockstep ([`SweepReplay`]).
 #[must_use]
 pub fn storage_scaling_study(
     specs: &[WorkloadSpec],
@@ -214,25 +224,34 @@ pub fn storage_scaling_study_with(
     let rows: Vec<StorageScalingRow> = engine.map(specs, |_, spec| {
         let trace = spec.cached_trace(0, config.trace_len);
         let perfect = vec![false; trace.conditional_branch_count()];
-        // Each storage point is an independent predictor replay — the
-        // second level of fan-out.
-        let flags_per_storage: Vec<Vec<bool>> = engine.map(&storages, |_, &kb| {
-            let mut p = TageScL::new(TageSclConfig::storage_kb(kb));
-            misprediction_flags(&mut p, &trace)
-        });
+        // All storage points train through one pass over the branch
+        // stream — this is the sweep the single-pass engine exists for.
+        let mut predictors: Vec<Box<dyn DirectionPredictor>> = storages
+            .iter()
+            .map(|&kb| {
+                Box::new(TageScL::new(TageSclConfig::storage_kb(kb))) as Box<dyn DirectionPredictor>
+            })
+            .collect();
+        let flags_per_storage = sweep_flags(&mut predictors, &trace);
+        // Lane order: the 8KB baseline, the perfect bound, then every
+        // storage point (8KB replays twice so each lane maps 1:1 onto
+        // the per-config sims it replaced).
+        let mut lanes: Vec<&[bool]> = Vec::with_capacity(storages.len() + 2);
+        lanes.push(&flags_per_storage[0]);
+        lanes.push(&perfect);
+        lanes.extend(flags_per_storage.iter().map(Vec::as_slice));
+        let sweep = SweepReplay::new(&trace, &base_cfg);
         let mut gap_closed = Vec::with_capacity(scales.len());
         for &scale in &scales {
             let cfg = base_cfg.scaled(scale);
-            let ipc8 = simulate(&trace, &flags_per_storage[0], &cfg).ipc();
-            let ipc_perfect = simulate(&trace, &perfect, &cfg).ipc();
+            let stats = sweep.simulate_many(&lanes, &cfg);
+            let ipc8 = stats[0].ipc();
+            let ipc_perfect = stats[1].ipc();
             let gap = (ipc_perfect - ipc8).max(1e-9);
             gap_closed.push(
-                flags_per_storage
+                stats[2..]
                     .iter()
-                    .map(|f| {
-                        let ipc = simulate(&trace, f, &cfg).ipc();
-                        ((ipc - ipc8) / gap).max(0.0)
-                    })
+                    .map(|s| ((s.ipc() - ipc8) / gap).max(0.0))
                     .collect(),
             );
         }
@@ -305,31 +324,40 @@ pub fn rare_oracle_study_with(
                 .collect()
         };
 
-        let mut tage8 = TageScL::kb8();
-        let flags8 = misprediction_flags(&mut tage8, &trace);
+        // One shared pass trains the 8KB baseline and the 1024KB
+        // predictor; an oracle over set S mispredicts exactly where the
+        // big predictor mispredicts outside S.
+        let mut predictors: Vec<Box<dyn DirectionPredictor>> = vec![
+            Box::new(TageScL::kb8()),
+            Box::new(TageScL::new(TageSclConfig::storage_kb(1024))),
+        ];
+        let mut streams = sweep_flags(&mut predictors, &trace);
+        let big_flags = streams.pop().expect("two streams");
+        let flags8 = streams.pop().expect("one stream");
         let perfect = vec![false; trace.conditional_branch_count()];
-        let ipc8 = simulate(&trace, &flags8, &cfg).ipc();
-        let ipc_perfect = simulate(&trace, &perfect, &cfg).ipc();
-        let opportunity = (ipc_perfect - ipc8).max(1e-9);
-
-        // One 1024KB pass; an oracle over set S mispredicts exactly where
-        // the big predictor mispredicts outside S.
-        let mut big = TageScL::new(TageSclConfig::storage_kb(1024));
-        let big_flags = misprediction_flags(&mut big, &trace);
-        let remaining = |threshold: f64| -> f64 {
+        let masked = |threshold: f64| -> Vec<bool> {
             let set = ips_above(threshold);
-            let flags: Vec<bool> = trace
+            trace
                 .conditional_branches()
                 .zip(&big_flags)
                 .map(|(b, &missed)| missed && !set.contains(&b.ip))
-                .collect();
-            let ipc = simulate(&trace, &flags, &cfg).ipc();
-            ((ipc_perfect - ipc) / opportunity).clamp(0.0, 1.0)
+                .collect()
         };
+        let after_1000 = masked(1000.0);
+        let after_100 = masked(100.0);
+
+        // All four IPC points come from one lockstep replay.
+        let sweep = SweepReplay::new(&trace, &cfg);
+        let stats = sweep.simulate_many(&[&flags8, &perfect, &after_1000, &after_100], &cfg);
+        let ipc8 = stats[0].ipc();
+        let ipc_perfect = stats[1].ipc();
+        let opportunity = (ipc_perfect - ipc8).max(1e-9);
+        let remaining =
+            |ipc: f64| -> f64 { ((ipc_perfect - ipc) / opportunity).clamp(0.0, 1.0) };
         RareOracleRow {
             name: spec.name.clone(),
-            remaining_after_1000: remaining(1000.0),
-            remaining_after_100: remaining(100.0),
+            remaining_after_1000: remaining(stats[2].ipc()),
+            remaining_after_100: remaining(stats[3].ipc()),
         }
     })
 }

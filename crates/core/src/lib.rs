@@ -4,7 +4,9 @@
 //! scale ([`DatasetConfig`]), the Table I/II characterization runner
 //! ([`characterize_workload`]), the IPC limit studies of Figs. 1/5/7/8
 //! ([`scaling_study`], [`storage_scaling_study`], [`rare_oracle_study`]),
-//! and plain-text/CSV reporting ([`Table`]).
+//! the study registry the `branch-lab` CLI dispatches from ([`Study`],
+//! [`StudyRegistry`]), and plain-text/CSV reporting ([`Table`],
+//! [`Report`]).
 //!
 //! # Examples
 //!
@@ -20,11 +22,14 @@
 //! assert!(!c.h2p_union.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 mod characterize;
 mod config;
 mod experiment;
 mod parallel;
 mod report;
+mod study;
 
 pub use characterize::{
     characterize_input, characterize_workload, characterize_workload_with, InputCharacterization,
@@ -37,7 +42,8 @@ pub use experiment::{
     StorageScalingRow, StorageScalingStudy,
 };
 pub use parallel::{thread_count, Engine, TaskError};
-pub use report::{f3, pct, Table};
+pub use report::{f3, pct, Report, ReportItem, Table};
+pub use study::{FnStudy, Study, StudyCtx, StudyInfo, StudyKind, StudyRegistry};
 
 /// Deterministic fault injection (re-export of [`bp_metrics::faultpoint`]).
 ///

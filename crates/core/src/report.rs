@@ -101,6 +101,75 @@ impl Table {
     }
 }
 
+/// One element of a [`Report`], in output order.
+pub enum ReportItem {
+    /// A table under a `== heading ==` banner; `name` keys the CSV file.
+    Section {
+        /// Human-readable heading.
+        heading: String,
+        /// CSV/file stem, e.g. `"fig3_accuracy"`.
+        name: String,
+        /// The rendered table.
+        table: Table,
+    },
+    /// A free-form line printed verbatim (may itself contain newlines).
+    Note(String),
+}
+
+/// A study's complete printable output.
+///
+/// Every registered [`Study`](crate::Study) returns one of these;
+/// [`Report::render`] reproduces the study's stdout byte-for-byte
+/// (without CSV export), which is what the golden-master suite
+/// snapshots. The CLI layer walks [`Report::items`] to print sections
+/// and write CSVs.
+#[derive(Default)]
+pub struct Report {
+    /// Items in output order.
+    pub items: Vec<ReportItem>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a table section.
+    pub fn section(&mut self, heading: impl Into<String>, name: impl Into<String>, table: Table) {
+        self.items.push(ReportItem::Section {
+            heading: heading.into(),
+            name: name.into(),
+            table,
+        });
+    }
+
+    /// Appends a note line (printed as `println!` would).
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.items.push(ReportItem::Note(line.into()));
+    }
+
+    /// The exact stdout of the owning study when run without CSV export.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            match item {
+                ReportItem::Section { heading, table, .. } => {
+                    out.push_str(&format!("\n== {heading} ==\n"));
+                    out.push_str(&table.render());
+                }
+                ReportItem::Note(line) => {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Formats a float with 3 decimals (the common cell format).
 #[must_use]
 pub fn f3(v: f64) -> String {

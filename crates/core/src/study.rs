@@ -1,0 +1,205 @@
+//! The study registry: every paper table, figure, ablation and probe as
+//! a named, runnable unit.
+//!
+//! Each experiment (Table I, Fig. 7, the ablations, the calibration
+//! probe, …) implements [`Study`]: a static [`StudyInfo`] describing it
+//! plus a `run` that computes a [`Report`]. A [`StudyRegistry`] holds
+//! them in a fixed order and is the single source of truth the
+//! `branch-lab` CLI dispatches from — `branch-lab list` prints it,
+//! `branch-lab run <name>` looks it up, and the `all` runner derives its
+//! child list from it instead of hand-maintaining one.
+//!
+//! The registry lives in `bp-core` so any layer can consume it; the
+//! studies themselves are registered by `bp-experiments`, which owns the
+//! figure/table computations.
+
+use crate::config::DatasetConfig;
+use crate::report::Report;
+
+/// How a study is invoked and accounted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StudyKind {
+    /// A paper artifact: runs on the standard dataset options
+    /// (`--quick`, `--len`, `--csv`), emits a metrics manifest with the
+    /// dataset-shape info block, and is included in `all` sweeps.
+    Report,
+    /// Same invocation surface as [`StudyKind::Report`] but excluded
+    /// from `all` sweeps (supplementary context such as the predictor
+    /// survey).
+    Standalone,
+    /// A diagnostic probe (calibration, IPC debugging): takes free-form
+    /// positional arguments, emits a bare metrics manifest, and is
+    /// excluded from `all`.
+    Probe,
+}
+
+/// Static description of a study.
+#[derive(Clone, Copy, Debug)]
+pub struct StudyInfo {
+    /// Registry key and binary name, e.g. `"fig7"`.
+    pub name: &'static str,
+    /// One-line description shown by `branch-lab list`.
+    pub title: &'static str,
+    /// Invocation class.
+    pub kind: StudyKind,
+}
+
+/// Everything a study may consult while running.
+pub struct StudyCtx {
+    /// Dataset shape (trace length, slicing, input cap).
+    pub dataset: DatasetConfig,
+    /// Positional arguments, used by [`StudyKind::Probe`] studies only.
+    pub args: Vec<String>,
+}
+
+impl StudyCtx {
+    /// A context with no positional arguments.
+    #[must_use]
+    pub fn new(dataset: DatasetConfig) -> Self {
+        StudyCtx {
+            dataset,
+            args: Vec::new(),
+        }
+    }
+}
+
+/// A named, runnable experiment.
+pub trait Study {
+    /// Static metadata (name, title, kind).
+    fn info(&self) -> StudyInfo;
+    /// Runs the full computation and returns the printable output.
+    fn run(&self, ctx: &StudyCtx) -> Report;
+}
+
+/// A [`Study`] built from a closure — the common case.
+pub struct FnStudy {
+    info: StudyInfo,
+    run: Box<dyn Fn(&StudyCtx) -> Report + Send + Sync>,
+}
+
+impl FnStudy {
+    /// Wraps `run` with the given metadata.
+    pub fn new(
+        info: StudyInfo,
+        run: impl Fn(&StudyCtx) -> Report + Send + Sync + 'static,
+    ) -> Self {
+        FnStudy {
+            info,
+            run: Box::new(run),
+        }
+    }
+}
+
+impl Study for FnStudy {
+    fn info(&self) -> StudyInfo {
+        self.info
+    }
+
+    fn run(&self, ctx: &StudyCtx) -> Report {
+        (self.run)(ctx)
+    }
+}
+
+/// An ordered collection of uniquely named studies.
+///
+/// Registration order is presentation order: `branch-lab list` prints it
+/// and the `all` runner executes [`StudyKind::Report`] studies in it.
+#[derive(Default)]
+pub struct StudyRegistry {
+    studies: Vec<Box<dyn Study + Send + Sync>>,
+}
+
+impl StudyRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        StudyRegistry::default()
+    }
+
+    /// Adds a study at the end of the presentation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a study with the same name is already registered.
+    pub fn register(&mut self, study: Box<dyn Study + Send + Sync>) {
+        let name = study.info().name;
+        assert!(
+            self.get(name).is_none(),
+            "duplicate study registration: {name}"
+        );
+        self.studies.push(study);
+    }
+
+    /// Looks a study up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&(dyn Study + Send + Sync)> {
+        self.studies
+            .iter()
+            .find(|s| s.info().name == name)
+            .map(Box::as_ref)
+    }
+
+    /// All studies, in registration order.
+    pub fn studies(&self) -> impl Iterator<Item = &(dyn Study + Send + Sync)> {
+        self.studies.iter().map(Box::as_ref)
+    }
+
+    /// Names of all studies, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.studies.iter().map(|s| s.info().name).collect()
+    }
+
+    /// Names of the [`StudyKind::Report`] studies, in registration order
+    /// — the `all` runner's child list.
+    #[must_use]
+    pub fn report_names(&self) -> Vec<&'static str> {
+        self.studies
+            .iter()
+            .filter(|s| s.info().kind == StudyKind::Report)
+            .map(|s| s.info().name)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stub(name: &'static str, kind: StudyKind) -> Box<FnStudy> {
+        Box::new(FnStudy::new(
+            StudyInfo {
+                name,
+                title: "stub",
+                kind,
+            },
+            |_| {
+                let mut r = Report::new();
+                r.note("ran");
+                r
+            },
+        ))
+    }
+
+    #[test]
+    fn registry_preserves_order_and_filters_kinds() {
+        let mut reg = StudyRegistry::new();
+        reg.register(stub("b", StudyKind::Report));
+        reg.register(stub("a", StudyKind::Probe));
+        reg.register(stub("s", StudyKind::Standalone));
+        reg.register(stub("c", StudyKind::Report));
+        assert_eq!(reg.names(), vec!["b", "a", "s", "c"]);
+        assert_eq!(reg.report_names(), vec!["b", "c"]);
+        let ctx = StudyCtx::new(DatasetConfig::quick());
+        assert_eq!(reg.get("a").unwrap().run(&ctx).render(), "ran\n");
+        assert!(reg.get("zzz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate study")]
+    fn duplicate_names_panic() {
+        let mut reg = StudyRegistry::new();
+        reg.register(stub("x", StudyKind::Report));
+        reg.register(stub("x", StudyKind::Probe));
+    }
+}

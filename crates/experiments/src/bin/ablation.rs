@@ -1,146 +1,7 @@
-//! Accuracy ablations for the design choices DESIGN.md calls out:
-//!
-//! * TAGE component ablation (TAGE vs TAGE-L vs TAGE-SC vs TAGE-SC-L);
-//! * maximum history length at fixed storage (the paper's 1,000 at 8KB vs
-//!   3,000 at 64KB+);
-//! * TAGE usefulness-based allocation vs naive always-allocate;
-//! * CNN helper precision: f32 vs naive 2-bit vs fine-tuned 2-bit.
-
-use bp_core::{f3, Table};
-use bp_experiments::Cli;
-use bp_helpers::{CnnNet, HistoryEncoder};
-use bp_predictors::{measure, TageConfig, TageScL, TageSclConfig};
-use bp_workloads::{lcf_suite, specint_suite};
+//! Shim: `ablation` ≡ `branch-lab run ablation`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("ablation");
-    let cfg = cli.dataset();
-
-    // --- Component ablation across a few representative workloads. ---
-    let suite = specint_suite();
-    let specs = [
-        suite.iter().find(|s| s.name.contains("mcf")).unwrap(),
-        suite.iter().find(|s| s.name.contains("leela")).unwrap(),
-        suite.iter().find(|s| s.name.contains("xalancbmk")).unwrap(),
-        &lcf_suite()[1],
-    ];
-    let mut table = Table::new(vec!["workload", "tage", "tage-l", "tage-sc", "tage-sc-l"]);
-    for spec in specs {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let acc = |c: TageSclConfig| {
-            let mut p = TageScL::new(c);
-            measure(&mut p, &trace).accuracy()
-        };
-        table.row(vec![
-            spec.name.clone(),
-            f3(acc(TageSclConfig::tage_only(8))),
-            f3(acc(TageSclConfig::tage_l(8))),
-            f3(acc(TageSclConfig {
-                loop_entries: None,
-                ..TageSclConfig::storage_kb(8)
-            })),
-            f3(acc(TageSclConfig::storage_kb(8))),
-        ]);
-    }
-    cli.emit("Ablation: ensemble components (8KB budget)", "ablation_components", &table);
-
-    // --- History-length limit at fixed storage. ---
-    let mut table = Table::new(vec!["workload", "hist-250", "hist-1000", "hist-3000"]);
-    for spec in specs {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let acc = |max_hist: usize| {
-            let mut c = TageSclConfig::storage_kb(8);
-            c.tage = TageConfig { max_hist, ..c.tage };
-            measure(&mut TageScL::new(c), &trace).accuracy()
-        };
-        table.row(vec![
-            spec.name.clone(),
-            f3(acc(250)),
-            f3(acc(1000)),
-            f3(acc(3000)),
-        ]);
-    }
-    cli.emit(
-        "Ablation: maximum history length at fixed 8KB storage",
-        "ablation_history",
-        &table,
-    );
-
-    // --- Usefulness aging period (allocation churn control). ---
-    let mut table = Table::new(vec!["workload", "age-2^14", "age-2^18", "age-never"]);
-    for spec in specs {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let acc = |period: u64| {
-            let mut c = TageSclConfig::storage_kb(8);
-            c.tage = TageConfig {
-                u_reset_period: period,
-                ..c.tage
-            };
-            measure(&mut TageScL::new(c), &trace).accuracy()
-        };
-        table.row(vec![
-            spec.name.clone(),
-            f3(acc(1 << 14)),
-            f3(acc(1 << 18)),
-            f3(acc(u64::MAX)),
-        ]);
-    }
-    cli.emit(
-        "Ablation: usefulness aging period (8KB budget)",
-        "ablation_aging",
-        &table,
-    );
-
-    // --- CNN precision on a synthetic variable-gap stream. ---
-    let (window, buckets) = (12usize, 48usize);
-    let make_stream = |seed: u64, n: usize| -> Vec<(Vec<u16>, bool)> {
-        let mut enc = HistoryEncoder::new(window, buckets);
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            state
-        };
-        let mut out = Vec::new();
-        for _ in 0..n {
-            let d = rnd() % 2 == 0;
-            enc.push(0x100, d);
-            for k in 0..(1 + rnd() % 5) {
-                enc.push(0x200 + k * 4, rnd() % 100 < 70);
-            }
-            out.push((enc.buckets(), d));
-            enc.push(0x300, d);
-            // Spacing filler so the window spans roughly one lap and the
-            // dependency direction is unambiguous.
-            for k in 0..10u64 {
-                enc.push(0x400 + k * 4, k % 2 == 0);
-            }
-        }
-        out
-    };
-    let train = make_stream(3, 4000);
-    let test = make_stream(99, 2000);
-    let mut net = CnnNet::new(12, buckets, 4);
-    for _ in 0..4 {
-        for (w, t) in &train {
-            net.train_step(w, *t, 0.05);
-        }
-    }
-    let acc_of = |f: &dyn Fn(&[u16]) -> bool| {
-        test.iter().filter(|(w, t)| f(w) == *t).count() as f64 / test.len() as f64
-    };
-    let naive = net.quantize();
-    let tuned = net.quantize_finetuned(&train, 2, 0.05);
-    let mut table = Table::new(vec!["precision", "held-out accuracy"]);
-    table.row(vec!["f32".into(), f3(acc_of(&|w| net.forward(w).taken()))]);
-    table.row(vec!["2-bit naive".into(), f3(acc_of(&|w| naive.forward(w).taken()))]);
-    table.row(vec![
-        "2-bit + classifier fine-tune".into(),
-        f3(acc_of(&|w| tuned.forward(w).taken())),
-    ]);
-    cli.emit(
-        "Ablation: CNN helper weight precision (synthetic variable-gap H2P)",
-        "ablation_cnn",
-        &table,
-    );
+    bp_experiments::cli::study_shim("ablation");
 }

@@ -1,52 +1,7 @@
-//! §IV-A: TAGE-SC-L table-allocation statistics for H2P vs non-H2P
-//! branches. The paper reports (64KB config): median 13,093 allocations /
-//! 3,990 unique entries per H2P vs 4 / 4 per non-H2P, and a mean per-H2P
-//! allocation share of 3.6% vs <0.01%.
-
-use bp_analysis::{compute_alloc_stats, BranchProfile, H2pCriteria};
-use bp_core::Table;
-use bp_experiments::Cli;
-use bp_predictors::{TageScL, TageSclConfig};
-use bp_workloads::specint_suite;
+//! Shim: `alloc_stats` ≡ `branch-lab run alloc_stats`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("alloc_stats");
-    let cfg = cli.dataset();
-    let mut table = Table::new(vec![
-        "benchmark",
-        "h2p-med-allocs",
-        "h2p-med-unique",
-        "other-med-allocs",
-        "other-med-unique",
-        "h2p-share",
-        "other-share",
-    ]);
-    for spec in &specint_suite() {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let mut bpu = TageScL::new(TageSclConfig::storage_kb(64));
-        bpu.enable_instrumentation();
-        let criteria = H2pCriteria::paper();
-        let mut h2ps = std::collections::HashSet::new();
-        for slice in trace.slices(cfg.slice) {
-            let p = BranchProfile::collect(&mut bpu, slice);
-            h2ps.extend(criteria.screen(&p, cfg.slice));
-        }
-        let stats = compute_alloc_stats(bpu.tracker().expect("instrumented"), &h2ps);
-        table.row(vec![
-            spec.name.clone(),
-            format!("{}", stats.h2p_median_allocations),
-            format!("{}", stats.h2p_median_unique_entries),
-            format!("{}", stats.other_median_allocations),
-            format!("{}", stats.other_median_unique_entries),
-            format!("{:.3}%", stats.h2p_mean_allocation_share * 100.0),
-            format!("{:.4}%", stats.other_mean_allocation_share * 100.0),
-        ]);
-    }
-    cli.emit(
-        "§IV-A: TAGE-SC-L 64KB allocation statistics, H2P vs non-H2P",
-        "alloc_stats",
-        &table,
-    );
-    println!("(paper medians: H2P 13,093 allocs / 3,990 unique; non-H2P 4 / 4)");
+    bp_experiments::cli::study_shim("alloc_stats");
 }

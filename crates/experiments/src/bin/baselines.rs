@@ -1,55 +1,7 @@
-//! §II context: the predictor landscape the paper surveys, compared on
-//! our suites — bimodal, two-level local, gshare, tournament, perceptron,
-//! PPM, and TAGE-SC-L, at comparable storage.
-
-use bp_core::{f3, Table};
-use bp_experiments::Cli;
-use bp_predictors::{
-    measure, Bimodal, GShare, Perceptron, Ppm, PpmConfig, TageScL, Tournament, TwoLevelLocal,
-};
-use bp_workloads::{lcf_suite, specint_suite};
+//! Shim: `baselines` ≡ `branch-lab run baselines`. The study lives in
+//! the registry (`bp_experiments::registry`); this binary exists so
+//! scripted per-study invocations keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("baselines");
-    let cfg = cli.dataset();
-    let mut table = Table::new(vec![
-        "workload",
-        "bimodal",
-        "local",
-        "gshare",
-        "tournament",
-        "perceptron",
-        "ppm",
-        "tage-sc-l-8kb",
-    ]);
-    let mut means = [0.0f64; 7];
-    let mut n = 0.0f64;
-    for spec in specint_suite().iter().chain(lcf_suite().iter()) {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let accs = [
-            measure(&mut Bimodal::new(12), &trace).accuracy(),
-            measure(&mut TwoLevelLocal::new(11, 10), &trace).accuracy(),
-            measure(&mut GShare::new(13, 16), &trace).accuracy(),
-            measure(&mut Tournament::new(12), &trace).accuracy(),
-            measure(&mut Perceptron::new(9, 32), &trace).accuracy(),
-            measure(&mut Ppm::new(PpmConfig::default()), &trace).accuracy(),
-            measure(&mut TageScL::kb8(), &trace).accuracy(),
-        ];
-        n += 1.0;
-        for (m, a) in means.iter_mut().zip(accs) {
-            *m += a;
-        }
-        let mut row = vec![spec.name.clone()];
-        row.extend(accs.iter().map(|&a| f3(a)));
-        table.row(row);
-    }
-    let mut row = vec!["MEAN".to_owned()];
-    row.extend(means.iter().map(|&m| f3(m / n)));
-    table.row(row);
-    cli.emit(
-        "Predictor generations on the branch-lab suites (§II survey context)",
-        "baselines",
-        &table,
-    );
+    bp_experiments::cli::study_shim("baselines");
 }

@@ -1,0 +1,6 @@
+//! The unified `branch-lab` CLI: `list` / `run <study>` / `all` /
+//! `sweep`. See `bp_experiments::cli`.
+
+fn main() {
+    bp_experiments::cli::main();
+}

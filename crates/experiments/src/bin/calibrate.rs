@@ -1,36 +1,7 @@
-//! Calibration probe: prints per-workload TAGE-SC-L accuracy and branch
-//! statistics so suite parameters can be tuned against Table I / Table II.
-
-use bp_predictors::{measure, TageScL};
-use bp_workloads::{lcf_suite, specint_suite};
-use std::collections::HashMap;
+//! Shim: `calibrate` ≡ `branch-lab run calibrate`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let _run = bp_metrics::RunGuard::begin("calibrate");
-    let len: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500_000);
-    println!(
-        "{:<18} {:>9} {:>10} {:>8} {:>10} {:>8}",
-        "workload", "branches", "static-ips", "acc", "execs/ip", "br-dens"
-    );
-    for spec in specint_suite().iter().chain(lcf_suite().iter()) {
-        let trace = spec.cached_trace(0, len);
-        let mut per_ip: HashMap<u64, u64> = HashMap::new();
-        for b in trace.conditional_branches() {
-            *per_ip.entry(b.ip).or_default() += 1;
-        }
-        let mut bpu = TageScL::kb8();
-        let stats = measure(&mut bpu, &trace);
-        println!(
-            "{:<18} {:>9} {:>10} {:>8.4} {:>10.1} {:>8.3}",
-            spec.name,
-            stats.total,
-            per_ip.len(),
-            stats.accuracy(),
-            stats.total as f64 / per_ip.len() as f64,
-            stats.total as f64 / trace.len() as f64,
-        );
-    }
+    bp_experiments::cli::study_shim("calibrate");
 }

@@ -1,39 +1,7 @@
-//! Debug probe: absolute IPC per scale for one workload under several
-//! predictors, plus MPKI and cache behaviour.
-
-use bp_pipeline::{simulate, PipelineConfig};
-use bp_predictors::{misprediction_flags, PerfectPredictor, TageScL};
-use bp_workloads::{lcf_suite, specint_suite};
+//! Shim: `debug_ipc` ≡ `branch-lab run debug_ipc`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let _run = bp_metrics::RunGuard::begin("debug_ipc");
-    let which = std::env::args().nth(1).unwrap_or_else(|| "1".into());
-    let len: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500_000);
-    let suite = specint_suite();
-    let lcf = lcf_suite();
-    let spec = match which.as_str() {
-        s if s.starts_with("lcf") => &lcf[s[3..].parse::<usize>().unwrap_or(0)],
-        s => &suite[s.parse::<usize>().unwrap_or(1)],
-    };
-    println!("workload {} len {len}", spec.name);
-    let trace = spec.cached_trace(0, len);
-    let mut tage = TageScL::kb8();
-    let tage_flags = misprediction_flags(&mut tage, &trace);
-    let perfect_flags = misprediction_flags(&mut PerfectPredictor, &trace);
-    let mpki = tage_flags.iter().filter(|&&f| f).count() as f64 * 1000.0 / len as f64;
-    println!("tage8 MPKI {mpki:.2}");
-    for scale in PipelineConfig::SCALES {
-        let cfg = PipelineConfig::skylake().scaled(scale);
-        let t = simulate(&trace, &tage_flags, &cfg);
-        let p = simulate(&trace, &perfect_flags, &cfg);
-        println!(
-            "{scale:>3}x  tage8 {:.3}  perfect {:.3}  ratio {:.3}",
-            t.ipc(),
-            p.ipc(),
-            p.ipc() / t.ipc()
-        );
-    }
+    bp_experiments::cli::study_shim("debug_ipc");
 }

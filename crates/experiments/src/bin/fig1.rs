@@ -1,10 +1,7 @@
-//! Fig. 1: single-threaded IPC (relative to the 1x TAGE-SC-L 8KB
-//! baseline) as pipeline capacity scales 1x–32x, for the SPECint suite.
-
-use bp_experiments::{reports, Cli};
+//! Shim: `fig1` ≡ `branch-lab run fig1`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("fig1");
-    reports::fig1_report(&cli.dataset()).emit(&cli);
+    bp_experiments::cli::study_shim("fig1");
 }

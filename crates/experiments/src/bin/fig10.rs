@@ -1,76 +1,7 @@
-//! Fig. 10: distributions of register values written immediately before
-//! the top H2P heavy hitter executes. Structured, branch-specific
-//! distributions motivate register values as helper-predictor inputs.
-
-use bp_analysis::{
-    rank_heavy_hitters, BranchProfile, H2pCriteria, RegValueAnalysis, PAPER_TRACKED_REGS,
-};
-use bp_core::Table;
-use bp_experiments::Cli;
-use bp_predictors::TageScL;
-use bp_workloads::specint_suite;
+//! Shim: `fig10` ≡ `branch-lab run fig10`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("fig10");
-    let cfg = cli.dataset();
-    // The paper shows six benchmarks; we show the same six.
-    let shown = [
-        "605.mcf_s",
-        "620.omnetpp_s",
-        "625.x264_s",
-        "631.deepsjeng_s",
-        "641.leela_s",
-        "657.xz_s",
-    ];
-    for spec in specint_suite().iter().filter(|s| shown.contains(&s.name.as_str())) {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let mut bpu = TageScL::kb8();
-        let criteria = H2pCriteria::paper();
-        let mut merged = BranchProfile::new();
-        let mut h2ps = std::collections::HashSet::new();
-        for slice in trace.slices(cfg.slice) {
-            let p = BranchProfile::collect(&mut bpu, slice);
-            h2ps.extend(criteria.screen(&p, cfg.slice));
-            merged.merge(&p);
-        }
-        let hitters = rank_heavy_hitters(&merged, h2ps.iter().copied());
-        let Some(top) = hitters.first() else {
-            println!("\n== Fig. 10 {}: no H2P found ==", spec.name);
-            continue;
-        };
-        let rv = RegValueAnalysis::collect(&trace, top.ip, PAPER_TRACKED_REGS);
-        let mut table = Table::new(vec![
-            "register",
-            "distinct-values",
-            "entropy-bits",
-            "top-value",
-            "top-count",
-        ]);
-        for r in 0..rv.tracked() {
-            let d = rv.register(r);
-            if d.total() == 0 {
-                continue;
-            }
-            let top_val = d.top(1);
-            table.row(vec![
-                format!("r{r}"),
-                format!("{}", d.distinct()),
-                format!("{:.2}", d.entropy_bits()),
-                top_val.first().map_or("-".into(), |(v, _)| format!("{v:#x}")),
-                top_val.first().map_or("-".into(), |(_, c)| c.to_string()),
-            ]);
-        }
-        cli.emit(
-            &format!(
-                "Fig. 10 {}: register values preceding H2P {:#x} ({} executions, mean entropy {:.2} bits)",
-                spec.name,
-                top.ip,
-                rv.executions,
-                rv.mean_entropy_bits()
-            ),
-            &format!("fig10_{}", spec.name.replace('.', "_")),
-            &table,
-        );
-    }
+    bp_experiments::cli::study_shim("fig10");
 }

@@ -1,10 +1,7 @@
-//! Fig. 2: cumulative fraction of mispredictions owned by the n-th H2P
-//! heavy hitter, per SPECint benchmark.
-
-use bp_experiments::{reports, Cli};
+//! Shim: `fig2` ≡ `branch-lab run fig2`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("fig2");
-    reports::fig2_report(&cli.dataset()).emit(&cli);
+    bp_experiments::cli::study_shim("fig2");
 }

@@ -1,10 +1,7 @@
-//! Fig. 3: distributions of dynamic mispredictions, dynamic executions,
-//! and prediction accuracy across the static branches of the LCF dataset.
-
-use bp_experiments::{reports, Cli};
+//! Shim: `fig3` ≡ `branch-lab run fig3`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("fig3");
-    reports::fig3_report(&cli.dataset()).emit(&cli);
+    bp_experiments::cli::study_shim("fig3");
 }

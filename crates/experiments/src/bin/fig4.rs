@@ -1,47 +1,7 @@
-//! Fig. 4: accuracy spread of rare branches — scatter summary and the
-//! per-execution-bin standard deviation of accuracy.
-
-use bp_analysis::{accuracy_spread_from_points, spread_points, BranchProfile};
-use bp_core::Table;
-use bp_experiments::Cli;
-use bp_predictors::TageScL;
-use bp_workloads::lcf_suite;
+//! Shim: `fig4` ≡ `branch-lab run fig4`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("fig4");
-    let cfg = cli.dataset();
-    let mut points = Vec::new();
-    for spec in &lcf_suite() {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let mut bpu = TageScL::kb8();
-        let profile = BranchProfile::collect(&mut bpu, trace.insts());
-        points.extend(spread_points(&profile));
-    }
-    let bins = accuracy_spread_from_points(&points, 100.0, 15_000.0);
-    let mut table = Table::new(vec![
-        "execs-bin (paper-equiv)",
-        "branches",
-        "mean-acc",
-        "stddev-acc",
-    ]);
-    for b in &bins {
-        table.row(vec![
-            format!("{:.0}-{:.0}", b.lo, b.lo + 100.0),
-            format!("{}", b.n),
-            format!("{:.3}", b.mean),
-            format!("{:.3}", b.stddev),
-        ]);
-    }
-    cli.emit(
-        "Fig. 4b: stddev of accuracy by dynamic-execution bin (LCF dataset)",
-        "fig4",
-        &table,
-    );
-    if let (Some(first), Some(second)) = (bins.first(), bins.get(1)) {
-        println!(
-            "first bin stddev {:.2} (paper: 0.35); second bin {:.2} (paper: 0.08)",
-            first.stddev, second.stddev
-        );
-    }
+    bp_experiments::cli::study_shim("fig4");
 }

@@ -1,10 +1,7 @@
-//! Fig. 5: IPC vs pipeline capacity scaling for the large-code-footprint
-//! traces — H2Ps play a diminished role; rare branches dominate.
-
-use bp_experiments::{reports, Cli};
+//! Shim: `fig5` ≡ `branch-lab run fig5`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("fig5");
-    reports::fig5_report(&cli.dataset()).emit(&cli);
+    bp_experiments::cli::study_shim("fig5");
 }

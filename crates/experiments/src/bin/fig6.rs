@@ -1,74 +1,7 @@
-//! Fig. 6: history-position distributions of dependency branches for the
-//! top H2P heavy hitter — any given dependency branch appears at many
-//! different positions, with highly non-uniform likelihood.
-
-use bp_analysis::{
-    rank_heavy_hitters, BranchProfile, DependencyAnalysis, H2pCriteria, DEFAULT_WINDOW,
-};
-use bp_core::Table;
-use bp_experiments::Cli;
-use bp_predictors::TageScL;
-use bp_workloads::specint_suite;
+//! Shim: `fig6` ≡ `branch-lab run fig6`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("fig6");
-    let cfg = cli.dataset();
-    for spec in &specint_suite() {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        let mut bpu = TageScL::kb8();
-        let criteria = H2pCriteria::paper();
-        let mut merged = BranchProfile::new();
-        let mut h2ps = std::collections::HashSet::new();
-        for slice in trace.slices(cfg.slice) {
-            let p = BranchProfile::collect(&mut bpu, slice);
-            h2ps.extend(criteria.screen(&p, cfg.slice));
-            merged.merge(&p);
-        }
-        let hitters = rank_heavy_hitters(&merged, h2ps.iter().copied());
-        let Some(top) = hitters.first() else {
-            println!("\n== Fig. 6 {}: no H2P found ==", spec.name);
-            continue;
-        };
-        let dep = DependencyAnalysis::new(&trace);
-        let report = dep.analyze(&trace, top.ip, DEFAULT_WINDOW, 256);
-
-        // Summarize per dependency branch: how many distinct positions,
-        // and the occurrence-weighted position span.
-        let mut per_ip: std::collections::HashMap<u64, (usize, usize, usize, u64)> =
-            std::collections::HashMap::new();
-        for (&(ip, pos), &count) in &report.occurrences {
-            let e = per_ip.entry(ip).or_insert((usize::MAX, 0, 0, 0));
-            e.0 = e.0.min(pos);
-            e.1 = e.1.max(pos);
-            e.2 += 1; // distinct positions
-            e.3 += count;
-        }
-        let mut rows: Vec<_> = per_ip.into_iter().collect();
-        rows.sort_by_key(|(_, v)| std::cmp::Reverse(v.3));
-        let mut table = Table::new(vec![
-            "dep-branch-ip",
-            "distinct-positions",
-            "min-pos",
-            "max-pos",
-            "occurrences",
-        ]);
-        for (ip, (min, max, distinct, occ)) in rows.into_iter().take(12) {
-            table.row(vec![
-                format!("{ip:#x}"),
-                format!("{distinct}"),
-                format!("{min}"),
-                format!("{max}"),
-                format!("{occ}"),
-            ]);
-        }
-        cli.emit(
-            &format!(
-                "Fig. 6 {}: dependency-branch history positions for H2P {:#x} ({} executions)",
-                spec.name, top.ip, report.executions
-            ),
-            &format!("fig6_{}", spec.name.replace('.', "_")),
-            &table,
-        );
-    }
+    bp_experiments::cli::study_shim("fig6");
 }

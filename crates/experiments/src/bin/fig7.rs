@@ -1,11 +1,7 @@
-//! Fig. 7: fraction of the TAGE8→perfect IPC gap closed by scaling
-//! TAGE-SC-L storage from 8KB to 1024KB, at each pipeline scale, for the
-//! LCF applications.
-
-use bp_experiments::{reports, Cli};
+//! Shim: `fig7` ≡ `branch-lab run fig7`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("fig7");
-    reports::fig7_report(&cli.dataset()).emit(&cli);
+    bp_experiments::cli::study_shim("fig7");
 }

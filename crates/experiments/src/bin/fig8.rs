@@ -1,11 +1,7 @@
-//! Fig. 8: fraction of the TAGE8 IPC opportunity that remains even after
-//! perfectly predicting every branch with more than 1,000 (or 100)
-//! dynamic executions — the remainder is attributable to rare branches.
-
-use bp_experiments::{reports, Cli};
+//! Shim: `fig8` ≡ `branch-lab run fig8`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("fig8");
-    reports::fig8_report(&cli.dataset()).emit(&cli);
+    bp_experiments::cli::study_shim("fig8");
 }

@@ -1,11 +1,7 @@
-//! Fig. 9: distribution of median recurrence intervals of static branch
-//! IPs in the LCF dataset — long-timescale phase behaviour exists and is
-//! exploitable by helper predictors.
-
-use bp_experiments::{reports, Cli};
+//! Shim: `fig9` ≡ `branch-lab run fig9`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("fig9");
-    reports::fig9_report(&cli.dataset()).emit(&cli);
+    bp_experiments::cli::study_shim("fig9");
 }

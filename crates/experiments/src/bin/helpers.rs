@@ -1,141 +1,7 @@
-//! §V helper-predictor study (the paper's proposed future direction,
-//! exercised end-to-end):
-//!
-//! 1. Screen H2Ps on a SPECint-like benchmark's *training* inputs, train
-//!    2-bit CNN helpers offline, deploy on a *held-out* input, and compare
-//!    per-H2P accuracy and whole-trace accuracy/IPC against TAGE-SC-L 8KB.
-//! 2. Train a phase-conditioned rare-branch helper on an LCF application
-//!    and measure aggregate accuracy with and without it.
-
-use bp_analysis::{rank_heavy_hitters, BranchProfile, H2pCriteria};
-use bp_core::{f3, DatasetConfig, Table};
-use bp_experiments::Cli;
-use bp_helpers::{train_helper, HybridPredictor, PhaseHelper, PhaseHelperConfig, TrainerConfig};
-use bp_pipeline::{run, PipelineConfig};
-use bp_predictors::{measure, Predictor, TageScL};
-use bp_trace::Trace;
-use bp_workloads::{lcf_suite, specint_suite, WorkloadSpec};
-
-fn per_ip_accuracy(predictor: &mut dyn bp_predictors::DirectionPredictor, trace: &Trace, ip: u64) -> f64 {
-    let mut total = 0u64;
-    let mut correct = 0u64;
-    for b in trace.conditional_branches() {
-        let pred = predictor.predict_and_train(b.ip, b.taken);
-        if b.ip == ip {
-            total += 1;
-            correct += u64::from(pred == b.taken);
-        }
-    }
-    correct as f64 / total.max(1) as f64
-}
-
-fn cnn_study(spec: &WorkloadSpec, cfg: &DatasetConfig, cli: &Cli) {
-    println!("\n-- CNN helper study on {} --", spec.name);
-    let train_inputs = 3.min(spec.inputs - 1);
-    let train_traces: Vec<_> = (0..train_inputs)
-        .map(|i| spec.cached_trace(i, cfg.trace_len))
-        .collect();
-    let held_out = spec.cached_trace(spec.inputs - 1, cfg.trace_len);
-
-    // Screen H2Ps on the training traces.
-    let criteria = H2pCriteria::paper();
-    let mut h2ps = std::collections::HashSet::new();
-    let mut merged = BranchProfile::new();
-    for t in &train_traces {
-        let mut bpu = TageScL::kb8();
-        for slice in t.slices(cfg.slice) {
-            let p = BranchProfile::collect(&mut bpu, slice);
-            h2ps.extend(criteria.screen(&p, cfg.slice));
-            merged.merge(&p);
-        }
-    }
-    let hitters = rank_heavy_hitters(&merged, h2ps.iter().copied());
-    let targets: Vec<u64> = hitters.iter().take(8).map(|h| h.ip).collect();
-    if targets.is_empty() {
-        println!("no H2Ps found; skipping");
-        return;
-    }
-
-    let tcfg = TrainerConfig::default();
-    let helpers: Vec<_> = targets
-        .iter()
-        .map(|&ip| train_helper(&train_traces, ip, &tcfg))
-        .collect();
-
-    // Per-IP accuracy on the held-out input: TAGE alone vs hybrid.
-    let mut table = Table::new(vec!["h2p-ip", "tage8-acc", "hybrid-acc", "delta"]);
-    for (ip, helper) in targets.iter().zip(&helpers) {
-        let tage_acc = per_ip_accuracy(&mut TageScL::kb8(), &held_out, *ip);
-        let mut hybrid = HybridPredictor::new(TageScL::kb8());
-        hybrid.attach_cnn(helper.clone());
-        let hybrid_acc = per_ip_accuracy(&mut hybrid, &held_out, *ip);
-        table.row(vec![
-            format!("{ip:#x}"),
-            f3(tage_acc),
-            f3(hybrid_acc),
-            format!("{:+.3}", hybrid_acc - tage_acc),
-        ]);
-    }
-    cli.emit(
-        &format!("per-H2P accuracy on held-out input ({})", spec.name),
-        &format!("helpers_cnn_{}", spec.name.replace('.', "_")),
-        &table,
-    );
-
-    // Whole-trace effect.
-    let base_acc = measure(&mut TageScL::kb8(), &held_out).accuracy();
-    let mut hybrid = HybridPredictor::new(TageScL::kb8());
-    for h in helpers {
-        hybrid.attach_cnn(h);
-    }
-    let hybrid_acc = measure(&mut hybrid, &held_out).accuracy();
-    let pipe = PipelineConfig::skylake();
-    let base_ipc = run(&held_out, &mut TageScL::kb8(), &pipe).ipc();
-    let mut hybrid2 = hybrid.clone();
-    let hybrid_ipc = run(&held_out, &mut hybrid2, &pipe).ipc();
-    println!(
-        "whole-trace: accuracy {:.4} -> {:.4}; IPC {:.3} -> {:.3} ({:+.1}%) with {} helpers ({} helper bits)",
-        base_acc,
-        hybrid_acc,
-        base_ipc,
-        hybrid_ipc,
-        (hybrid_ipc / base_ipc - 1.0) * 100.0,
-        hybrid.cnn_helper_count(),
-        hybrid.storage_bits() - TageScL::kb8().storage_bits(),
-    );
-}
-
-fn phase_study(spec: &WorkloadSpec, cfg: &DatasetConfig, cli: &Cli) {
-    println!("\n-- phase-conditioned rare-branch helper on {} --", spec.name);
-    // Offline training trace = one "prior invocation"; evaluation on a
-    // longer fresh run (the paper: statistics aggregated over invocations).
-    let train = spec.cached_trace(0, cfg.trace_len);
-    let eval = spec.cached_trace(0, cfg.trace_len * 2);
-    let helper = PhaseHelper::train(std::slice::from_ref(&train), PhaseHelperConfig::default());
-
-    let base_acc = measure(&mut TageScL::kb8(), &eval).accuracy();
-    let mut hybrid = HybridPredictor::new(TageScL::kb8());
-    hybrid.attach_phase_helper(helper);
-    let hybrid_acc = measure(&mut hybrid, &eval).accuracy();
-    let mut table = Table::new(vec!["config", "accuracy"]);
-    table.row(vec!["tage-sc-l-8kb".into(), f3(base_acc)]);
-    table.row(vec!["tage + phase helper".into(), f3(hybrid_acc)]);
-    cli.emit(
-        &format!("rare-branch helper accuracy ({})", spec.name),
-        &format!("helpers_phase_{}", spec.name),
-        &table,
-    );
-}
+//! Shim: `helpers` ≡ `branch-lab run helpers`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("helpers");
-    let cfg = cli.dataset();
-    for name in ["605.mcf_s", "641.leela_s"] {
-        let suite = specint_suite();
-        let spec = suite.iter().find(|s| s.name == name).expect("known spec");
-        cnn_study(spec, &cfg, &cli);
-    }
-    let lcf = lcf_suite();
-    phase_study(&lcf[1], &cfg, &cli); // game-like: rare-branch dominated
+    bp_experiments::cli::study_shim("helpers");
 }

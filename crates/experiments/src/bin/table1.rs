@@ -1,10 +1,7 @@
-//! Table I: summary statistics of the SPECint 2017 dataset under
-//! TAGE-SC-L 8KB, over multiple application inputs per benchmark.
-
-use bp_experiments::{reports, Cli};
+//! Shim: `table1` ≡ `branch-lab run table1`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("table1");
-    reports::table1_report(&cli.dataset()).emit(&cli);
+    bp_experiments::cli::study_shim("table1");
 }

@@ -1,10 +1,7 @@
-//! Table II: summary branch statistics of the large-code-footprint
-//! applications under TAGE-SC-L 8KB (single trace per application).
-
-use bp_experiments::{reports, Cli};
+//! Shim: `table2` ≡ `branch-lab run table2`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("table2");
-    reports::table2_report(&cli.dataset()).emit(&cli);
+    bp_experiments::cli::study_shim("table2");
 }

@@ -1,66 +1,7 @@
-//! Table III: dependency-branch statistics for the top H2P heavy hitter
-//! of each SPECint benchmark (operand dependency graph over the prior
-//! 5,000 instructions).
-
-use bp_analysis::{
-    rank_heavy_hitters, BranchProfile, DependencyAnalysis, H2pCriteria, DEFAULT_WINDOW,
-};
-use bp_core::Table;
-use bp_experiments::Cli;
-use bp_predictors::TageScL;
-use bp_workloads::specint_suite;
+//! Shim: `table3` ≡ `branch-lab run table3`. The study lives in the registry
+//! (`bp_experiments::registry`); this binary exists so scripted
+//! per-study invocations and the `all` runner keep working unchanged.
 
 fn main() {
-    let cli = Cli::parse();
-    let _run = cli.metrics_run("table3");
-    let cfg = cli.dataset();
-    let mut table = Table::new(vec![
-        "benchmark",
-        "top-h2p-ip",
-        "dep-branches",
-        "min-hist-pos",
-        "max-hist-pos",
-    ]);
-    for spec in &specint_suite() {
-        let trace = spec.cached_trace(0, cfg.trace_len);
-        // Screen H2Ps per slice, merge, rank by executions.
-        let mut bpu = TageScL::kb8();
-        let criteria = H2pCriteria::paper();
-        let mut merged = BranchProfile::new();
-        let mut h2ps = std::collections::HashSet::new();
-        for slice in trace.slices(cfg.slice) {
-            let p = BranchProfile::collect(&mut bpu, slice);
-            h2ps.extend(criteria.screen(&p, cfg.slice));
-            merged.merge(&p);
-        }
-        let hitters = rank_heavy_hitters(&merged, h2ps.iter().copied());
-        let Some(top) = hitters.first() else {
-            table.row(vec![
-                spec.name.clone(),
-                "-".into(),
-                "0".into(),
-                "-".into(),
-                "-".into(),
-            ]);
-            continue;
-        };
-        let dep = DependencyAnalysis::new(&trace);
-        let report = dep.analyze(&trace, top.ip, DEFAULT_WINDOW, 256);
-        table.row(vec![
-            spec.name.clone(),
-            format!("{:#x}", top.ip),
-            format!("{}", report.dep_branch_count()),
-            report
-                .min_position()
-                .map_or("-".into(), |p| p.to_string()),
-            report
-                .max_position()
-                .map_or("-".into(), |p| p.to_string()),
-        ]);
-    }
-    cli.emit(
-        "Table III: dependency branches of the top H2P heavy hitter (window 5,000 instructions)",
-        "table3",
-        &table,
-    );
+    bp_experiments::cli::study_shim("table3");
 }

@@ -1,19 +1,26 @@
-//! Shared plumbing for the experiment binaries.
+//! Study implementations and the `branch-lab` CLI.
 //!
-//! Every binary in this crate regenerates one table or figure of the
-//! paper. They share a tiny CLI:
-//!
-//! * `--len N` — instructions per workload trace (default 1,000,000);
-//! * `--quick` — reduced scale for smoke runs;
-//! * `--csv DIR` — also write each table as CSV under `DIR`.
+//! Every table and figure of the paper is a [`bp_core::Study`] registered
+//! in [`registry::registry`]; the `branch-lab` binary dispatches to them
+//! (`branch-lab list` / `run <study>` / `all` / `sweep`), and the
+//! per-study binaries (`fig1`, `table2`, …) are one-line shims over the
+//! same dispatcher ([`cli::study_shim`]). All argument parsing lives in
+//! [`Cli`]; run `branch-lab --help` for the single help surface that
+//! documents the flags and environment variables once.
+
+#![warn(missing_docs)]
 
 use std::path::PathBuf;
 
-use bp_core::{DatasetConfig, Table};
+use bp_core::{DatasetConfig, Report, ReportItem, Table};
 
+pub mod all_runner;
+pub mod cli;
+pub mod registry;
 pub mod reports;
+pub mod studies;
 
-/// Parsed command-line options common to all experiment binaries.
+/// Parsed command-line options shared by every study invocation.
 #[derive(Clone, Debug, Default)]
 pub struct Cli {
     /// Override for instructions per trace.
@@ -22,6 +29,9 @@ pub struct Cli {
     pub quick: bool,
     /// Directory for CSV output.
     pub csv: Option<PathBuf>,
+    /// Positional arguments (consumed by probe studies such as
+    /// `calibrate`; rejected by report studies).
+    pub rest: Vec<String>,
 }
 
 impl Cli {
@@ -32,8 +42,22 @@ impl Cli {
     /// Panics (with a usage message) on malformed arguments.
     #[must_use]
     pub fn parse() -> Self {
+        Cli::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (no binary name).
+    ///
+    /// `--help` prints the shared help text and exits. Unknown `--flags`
+    /// panic with a usage message; bare arguments collect into
+    /// [`Cli::rest`] for probe studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    #[must_use]
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
         let mut cli = Cli::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--len" => {
@@ -45,7 +69,14 @@ impl Cli {
                     let v = args.next().expect("--csv needs a directory");
                     cli.csv = Some(PathBuf::from(v));
                 }
-                other => panic!("unknown argument {other}; supported: --len N --quick --csv DIR"),
+                "--help" | "-h" => {
+                    print!("{}", cli::help_text());
+                    std::process::exit(0);
+                }
+                other if other.starts_with('-') => {
+                    panic!("unknown argument {other}; supported: --len N --quick --csv DIR")
+                }
+                other => cli.rest.push(other.to_owned()),
             }
         }
         cli
@@ -65,7 +96,7 @@ impl Cli {
         }
     }
 
-    /// Starts a `bp-metrics` run for this binary. The returned guard
+    /// Starts a `bp-metrics` run for a report study. The returned guard
     /// writes `<sink>/<name>.json` on drop when `BRANCH_LAB_METRICS`
     /// selects a sink directory; otherwise it is inert. The manifest's
     /// `info` block records the dataset shape so runs are comparable.
@@ -94,6 +125,21 @@ impl Cli {
             println!("(csv written to {})", path.display());
         }
     }
+
+    /// Prints a whole [`Report`] (tables via [`Cli::emit`], which also
+    /// writes CSVs when `--csv` is set; notes verbatim).
+    pub fn emit_report(&self, report: &Report) {
+        for item in &report.items {
+            match item {
+                ReportItem::Section {
+                    heading,
+                    name,
+                    table,
+                } => self.emit(heading, name, table),
+                ReportItem::Note(line) => println!("{line}"),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -104,15 +150,24 @@ mod tests {
     fn dataset_respects_quick_and_len() {
         let cli = Cli {
             quick: true,
-            len: None,
-            csv: None,
+            ..Cli::default()
         };
         assert_eq!(cli.dataset().trace_len, DatasetConfig::quick().trace_len);
         let cli = Cli {
             quick: false,
             len: Some(50_000),
-            csv: None,
+            ..Cli::default()
         };
         assert_eq!(cli.dataset().trace_len, 50_000);
+    }
+
+    #[test]
+    fn parse_from_splits_flags_and_positionals() {
+        let cli = Cli::parse_from(
+            ["--quick", "200000", "--len", "5000"].map(String::from),
+        );
+        assert!(cli.quick);
+        assert_eq!(cli.len, Some(5000));
+        assert_eq!(cli.rest, vec!["200000".to_owned()]);
     }
 }

@@ -1,13 +1,16 @@
-//! Library entry points for the experiment binaries.
+//! Report functions for the figure/table studies with shared pipeline
+//! sweeps (Figs. 1–3, 5, 7–9, Tables I–II).
 //!
 //! Each `*_report` function runs one table/figure's full computation and
 //! returns a [`Report`] — an ordered list of sections (heading + named
 //! table) and free-form note lines. [`Report::render`] reproduces the
-//! binary's stdout byte-for-byte (without `--csv`), which is what the
-//! golden-master suite in `tests/golden.rs` snapshots; the binaries
-//! themselves go through [`Report::emit`], which additionally handles
-//! CSV output. Keeping the logic here means a golden test exercises
-//! exactly the code the binary ships.
+//! study's stdout byte-for-byte (without `--csv`), which is what the
+//! golden-master suite in `tests/golden.rs` snapshots; the CLI
+//! dispatcher goes through [`crate::Cli::emit_report`], which
+//! additionally handles CSV output. Keeping the logic here means a
+//! golden test exercises exactly the code `branch-lab run` ships. The
+//! remaining studies (Figs. 4, 6, 10, Table III, ablations, probes) live
+//! in [`crate::studies`].
 
 use bp_analysis::{
     paper_equivalent, rank_heavy_hitters, top_n_fraction, BinSpec, BranchProfile, H2pCriteria,
@@ -21,85 +24,10 @@ use bp_predictors::TageScL;
 use bp_trace::SliceConfig;
 use bp_workloads::{lcf_suite, specint_suite};
 
-use crate::Cli;
-
-/// One element of a report, in output order.
-pub enum ReportItem {
-    /// A table under a `== heading ==` banner; `name` keys the CSV file.
-    Section {
-        /// Human-readable heading.
-        heading: String,
-        /// CSV/file stem, e.g. `"fig3_accuracy"`.
-        name: String,
-        /// The rendered table.
-        table: Table,
-    },
-    /// A free-form line printed verbatim (may itself contain newlines).
-    Note(String),
-}
-
-/// An experiment's complete printable output.
-#[derive(Default)]
-pub struct Report {
-    /// Items in output order.
-    pub items: Vec<ReportItem>,
-}
-
-impl Report {
-    /// An empty report.
-    #[must_use]
-    pub fn new() -> Self {
-        Report::default()
-    }
-
-    /// Appends a table section.
-    pub fn section(&mut self, heading: impl Into<String>, name: impl Into<String>, table: Table) {
-        self.items.push(ReportItem::Section {
-            heading: heading.into(),
-            name: name.into(),
-            table,
-        });
-    }
-
-    /// Appends a note line (printed as `println!` would).
-    pub fn note(&mut self, line: impl Into<String>) {
-        self.items.push(ReportItem::Note(line.into()));
-    }
-
-    /// The exact stdout of the owning binary when run without `--csv`.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for item in &self.items {
-            match item {
-                ReportItem::Section { heading, table, .. } => {
-                    out.push_str(&format!("\n== {heading} ==\n"));
-                    out.push_str(&table.render());
-                }
-                ReportItem::Note(line) => {
-                    out.push_str(line);
-                    out.push('\n');
-                }
-            }
-        }
-        out
-    }
-
-    /// Prints the report through `cli` (tables via [`Cli::emit`], which
-    /// also writes CSVs when `--csv` is set).
-    pub fn emit(&self, cli: &Cli) {
-        for item in &self.items {
-            match item {
-                ReportItem::Section {
-                    heading,
-                    name,
-                    table,
-                } => cli.emit(heading, name, table),
-                ReportItem::Note(line) => println!("{line}"),
-            }
-        }
-    }
-}
+/// Re-exported from `bp-core`, where the registry's [`bp_core::Study`]
+/// trait returns them; legacy paths `reports::Report` / `ReportItem`
+/// keep working.
+pub use bp_core::{Report, ReportItem};
 
 /// Table I: SPECint 2017 dataset summary under TAGE-SC-L 8KB.
 #[must_use]

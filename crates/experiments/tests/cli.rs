@@ -1,0 +1,186 @@
+//! Registry-completeness and CLI golden-parity tests.
+//!
+//! The registry test pins the study list and its order: the `all`
+//! runner's child sequence, the checkpoint format, and ci.sh's
+//! summary-table expectations all depend on `report_names()` matching
+//! the legacy hand-maintained BINS array exactly.
+//!
+//! The parity tests run the unified `branch-lab` CLI as a subprocess and
+//! require its stdout to be byte-identical to the legacy golden fixtures
+//! under `tests/golden/` (recorded from the standalone binaries), and to
+//! the per-study shim binaries themselves.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use bp_core::StudyKind;
+use bp_experiments::registry::registry;
+
+/// The legacy `all.rs` BINS array, verbatim. `report_names()` must keep
+/// producing exactly this list: it is the `all` child sequence, the
+/// checkpoint vocabulary, and what ci.sh's fault-injection leg greps.
+const LEGACY_BINS: [&str; 16] = [
+    "table1", "fig1", "fig2", "table2", "fig3", "fig4", "fig5", "table3", "fig6",
+    "alloc_stats", "fig7", "fig8", "fig9", "fig10", "helpers", "ablation",
+];
+
+/// Every study fixture recorded from the legacy binaries at `--quick`.
+const GOLDEN: [&str; 9] = [
+    "table1", "table2", "fig1", "fig2", "fig3", "fig5", "fig7", "fig8", "fig9",
+];
+
+#[test]
+fn report_names_match_the_legacy_all_list() {
+    assert_eq!(registry().report_names(), LEGACY_BINS);
+}
+
+#[test]
+fn registry_covers_every_study_binary() {
+    let reg = registry();
+    // Full presentation order: the sixteen `all` children with the
+    // standalone survey interleaved, then the probes.
+    assert_eq!(
+        reg.names(),
+        vec![
+            "table1", "fig1", "fig2", "table2", "baselines", "fig3", "fig4", "fig5",
+            "table3", "fig6", "alloc_stats", "fig7", "fig8", "fig9", "fig10",
+            "helpers", "ablation", "calibrate", "debug_ipc",
+        ]
+    );
+    assert_eq!(
+        reg.get("baselines").unwrap().info().kind,
+        StudyKind::Standalone
+    );
+    for probe in ["calibrate", "debug_ipc"] {
+        assert_eq!(reg.get(probe).unwrap().info().kind, StudyKind::Probe);
+    }
+    for study in reg.studies() {
+        assert!(!study.info().title.is_empty(), "{}", study.info().name);
+    }
+}
+
+/// Shared trace cache for the subprocess runs (honours the CI-provided
+/// directory when set).
+fn trace_dir() -> PathBuf {
+    std::env::var_os("BRANCH_LAB_TRACE_DIR").map_or_else(
+        || {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target/cli-test-traces")
+        },
+        PathBuf::from,
+    )
+}
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_branch-lab"))
+        .args(args)
+        .env("BRANCH_LAB_TRACE_DIR", trace_dir())
+        .output()
+        .expect("spawn branch-lab")
+}
+
+#[test]
+fn cli_output_matches_the_legacy_golden_fixtures() {
+    for name in GOLDEN {
+        let out = run_cli(&["run", name, "--quick"]);
+        assert!(
+            out.status.success(),
+            "branch-lab run {name} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/golden")
+            .join(format!("{name}.txt"));
+        let expected = std::fs::read_to_string(&fixture)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", fixture.display()));
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            expected,
+            "branch-lab run {name} --quick diverged from the legacy fixture"
+        );
+    }
+}
+
+#[test]
+fn shim_binary_and_unified_cli_agree() {
+    let shim = Command::new(env!("CARGO_BIN_EXE_fig1"))
+        .arg("--quick")
+        .env("BRANCH_LAB_TRACE_DIR", trace_dir())
+        .output()
+        .expect("spawn fig1 shim");
+    let unified = run_cli(&["run", "fig1", "--quick"]);
+    assert!(shim.status.success() && unified.status.success());
+    assert_eq!(shim.stdout, unified.stdout);
+}
+
+#[test]
+fn probe_studies_take_positional_arguments() {
+    let out = run_cli(&["run", "calibrate", "60000"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("workload"), "calibrate header missing");
+    assert!(stdout.contains("game"), "calibrate rows missing");
+}
+
+#[test]
+fn list_prints_every_study() {
+    let out = run_cli(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for study in registry().studies() {
+        assert!(stdout.contains(study.info().name));
+    }
+}
+
+#[test]
+fn unknown_study_exits_with_a_usage_error() {
+    let out = run_cli(&["run", "fig99", "--quick"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown study"));
+}
+
+#[test]
+fn sweep_runs_a_single_pass_over_one_workload() {
+    let out = run_cli(&[
+        "sweep",
+        "--workload",
+        "streaming",
+        "--predictors",
+        "gshare,tage-sc-l-8kb,perfect",
+        "--len",
+        "30000",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("one replay pass"));
+    assert!(stdout.contains("tage-sc-l-8kb"));
+    // The oracle lane must show perfect accuracy in the same table.
+    assert!(stdout.contains("perfect     1.000"));
+}
+
+#[test]
+fn help_is_the_single_flag_surface() {
+    let out = run_cli(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "--len N",
+        "--quick",
+        "--csv DIR",
+        "--keep-going",
+        "BRANCH_LAB_TRACE_DIR",
+        "BRANCH_LAB_METRICS",
+        "BRANCH_LAB_THREADS",
+        "branch-lab sweep",
+    ] {
+        assert!(stdout.contains(needle), "help is missing {needle}");
+    }
+}

@@ -26,10 +26,12 @@
 mod cache;
 mod config;
 mod scoreboard;
+mod sweep;
 
 pub use cache::{CacheConfig, CacheModel};
 pub use config::PipelineConfig;
 pub use scoreboard::{simulate, SimStats};
+pub use sweep::SweepReplay;
 
 use bp_predictors::{misprediction_flags, DirectionPredictor};
 use bp_trace::Trace;

@@ -62,17 +62,17 @@ impl SimStats {
 /// loop accumulates plain locals; totals are flushed through the handles
 /// at the end, so even the enabled path does nothing atomic per
 /// instruction.
-struct PipeCounters {
-    sim_runs: Counter,
-    instructions: Counter,
-    cycles: Counter,
-    flushes: Counter,
-    refetch_bubbles: Counter,
-    rob_stalls: Counter,
+pub(crate) struct PipeCounters {
+    pub(crate) sim_runs: Counter,
+    pub(crate) instructions: Counter,
+    pub(crate) cycles: Counter,
+    pub(crate) flushes: Counter,
+    pub(crate) refetch_bubbles: Counter,
+    pub(crate) rob_stalls: Counter,
 }
 
 impl PipeCounters {
-    fn get() -> Self {
+    pub(crate) fn get() -> Self {
         PipeCounters {
             sim_runs: Counter::get("pipeline.sim_runs"),
             instructions: Counter::get("pipeline.instructions"),
@@ -94,7 +94,7 @@ impl PipeCounters {
 /// access pattern (`insert` overwrites per store, `get` per load) needs
 /// exactly map semantics, so simulation results are unchanged.
 #[derive(Clone, Debug)]
-struct AddrMap {
+pub(crate) struct AddrMap {
     /// Keys stored offset by +1 so 0 marks an empty slot.
     keys: Vec<u64>,
     vals: Vec<u64>,
@@ -105,7 +105,7 @@ struct AddrMap {
 }
 
 impl AddrMap {
-    fn with_capacity(cap: usize) -> Self {
+    pub(crate) fn with_capacity(cap: usize) -> Self {
         let size = cap.next_power_of_two().max(16);
         AddrMap {
             keys: vec![0; size],
@@ -121,7 +121,7 @@ impl AddrMap {
         (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
     }
 
-    fn insert(&mut self, addr: u64, val: u64) {
+    pub(crate) fn insert(&mut self, addr: u64, val: u64) {
         if addr == u64::MAX {
             self.max_key_val = Some(val);
             return;
@@ -147,7 +147,7 @@ impl AddrMap {
         }
     }
 
-    fn get(&self, addr: u64) -> Option<u64> {
+    pub(crate) fn get(&self, addr: u64) -> Option<u64> {
         if addr == u64::MAX {
             return self.max_key_val;
         }

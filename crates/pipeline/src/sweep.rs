@@ -1,0 +1,788 @@
+//! Single-pass multi-configuration replay: [`SweepReplay`].
+//!
+//! Every IPC study in `bp-core` replays the *same* trace under many
+//! predictor or pipeline configurations — the Fig. 7 storage sweep alone
+//! simulates each workload 48 times. [`simulate`](crate::simulate)
+//! re-decodes the trace on every call: it re-walks 64-byte
+//! [`RetiredInst`](bp_trace::RetiredInst) records, re-runs the cache
+//! model, and re-resolves store→load forwarding through a hash map, even
+//! though none of that depends on the misprediction flags.
+//!
+//! [`SweepReplay`] splits the work into a *prepare* pass and cheap
+//! *replay* passes:
+//!
+//! * **Prepare** (once per trace + cache config): decode each record into
+//!   a compact 12-byte form — register slots with sentinel encoding (no
+//!   `Option` tests in the replay loop), the exact execution latency
+//!   (cache model pre-run; load latencies are timing-independent because
+//!   the model is accessed in program order), and the store→load
+//!   forwarding *link* (the ordinal of the latest earlier store to the
+//!   same address — the one `AddrMap` lookup the scalar loop performs).
+//! * **Replay** ([`SweepReplay::simulate_many`]): iterate the prepared
+//!   records once while stepping up to 8 misprediction-flag lanes in
+//!   lockstep. All per-lane state (register scoreboard, rings, store
+//!   ready cycles) is stored as `[C; K]` lane vectors, so the inner loop
+//!   is straight-line `max`/`add` lane arithmetic that the compiler
+//!   auto-vectorizes. The timestamp word `C` is `u32` whenever a
+//!   prepare-time bound proves no timestamp can overflow it (true for
+//!   any realistically-sized trace), halving lane-state memory traffic;
+//!   `u64` remains as the exact fallback.
+//!
+//! Replay is **bit-identical** to the scalar loop: every lane performs the
+//! same integer arithmetic in the same order as one
+//! [`simulate`](crate::simulate) call, and the `bp-metrics` pipeline
+//! counters advance exactly as if each lane had been its own scalar run
+//! (one `pipeline.sim_runs` per lane, summed cycle/flush/bubble totals).
+//! `tests/sweep_equivalence` in this crate and the unchanged golden
+//! fixtures lock this in.
+
+use bp_trace::{InstClass, Trace, NUM_REGS};
+
+use crate::cache::{CacheConfig, CacheModel};
+use crate::config::PipelineConfig;
+use crate::scoreboard::{AddrMap, PipeCounters, SimStats};
+
+/// Source-register slot that always reads 0 (encodes `src: None`).
+const ZERO_SLOT: u8 = NUM_REGS as u8;
+/// Destination-register slot whose writes are never read (`dst: None`).
+const DUMP_SLOT: u8 = NUM_REGS as u8 + 1;
+/// Total register slots per lane: the architectural file plus sentinels,
+/// padded to a power of two so slot indices can be masked instead of
+/// bounds-checked in the replay loop (valid slots are `< NUM_REGS + 2`,
+/// so the mask never changes an in-range index).
+const REG_SLOTS: usize = (NUM_REGS + 2).next_power_of_two();
+
+/// `PreparedInst::kind` bit: load with an earlier store to its address.
+const KIND_LOAD_FWD: u8 = 1;
+/// `PreparedInst::kind` bit: store some later load forwards from (records
+/// its ready cycle). Stores nothing ever reads don't set the bit — the
+/// replay loop skips their lane-vector bookkeeping entirely.
+const KIND_STORE: u8 = 2;
+/// `PreparedInst::kind` bit: conditional branch (consumes one flag).
+const KIND_BRANCH: u8 = 4;
+
+/// One trace record, pre-decoded for the replay loop.
+#[derive(Clone, Copy)]
+struct PreparedInst {
+    /// First source slot (`ZERO_SLOT` when absent).
+    src1: u8,
+    /// Second source slot (`ZERO_SLOT` when absent).
+    src2: u8,
+    /// Destination slot (`DUMP_SLOT` when absent).
+    dst: u8,
+    /// `KIND_*` bit set; 0 for plain ALU-like records.
+    kind: u8,
+    /// Execution latency in cycles (cache model already applied).
+    latency: u32,
+    /// Store ordinal: own ordinal for stores, forwarding source for
+    /// `KIND_LOAD_FWD` loads, unused otherwise.
+    link: u32,
+}
+
+/// A trace prepared for single-pass multi-configuration replay.
+///
+/// Construction runs the config-independent part of the timing model once
+/// (trace decode, cache latencies, store→load forwarding links);
+/// [`SweepReplay::simulate`] / [`SweepReplay::simulate_many`] then replay
+/// misprediction-flag streams against it at any pipeline scaling built
+/// from the same base configuration.
+///
+/// # Examples
+///
+/// ```
+/// use bp_pipeline::{simulate, PipelineConfig, SweepReplay};
+/// use bp_predictors::{misprediction_flags, AlwaysTaken, TageScL};
+/// use bp_workloads::specint_suite;
+///
+/// let trace = specint_suite()[1].trace(0, 20_000);
+/// let cfg = PipelineConfig::skylake();
+/// let tage = misprediction_flags(&mut TageScL::kb8(), &trace);
+/// let naive = misprediction_flags(&mut AlwaysTaken, &trace);
+///
+/// let sweep = SweepReplay::new(&trace, &cfg);
+/// let stats = sweep.simulate_many(&[&tage, &naive], &cfg.scaled(8));
+/// // Bit-identical to two scalar replays of the same streams.
+/// assert_eq!(stats[0], simulate(&trace, &tage, &cfg.scaled(8)));
+/// assert_eq!(stats[1], simulate(&trace, &naive, &cfg.scaled(8)));
+/// ```
+pub struct SweepReplay {
+    insts: Vec<PreparedInst>,
+    cond_branches: usize,
+    store_slots: usize,
+    /// L2/DRAM bandwidth floor of the access stream (config-independent
+    /// across pipeline scalings, so computed once here).
+    floor_cycles: u64,
+    /// Sum of all execution latencies — one term of the timestamp upper
+    /// bound that licenses the 32-bit replay lanes.
+    latency_sum: u64,
+    cache: CacheConfig,
+    mul_latency: u32,
+}
+
+impl SweepReplay {
+    /// Prepares `trace` for replay under `config`'s cache hierarchy and
+    /// multiply latency (both fixed across [`PipelineConfig::scaled`]
+    /// scalings, so one preparation serves a whole scaling sweep).
+    #[must_use]
+    pub fn new(trace: &Trace, config: &PipelineConfig) -> Self {
+        let mut cache = CacheModel::new(config.cache.clone());
+        // Latest store ordinal per address — the prepare-time equivalent
+        // of the scalar loop's forwarding map, on the same SipHash-free
+        // open-addressed map the scalar loop uses.
+        let mut last_store = AddrMap::with_capacity(trace.len() / 4);
+        let mut insts = Vec::with_capacity(trace.len());
+        let mut stores = 0u32;
+        let mut cond_branches = 0usize;
+        let mut latency_sum = 0u64;
+        for inst in trace.iter() {
+            let latency = match inst.class {
+                InstClass::Load => cache.access(inst.mem_addr),
+                InstClass::Mul => config.mul_latency,
+                InstClass::Store => {
+                    // Stores retire from the store buffer; they still
+                    // allocate the line so later loads hit.
+                    let _ = cache.access(inst.mem_addr);
+                    1
+                }
+                _ => 1,
+            };
+            latency_sum += u64::from(latency);
+            let mut kind = 0u8;
+            let mut link = u32::MAX;
+            match inst.class {
+                InstClass::Load => {
+                    if let Some(ord) = last_store.get(inst.mem_addr) {
+                        kind |= KIND_LOAD_FWD;
+                        link = ord as u32;
+                    }
+                }
+                InstClass::Store => {
+                    kind |= KIND_STORE;
+                    link = stores;
+                    last_store.insert(inst.mem_addr, u64::from(stores));
+                    stores += 1;
+                }
+                _ => {}
+            }
+            if inst.is_conditional_branch() {
+                kind |= KIND_BRANCH;
+                cond_branches += 1;
+            }
+            insts.push(PreparedInst {
+                src1: inst.src1.map_or(ZERO_SLOT, |r| r.index() as u8),
+                src2: inst.src2.map_or(ZERO_SLOT, |r| r.index() as u8),
+                dst: inst.dst.map_or(DUMP_SLOT, |r| r.index() as u8),
+                kind,
+                latency,
+                link,
+            });
+        }
+        // Compact store bookkeeping to the stores some load forwards
+        // from: only their ready cycles are ever read back, so the rest
+        // drop their `KIND_STORE` bit (and lane-vector write) outright.
+        let mut remap = vec![u32::MAX; stores as usize];
+        for inst in &insts {
+            if inst.kind & KIND_LOAD_FWD != 0 {
+                remap[inst.link as usize] = 0;
+            }
+        }
+        let mut forwarded = 0u32;
+        for slot in &mut remap {
+            if *slot == 0 {
+                *slot = forwarded;
+                forwarded += 1;
+            }
+        }
+        for inst in &mut insts {
+            if inst.kind & KIND_LOAD_FWD != 0 {
+                inst.link = remap[inst.link as usize];
+            } else if inst.kind & KIND_STORE != 0 {
+                match remap[inst.link as usize] {
+                    u32::MAX => inst.kind &= !KIND_STORE,
+                    new => inst.link = new,
+                }
+            }
+        }
+        SweepReplay {
+            insts,
+            cond_branches,
+            store_slots: forwarded as usize,
+            floor_cycles: cache.bandwidth_floor_cycles(),
+            latency_sum,
+            cache: config.cache.clone(),
+            mul_latency: config.mul_latency,
+        }
+    }
+
+    /// Instructions in the prepared trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the prepared trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Dynamic conditional branches per replay lane.
+    #[must_use]
+    pub fn cond_branch_count(&self) -> usize {
+        self.cond_branches
+    }
+
+    /// Replays one misprediction stream — bit-identical to
+    /// [`simulate`](crate::simulate) on the source trace.
+    #[must_use]
+    pub fn simulate(&self, mispredicted: &[bool], config: &PipelineConfig) -> SimStats {
+        let mut out = [SimStats::default()];
+        self.replay_chunk(&[mispredicted], config, &mut out);
+        out[0]
+    }
+
+    /// Replays every stream in `flag_streams` through one pass over the
+    /// prepared trace, returning one [`SimStats`] per stream in order.
+    ///
+    /// Streams are stepped in lockstep, 8 lanes at a time; each lane's
+    /// result (and its contribution to the `bp-metrics` pipeline
+    /// counters) is identical to a scalar [`simulate`](crate::simulate)
+    /// call with the same flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stream has fewer entries than the trace has
+    /// conditional branches, or if `config` differs from the preparation
+    /// configuration in cache hierarchy or multiply latency (pipeline
+    /// *capacity* — widths, ROB, penalty — may vary freely).
+    #[must_use]
+    pub fn simulate_many(&self, flag_streams: &[&[bool]], config: &PipelineConfig) -> Vec<SimStats> {
+        let mut out = vec![SimStats::default(); flag_streams.len()];
+        let mut done = 0;
+        while done < flag_streams.len() {
+            let left = flag_streams.len() - done;
+            let take = if left >= 8 {
+                8
+            } else if left >= 4 {
+                4
+            } else if left >= 2 {
+                2
+            } else {
+                1
+            };
+            self.replay_chunk(
+                &flag_streams[done..done + take],
+                config,
+                &mut out[done..done + take],
+            );
+            done += take;
+        }
+        out
+    }
+
+    /// Upper bound on every timestamp the replay loop can produce under
+    /// `config`.
+    ///
+    /// By induction over the prepared records: each instruction advances
+    /// the running maximum of all lane state (including the redirect
+    /// base) by at most `latency + 1`, plus `penalty` when a mispredicted
+    /// branch redirects the front end. Summing the worst case over the
+    /// whole trace — every branch mispredicted in every lane — gives
+    /// `Σ(latency_i + 1) + branches·penalty`; the `+ 2` per record leaves
+    /// a full `len` of slack for the loop's `+ 1` intermediates.
+    fn cycle_bound(&self, config: &PipelineConfig) -> u64 {
+        self.latency_sum
+            + 2 * self.insts.len() as u64
+            + self.cond_branches as u64 * u64::from(config.mispredict_penalty)
+    }
+
+    /// Dispatches one ≤8-lane chunk to the monomorphized replay loop.
+    ///
+    /// Lane word width is chosen per call: when [`Self::cycle_bound`]
+    /// fits in 32 bits — every realistically-sized trace — lanes run on
+    /// `u32` timestamps, halving lane-state memory traffic and doubling
+    /// SIMD density; otherwise the `u64` path keeps the result exact.
+    fn replay_chunk(&self, flags: &[&[bool]], config: &PipelineConfig, out: &mut [SimStats]) {
+        assert!(
+            config.cache == self.cache && config.mul_latency == self.mul_latency,
+            "SweepReplay prepared under a different cache/mul-latency configuration"
+        );
+        let metrics = bp_metrics::enabled();
+        let narrow = self.cycle_bound(config) < u64::from(u32::MAX);
+        match (flags.len(), metrics, narrow) {
+            (1, false, true) => self.replay_lanes::<1, false, u32>(flags, config, out),
+            (1, true, true) => self.replay_lanes::<1, true, u32>(flags, config, out),
+            (2, false, true) => self.replay_lanes::<2, false, u32>(flags, config, out),
+            (2, true, true) => self.replay_lanes::<2, true, u32>(flags, config, out),
+            (4, false, true) => self.replay_lanes::<4, false, u32>(flags, config, out),
+            (4, true, true) => self.replay_lanes::<4, true, u32>(flags, config, out),
+            (8, false, true) => self.replay_lanes::<8, false, u32>(flags, config, out),
+            (8, true, true) => self.replay_lanes::<8, true, u32>(flags, config, out),
+            (1, false, false) => self.replay_lanes::<1, false, u64>(flags, config, out),
+            (1, true, false) => self.replay_lanes::<1, true, u64>(flags, config, out),
+            (2, false, false) => self.replay_lanes::<2, false, u64>(flags, config, out),
+            (2, true, false) => self.replay_lanes::<2, true, u64>(flags, config, out),
+            (4, false, false) => self.replay_lanes::<4, false, u64>(flags, config, out),
+            (4, true, false) => self.replay_lanes::<4, true, u64>(flags, config, out),
+            (8, false, false) => self.replay_lanes::<8, false, u64>(flags, config, out),
+            (8, true, false) => self.replay_lanes::<8, true, u64>(flags, config, out),
+            (k, ..) => unreachable!("unsupported lane count {k}"),
+        }
+    }
+
+    /// The lockstep replay loop: the scalar `simulate_impl` arithmetic,
+    /// with every cycle variable widened to a `[C; K]` lane vector.
+    ///
+    /// `C` is the timestamp word (`u32` or `u64`); the caller guarantees
+    /// via [`Self::cycle_bound`] that no timestamp can overflow it, so
+    /// the lane arithmetic below is exact in either width. Counters that
+    /// accumulate across the whole trace (mispredictions, bubbles,
+    /// stalls) stay `u64` regardless.
+    #[allow(clippy::needless_range_loop)] // index k runs over parallel lane arrays
+    fn replay_lanes<const K: usize, const METRICS: bool, C: CycleWord>(
+        &self,
+        flags: &[&[bool]],
+        config: &PipelineConfig,
+        out: &mut [SimStats],
+    ) {
+        for lane_flags in flags {
+            assert!(
+                lane_flags.len() >= self.cond_branches,
+                "need one misprediction flag per conditional branch"
+            );
+        }
+        let n = self.insts.len() as u64;
+        for s in out.iter_mut() {
+            *s = SimStats {
+                instructions: n,
+                ..SimStats::default()
+            };
+        }
+        if self.insts.is_empty() {
+            // The scalar loop returns before touching the cache floor or
+            // the metrics counters; so do we.
+            return;
+        }
+        let flags: &[&[bool]; K] = flags.try_into().expect("chunk size matches K");
+
+        // Transpose the flag streams into one K-bit mask per branch: the
+        // hot loop then tests a single byte, and skips the lane loop
+        // outright when no lane mispredicts — by far the common case for
+        // the well-trained predictors these sweeps compare.
+        let mut masks = vec![0u8; self.cond_branches];
+        for (k, lane_flags) in flags.iter().enumerate() {
+            for (m, &f) in masks.iter_mut().zip(*lane_flags) {
+                *m |= u8::from(f) << k;
+            }
+        }
+
+        // Per-lane ready cycles per register slot (+ sentinels). A stack
+        // array of power-of-two size: `& (REG_SLOTS - 1)` indexing below
+        // compiles to an unchecked access.
+        let mut reg_ready = [[C::default(); K]; REG_SLOTS];
+        // Per-lane ready cycle of every store, indexed by store ordinal.
+        let mut store_done = vec![[C::default(); K]; self.store_slots.max(1)];
+        let mut fetch_ring = LaneRing::<K, C>::new(config.fetch_width as usize);
+        // ROB occupancy and retire bandwidth both constrain on the same
+        // retirement sequence, just `rob_size` vs `retire_width` entries
+        // back — one shared ring with two lagged cursors records it once.
+        let mut retire_ring =
+            LaggedRing::<K, C>::new(config.rob_size as usize, config.retire_width as usize);
+        let mut fetch_base = [C::default(); K];
+        let mut last_retire = [C::default(); K];
+        let mut flag_idx = 0usize;
+        let penalty = C::narrow(u64::from(config.mispredict_penalty));
+
+        let mut refetch_bubbles = [0u64; K];
+        let mut rob_stalls = [0u64; K];
+        let mut mispredictions = [0u64; K];
+        let mut cond_branches = 0u64;
+
+        for inst in &self.insts {
+            // Enter the window: front-end bandwidth, redirect stall, ROB.
+            let fetch_old = fetch_ring.oldest();
+            let rob_free = retire_ring.oldest_rob();
+            let mut enter = [C::default(); K];
+            for k in 0..K {
+                let bw_enter = fetch_base[k].max(fetch_old[k].add(C::ONE));
+                if METRICS {
+                    rob_stalls[k] += u64::from(rob_free[k] > bw_enter);
+                }
+                enter[k] = bw_enter.max(rob_free[k]);
+            }
+            fetch_ring.record(&enter);
+
+            // Dataflow: sources ready + latency (sentinel slots make the
+            // reads unconditional).
+            let s1 = reg_ready[inst.src1 as usize & (REG_SLOTS - 1)];
+            let s2 = reg_ready[inst.src2 as usize & (REG_SLOTS - 1)];
+            let latency = C::narrow(u64::from(inst.latency));
+            let mut done = [C::default(); K];
+            for k in 0..K {
+                done[k] = enter[k].max(s1[k]).max(s2[k]).add(latency);
+            }
+            if inst.kind & KIND_LOAD_FWD != 0 {
+                let src = store_done[inst.link as usize];
+                for k in 0..K {
+                    done[k] = done[k].max(src[k].add(C::ONE));
+                }
+            }
+            if inst.kind & KIND_STORE != 0 {
+                store_done[inst.link as usize] = done;
+            }
+            reg_ready[inst.dst as usize & (REG_SLOTS - 1)] = done;
+
+            // Branch handling: a mispredicted conditional branch stalls
+            // the front end until it resolves plus the refill penalty.
+            if inst.kind & KIND_BRANCH != 0 {
+                cond_branches += 1;
+                let mask = masks[flag_idx];
+                if mask != 0 {
+                    for k in 0..K {
+                        if mask & (1 << k) != 0 {
+                            mispredictions[k] += 1;
+                            let redirect = done[k].add(penalty);
+                            if METRICS {
+                                refetch_bubbles[k] +=
+                                    redirect.sub_sat(enter[k].add(C::ONE)).widen();
+                            }
+                            fetch_base[k] = fetch_base[k].max(redirect);
+                        }
+                    }
+                }
+                flag_idx += 1;
+            }
+
+            // In-order retirement with bandwidth.
+            let bw_old = retire_ring.oldest_bw();
+            let mut retire = [C::default(); K];
+            for k in 0..K {
+                retire[k] = done[k].max(last_retire[k]).max(bw_old[k].add(C::ONE));
+            }
+            retire_ring.record(&retire);
+            last_retire = retire;
+        }
+
+        for k in 0..K {
+            out[k].cycles = last_retire[k].widen().max(self.floor_cycles).max(1);
+            out[k].cond_branches = cond_branches;
+            out[k].mispredictions = mispredictions[k];
+        }
+
+        if METRICS {
+            // Each lane counts as one logical simulation, so a sweep's
+            // manifest matches the per-config replays it replaced.
+            let counters = PipeCounters::get();
+            counters.sim_runs.add(K as u64);
+            counters.instructions.add(n * K as u64);
+            counters.cycles.add(out.iter().map(|s| s.cycles).sum());
+            counters.flushes.add(mispredictions.iter().sum());
+            counters.refetch_bubbles.add(refetch_bubbles.iter().sum());
+            counters.rob_stalls.add(rob_stalls.iter().sum());
+        }
+    }
+}
+
+/// A lane timestamp word: `u64`, or `u32` when the replay's
+/// [`SweepReplay::cycle_bound`] proves no timestamp can overflow it.
+///
+/// Only the operations the replay loop performs are abstracted; all of
+/// them are exact (never wrapping) for in-bound timestamps, so the two
+/// widths produce bit-identical results.
+trait CycleWord: Copy + Default + Ord {
+    /// The constant 1, for the loop's `+ 1` steps.
+    const ONE: Self;
+    /// Converts from `u64`; the caller guarantees `v` fits.
+    fn narrow(v: u64) -> Self;
+    /// Converts back to `u64` (always lossless).
+    fn widen(self) -> u64;
+    /// Exact addition (caller-guaranteed not to overflow).
+    fn add(self, rhs: Self) -> Self;
+    /// Saturating subtraction, mirroring the scalar loop's
+    /// `saturating_sub`.
+    fn sub_sat(self, rhs: Self) -> Self;
+}
+
+macro_rules! impl_cycle_word {
+    ($($ty:ty),*) => {$(
+        impl CycleWord for $ty {
+            const ONE: Self = 1;
+            #[inline(always)]
+            fn narrow(v: u64) -> Self {
+                v as Self
+            }
+            #[inline(always)]
+            fn widen(self) -> u64 {
+                u64::from(self)
+            }
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                self + rhs
+            }
+            #[inline(always)]
+            fn sub_sat(self, rhs: Self) -> Self {
+                self.saturating_sub(rhs)
+            }
+        }
+    )*};
+}
+
+impl_cycle_word!(u32, u64);
+
+/// A per-lane timestamp ring read at two different lags.
+///
+/// Records one sequence (retirement timestamps) and answers "the value
+/// `rob` steps ago" and "the value `bw` steps ago" from the same buffer —
+/// the retire sequence is written once per instruction instead of once
+/// per constraint. Slots start at 0, matching a `LaneRing`'s behaviour
+/// for not-yet-seen history.
+struct LaggedRing<const K: usize, C: CycleWord> {
+    buf: Vec<[C; K]>,
+    /// Next slot to write: the value `len` steps back.
+    write: usize,
+    /// Slot holding the value `rob` steps back.
+    rob_cursor: usize,
+    /// Slot holding the value `bw` steps back.
+    bw_cursor: usize,
+}
+
+impl<const K: usize, C: CycleWord> LaggedRing<K, C> {
+    fn new(rob: usize, bw: usize) -> Self {
+        let rob = rob.max(1);
+        let bw = bw.max(1);
+        let len = rob.max(bw);
+        LaggedRing {
+            buf: vec![[C::default(); K]; len],
+            write: 0,
+            rob_cursor: (len - rob) % len,
+            bw_cursor: (len - bw) % len,
+        }
+    }
+
+    /// The retirement timestamp `rob` records ago (0 before that).
+    #[inline]
+    fn oldest_rob(&self) -> [C; K] {
+        self.buf[self.rob_cursor]
+    }
+
+    /// The retirement timestamp `bw` records ago (0 before that).
+    #[inline]
+    fn oldest_bw(&self) -> [C; K] {
+        self.buf[self.bw_cursor]
+    }
+
+    /// Records the current retirement timestamps and advances all
+    /// cursors.
+    #[inline]
+    fn record(&mut self, cycles: &[C; K]) {
+        self.buf[self.write] = *cycles;
+        let len = self.buf.len();
+        self.write += 1;
+        if self.write == len {
+            self.write = 0;
+        }
+        self.rob_cursor += 1;
+        if self.rob_cursor == len {
+            self.rob_cursor = 0;
+        }
+        self.bw_cursor += 1;
+        if self.bw_cursor == len {
+            self.bw_cursor = 0;
+        }
+    }
+}
+
+/// A fixed-size ring of per-lane cycle timestamps with a shared cursor —
+/// the lane-vector form of the scalar loop's `CycleRing`.
+struct LaneRing<const K: usize, C: CycleWord> {
+    buf: Vec<[C; K]>,
+    cursor: usize,
+}
+
+impl<const K: usize, C: CycleWord> LaneRing<K, C> {
+    fn new(len: usize) -> Self {
+        LaneRing {
+            buf: vec![[C::default(); K]; len.max(1)],
+            cursor: 0,
+        }
+    }
+
+    /// Timestamps `len` positions ago: the slot the next `record`
+    /// overwrites.
+    #[inline]
+    fn oldest(&self) -> [C; K] {
+        self.buf[self.cursor]
+    }
+
+    /// Records the current event's per-lane timestamps and advances.
+    #[inline]
+    fn record(&mut self, cycles: &[C; K]) {
+        self.buf[self.cursor] = *cycles;
+        self.cursor += 1;
+        if self.cursor == self.buf.len() {
+            self.cursor = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use bp_trace::{Reg, RetiredInst, TraceMeta};
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig::skylake()
+    }
+
+    /// A mixed synthetic trace exercising loads, stores, forwarding,
+    /// multiplies and branches.
+    fn mixed_trace(n: u64) -> (Trace, usize) {
+        let mut t = Trace::new(TraceMeta::new("mix", 0));
+        let mut branches = 0;
+        let mut state = 7u64;
+        for i in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match state % 7 {
+                0 => {
+                    t.push(RetiredInst::cond_branch(
+                        i * 4,
+                        state & 2 == 0,
+                        0,
+                        Some((state % 8) as u8),
+                        None,
+                    ));
+                    branches += 1;
+                }
+                1 => t.push(RetiredInst::mem(
+                    i * 4,
+                    InstClass::Load,
+                    (state >> 8) % 4096,
+                    None,
+                    None,
+                    Some(Reg::new((state % 16) as u8)),
+                    0,
+                )),
+                2 => t.push(RetiredInst::mem(
+                    i * 4,
+                    InstClass::Store,
+                    (state >> 8) % 4096,
+                    Some(Reg::new((state % 16) as u8)),
+                    None,
+                    None,
+                    0,
+                )),
+                3 => t.push(RetiredInst::op(
+                    i * 4,
+                    InstClass::Mul,
+                    Some(Reg::new((state % 16) as u8)),
+                    Some(Reg::new(((state >> 4) % 16) as u8)),
+                    Some(Reg::new(((state >> 8) % 16) as u8)),
+                    0,
+                )),
+                _ => t.push(RetiredInst::op(
+                    i * 4,
+                    InstClass::Alu,
+                    Some(Reg::new((state % 16) as u8)),
+                    None,
+                    Some(Reg::new(((state >> 4) % 16) as u8)),
+                    0,
+                )),
+            }
+        }
+        (t, branches)
+    }
+
+    fn flag_stream(branches: usize, seed: u64, rate: u64) -> Vec<bool> {
+        let mut state = seed;
+        (0..branches)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state % 100 < rate
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanes_match_scalar_simulate_exactly() {
+        let (t, branches) = mixed_trace(30_000);
+        let streams: Vec<Vec<bool>> = (0..7)
+            .map(|i| flag_stream(branches, 11 + i, i * 9))
+            .collect();
+        let refs: Vec<&[bool]> = streams.iter().map(Vec::as_slice).collect();
+        for scale in [1, 4, 32] {
+            let c = cfg().scaled(scale);
+            let sweep = SweepReplay::new(&t, &cfg());
+            let many = sweep.simulate_many(&refs, &c);
+            for (f, got) in refs.iter().zip(&many) {
+                assert_eq!(*got, simulate(&t, f, &c), "scale {scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_lane_matches_scalar() {
+        let (t, branches) = mixed_trace(5_000);
+        let flags = flag_stream(branches, 3, 20);
+        let sweep = SweepReplay::new(&t, &cfg());
+        assert_eq!(sweep.simulate(&flags, &cfg()), simulate(&t, &flags, &cfg()));
+    }
+
+    #[test]
+    fn u64_fallback_matches_scalar() {
+        // A misprediction penalty large enough to push the cycle bound
+        // past 32 bits forces the wide-lane fallback; it must agree with
+        // the scalar loop just like the narrow path does.
+        let (t, branches) = mixed_trace(4_000);
+        let flags = flag_stream(branches, 5, 30);
+        let mut c = cfg();
+        c.mispredict_penalty = u32::MAX / 2;
+        let sweep = SweepReplay::new(&t, &c);
+        assert!(sweep.cycle_bound(&c) >= u64::from(u32::MAX));
+        assert_eq!(sweep.simulate(&flags, &c), simulate(&t, &flags, &c));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let t = Trace::new(TraceMeta::new("empty", 0));
+        let sweep = SweepReplay::new(&t, &cfg());
+        assert!(sweep.is_empty());
+        let stats = sweep.simulate_many(&[&[], &[]], &cfg());
+        assert_eq!(stats[0], simulate(&t, &[], &cfg()));
+        assert_eq!(stats[1], simulate(&t, &[], &cfg()));
+    }
+
+    #[test]
+    fn lane_count_is_transparent() {
+        // 1, 2, 4, 8 and ragged counts must all agree.
+        let (t, branches) = mixed_trace(8_000);
+        let streams: Vec<Vec<bool>> = (0..11)
+            .map(|i| flag_stream(branches, 31 + i, (i * 7) % 60))
+            .collect();
+        let refs: Vec<&[bool]> = streams.iter().map(Vec::as_slice).collect();
+        let sweep = SweepReplay::new(&t, &cfg());
+        let all = sweep.simulate_many(&refs, &cfg());
+        for (i, f) in refs.iter().enumerate() {
+            assert_eq!(all[i], sweep.simulate(f, &cfg()), "lane {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "misprediction flag")]
+    fn missing_flags_panic() {
+        let mut t = Trace::new(TraceMeta::new("b", 0));
+        t.push(RetiredInst::cond_branch(4, true, 0, None, None));
+        let sweep = SweepReplay::new(&t, &cfg());
+        let _ = sweep.simulate(&[], &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "different cache")]
+    fn cache_mismatch_panics() {
+        let (t, _) = mixed_trace(100);
+        let sweep = SweepReplay::new(&t, &cfg());
+        let mut other = cfg();
+        other.cache.l1_log2_bytes += 1;
+        let _ = sweep.simulate(&[true; 100], &other);
+    }
+}

@@ -42,6 +42,7 @@ mod perceptron;
 mod ppm;
 mod sc;
 mod simple;
+mod spec;
 mod tage;
 mod tagescl;
 mod tournament;
@@ -55,6 +56,7 @@ pub use perceptron::Perceptron;
 pub use ppm::{Ppm, PpmConfig};
 pub use sc::{ScConfig, ScDecision, ScOnly, StatisticalCorrector};
 pub use simple::{AlwaysTaken, Bimodal, GShare, TwoLevelLocal};
+pub use spec::{sweep_flags, sweep_measure, PredictorSpec};
 pub use tage::{AllocationTracker, Tage, TageConfig};
 pub use tagescl::{TageScL, TageSclConfig};
 pub use tournament::Tournament;

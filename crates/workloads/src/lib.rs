@@ -40,4 +40,6 @@ pub use motifs::{Emitter, RareTier, VarGapSpec};
 pub use program::{Block, BlockId, Op, Program, ProgramBuilder, Terminator, CODE_BASE, INST_BYTES};
 pub use spec::{Family, MotifSet, WorkloadSpec};
 pub use store::{StoreStats, TraceKey, TraceStore};
-pub use suite::{lcf_suite, specint_suite, LCF_TRACE_LEN, SPECINT_TRACE_LEN};
+pub use suite::{
+    find_workload, lcf_suite, specint_suite, workload_names, LCF_TRACE_LEN, SPECINT_TRACE_LEN,
+};

@@ -453,6 +453,35 @@ pub fn lcf_suite() -> Vec<WorkloadSpec> {
     ]
 }
 
+/// Looks a workload up by name across both suites (SPECint first, then
+/// LCF) — the CLI's `--workload` resolver.
+///
+/// # Examples
+///
+/// ```
+/// assert!(bp_workloads::find_workload("641.leela_s").is_some());
+/// assert!(bp_workloads::find_workload("game").is_some());
+/// assert!(bp_workloads::find_workload("nope").is_none());
+/// ```
+#[must_use]
+pub fn find_workload(name: &str) -> Option<WorkloadSpec> {
+    specint_suite()
+        .into_iter()
+        .chain(lcf_suite())
+        .find(|s| s.name == name)
+}
+
+/// Names of every workload, in suite order — what the CLI prints when a
+/// `--workload` lookup fails.
+#[must_use]
+pub fn workload_names() -> Vec<String> {
+    specint_suite()
+        .into_iter()
+        .chain(lcf_suite())
+        .map(|s| s.name)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
