@@ -25,6 +25,14 @@ echo "== golden (release) =="
 BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
     cargo test --release -q --test golden --test metrics_manifest
 
+echo "== decode robustness =="
+# Every file in the checked-in corpus of damaged BPTR traces (all three
+# format versions) must decode to a structured error — never a panic or
+# a hostile-length-sized allocation — and the 100M-branch scale run must
+# round-trip at ≤ 1 byte/inst with peak RSS independent of trace length.
+cargo test --release -q -p bp-trace --test decode_robustness
+cargo test --release -q --test streaming_scale -- --include-ignored
+
 echo "== fault injection =="
 cargo test --release -q --test fault_tolerance
 
@@ -67,8 +75,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== perf baseline =="
 # Gate replay throughput against the checked-in BENCH_*.json (newest by
-# filename, at the repo root). The 50% threshold is a cliff detector for
-# accidental slowdowns, not a micro-benchmark gate — CI machines vary.
+# filename, at the repo root); since 2026-08-08 the baseline also pins
+# the v3 trace codec (`trace/encode-v3`, `trace/decode-v3`). The 50%
+# threshold is a cliff detector for accidental slowdowns, not a
+# micro-benchmark gate — CI machines vary.
 # Refresh workflow: EXPERIMENTS.md "Replay throughput & the perf baseline".
 BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
     cargo run --release -q -p bp-bench --bin bp-perf -- \

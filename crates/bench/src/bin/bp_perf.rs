@@ -6,6 +6,8 @@
 //!
 //! * `predictor/tage-sc-l-{8,64}kb` — predictor-only replay
 //!   (predict+update per conditional branch, no pipeline);
+//! * `trace/{encode,decode}-v3` — BPTR v3 codec throughput on the pinned
+//!   SPECint-like trace (streaming block writer, block-wise reader);
 //! * `pipeline/scoreboard` — scoreboard-only replay over a precomputed
 //!   misprediction stream;
 //! * `end_to_end/tage-sc-l-8kb[-lcf]` — the full study loop
@@ -36,6 +38,7 @@ use std::process::ExitCode;
 use bp_bench::perf::{self, PerfReport};
 use bp_pipeline::{simulate, PipelineConfig, SweepReplay};
 use bp_predictors::{misprediction_flags, sweep_flags, DirectionPredictor, TageScL, TageSclConfig};
+use bp_trace::{BptrReader, TraceReader};
 use bp_workloads::{lcf_suite, specint_suite};
 
 /// Pinned trace length: large enough that per-branch costs dominate
@@ -143,6 +146,39 @@ fn run_suite(opts: &Options) -> PerfReport {
             },
         ));
     }
+    // v3 codec throughput: encode the pinned trace to memory, then
+    // stream-decode it back block-by-block through the same
+    // `TraceReader` path every disk-backed study drains. These pin the
+    // decode cost model in PERFORMANCE.md.
+    let mut v3_bytes = Vec::new();
+    spec_trace.write_to(&mut v3_bytes).expect("v3 encode");
+    measurements.push(perf::measure(
+        "trace/encode-v3",
+        spec_trace.len() as u64,
+        spec_branches,
+        warmup,
+        samples,
+        || {
+            let mut out = Vec::with_capacity(v3_bytes.len());
+            spec_trace.write_to(&mut out).expect("v3 encode");
+            out.len() as u64
+        },
+    ));
+    measurements.push(perf::measure(
+        "trace/decode-v3",
+        spec_trace.len() as u64,
+        spec_branches,
+        warmup,
+        samples,
+        || {
+            let mut reader = BptrReader::new(v3_bytes.as_slice()).expect("v3 header");
+            let mut n = 0u64;
+            while let Some(chunk) = reader.next_chunk().expect("v3 decode") {
+                n += chunk.len() as u64;
+            }
+            n
+        },
+    ));
     measurements.push(perf::measure(
         "pipeline/scoreboard",
         spec_trace.len() as u64,

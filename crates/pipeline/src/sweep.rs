@@ -36,7 +36,7 @@
 //! `tests/sweep_equivalence` in this crate and the unchanged golden
 //! fixtures lock this in.
 
-use bp_trace::{InstClass, Trace, NUM_REGS};
+use bp_trace::{InstClass, ReadTraceError, Trace, TraceReader, NUM_REGS};
 
 use crate::cache::{CacheConfig, CacheModel};
 use crate::config::PipelineConfig;
@@ -125,57 +125,81 @@ impl SweepReplay {
     /// scalings, so one preparation serves a whole scaling sweep).
     #[must_use]
     pub fn new(trace: &Trace, config: &PipelineConfig) -> Self {
+        Self::prepare(trace.reader(), config).expect("in-memory reader cannot fail")
+    }
+
+    /// [`SweepReplay::new`] over any [`TraceReader`]: consumes the record
+    /// stream chunk-by-chunk, so preparing from a block-wise file decoder
+    /// never materializes the trace — only the 12-byte prepared form is
+    /// kept. The prepared replay is bit-identical to one built from the
+    /// same records in memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ReadTraceError`] from the underlying stream.
+    pub fn prepare<R: TraceReader>(
+        mut reader: R,
+        config: &PipelineConfig,
+    ) -> Result<Self, ReadTraceError> {
+        let len_hint = reader
+            .len_hint()
+            .map_or(0, |n| usize::try_from(n).unwrap_or(usize::MAX))
+            // The hint may come from an untrusted file header: seed
+            // capacities, don't trust it with a huge allocation.
+            .min(1 << 20);
         let mut cache = CacheModel::new(config.cache.clone());
         // Latest store ordinal per address — the prepare-time equivalent
         // of the scalar loop's forwarding map, on the same SipHash-free
         // open-addressed map the scalar loop uses.
-        let mut last_store = AddrMap::with_capacity(trace.len() / 4);
-        let mut insts = Vec::with_capacity(trace.len());
+        let mut last_store = AddrMap::with_capacity(len_hint / 4);
+        let mut insts = Vec::with_capacity(len_hint);
         let mut stores = 0u32;
         let mut cond_branches = 0usize;
         let mut latency_sum = 0u64;
-        for inst in trace.iter() {
-            let latency = match inst.class {
-                InstClass::Load => cache.access(inst.mem_addr),
-                InstClass::Mul => config.mul_latency,
-                InstClass::Store => {
-                    // Stores retire from the store buffer; they still
-                    // allocate the line so later loads hit.
-                    let _ = cache.access(inst.mem_addr);
-                    1
-                }
-                _ => 1,
-            };
-            latency_sum += u64::from(latency);
-            let mut kind = 0u8;
-            let mut link = u32::MAX;
-            match inst.class {
-                InstClass::Load => {
-                    if let Some(ord) = last_store.get(inst.mem_addr) {
-                        kind |= KIND_LOAD_FWD;
-                        link = ord as u32;
+        while let Some(chunk) = reader.next_chunk()? {
+            for inst in chunk {
+                let latency = match inst.class {
+                    InstClass::Load => cache.access(inst.mem_addr),
+                    InstClass::Mul => config.mul_latency,
+                    InstClass::Store => {
+                        // Stores retire from the store buffer; they still
+                        // allocate the line so later loads hit.
+                        let _ = cache.access(inst.mem_addr);
+                        1
                     }
+                    _ => 1,
+                };
+                latency_sum += u64::from(latency);
+                let mut kind = 0u8;
+                let mut link = u32::MAX;
+                match inst.class {
+                    InstClass::Load => {
+                        if let Some(ord) = last_store.get(inst.mem_addr) {
+                            kind |= KIND_LOAD_FWD;
+                            link = ord as u32;
+                        }
+                    }
+                    InstClass::Store => {
+                        kind |= KIND_STORE;
+                        link = stores;
+                        last_store.insert(inst.mem_addr, u64::from(stores));
+                        stores += 1;
+                    }
+                    _ => {}
                 }
-                InstClass::Store => {
-                    kind |= KIND_STORE;
-                    link = stores;
-                    last_store.insert(inst.mem_addr, u64::from(stores));
-                    stores += 1;
+                if inst.is_conditional_branch() {
+                    kind |= KIND_BRANCH;
+                    cond_branches += 1;
                 }
-                _ => {}
+                insts.push(PreparedInst {
+                    src1: inst.src1.map_or(ZERO_SLOT, |r| r.index() as u8),
+                    src2: inst.src2.map_or(ZERO_SLOT, |r| r.index() as u8),
+                    dst: inst.dst.map_or(DUMP_SLOT, |r| r.index() as u8),
+                    kind,
+                    latency,
+                    link,
+                });
             }
-            if inst.is_conditional_branch() {
-                kind |= KIND_BRANCH;
-                cond_branches += 1;
-            }
-            insts.push(PreparedInst {
-                src1: inst.src1.map_or(ZERO_SLOT, |r| r.index() as u8),
-                src2: inst.src2.map_or(ZERO_SLOT, |r| r.index() as u8),
-                dst: inst.dst.map_or(DUMP_SLOT, |r| r.index() as u8),
-                kind,
-                latency,
-                link,
-            });
         }
         // Compact store bookkeeping to the stores some load forwards
         // from: only their ready cycles are ever read back, so the rest
@@ -203,7 +227,7 @@ impl SweepReplay {
                 }
             }
         }
-        SweepReplay {
+        Ok(SweepReplay {
             insts,
             cond_branches,
             store_slots: forwarded as usize,
@@ -211,7 +235,7 @@ impl SweepReplay {
             latency_sum,
             cache: config.cache.clone(),
             mul_latency: config.mul_latency,
-        }
+        })
     }
 
     /// Instructions in the prepared trace.
@@ -740,6 +764,27 @@ mod tests {
         let sweep = SweepReplay::new(&t, &c);
         assert!(sweep.cycle_bound(&c) >= u64::from(u32::MAX));
         assert_eq!(sweep.simulate(&flags, &c), simulate(&t, &flags, &c));
+    }
+
+    #[test]
+    fn streamed_prepare_matches_in_memory_prepare() {
+        // Preparing from the block-wise file decoder must be bit-identical
+        // to preparing from the materialized trace: the cache model, the
+        // forwarding links, and the compaction all see the same records
+        // in the same order, just delivered in chunks.
+        let (t, branches) = mixed_trace(70_000); // several v3 blocks
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes).expect("serialize");
+        let reader = bp_trace::BptrReader::new(bytes.as_slice()).expect("open");
+        let streamed = SweepReplay::prepare(reader, &cfg()).expect("prepare");
+        let in_memory = SweepReplay::new(&t, &cfg());
+        assert_eq!(streamed.len(), in_memory.len());
+        assert_eq!(streamed.cond_branch_count(), in_memory.cond_branch_count());
+        let flags = flag_stream(branches, 17, 25);
+        assert_eq!(
+            streamed.simulate(&flags, &cfg()),
+            in_memory.simulate(&flags, &cfg())
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! never interact — so flags, accuracies, and instrumentation counters
 //! are bit-identical to the per-config passes they replace.
 
-use bp_trace::Trace;
+use bp_trace::{ReadTraceError, Trace, TraceReader};
 
 use crate::eval::AccuracyStats;
 use crate::oracle::{DirectionPredictor, PerfectPredictor};
@@ -255,6 +255,35 @@ impl PredictorSpec {
 /// identical branch sequence in order.
 const SWEEP_BLOCK: usize = 16384;
 
+/// Re-blocks a record stream's conditional branches into
+/// [`SWEEP_BLOCK`]-sized `(ip, taken)` batches, independent of how the
+/// reader chunks the stream — so every sweep sees the identical blocking
+/// (and produces bit-identical results) whether the trace comes from
+/// memory or block-wise file decode.
+fn stream_branch_blocks<R: TraceReader>(
+    mut reader: R,
+    mut run: impl FnMut(&[(u64, bool)]),
+) -> Result<(), ReadTraceError> {
+    let mut block: Vec<(u64, bool)> = Vec::with_capacity(SWEEP_BLOCK);
+    while let Some(chunk) = reader.next_chunk()? {
+        for inst in chunk {
+            if let Some(b) = inst.branch {
+                if b.kind == bp_trace::BranchKind::Conditional {
+                    block.push((inst.ip, b.taken));
+                    if block.len() == SWEEP_BLOCK {
+                        run(&block);
+                        block.clear();
+                    }
+                }
+            }
+        }
+    }
+    if !block.is_empty() {
+        run(&block);
+    }
+    Ok(())
+}
+
 /// Steps every predictor through one pass over `trace`'s conditional
 /// branches, returning one misprediction-flag stream per predictor (same
 /// order).
@@ -266,30 +295,29 @@ const SWEEP_BLOCK: usize = 16384;
 /// instead of `predictors.len()` times.
 #[must_use]
 pub fn sweep_flags(predictors: &mut [Box<dyn DirectionPredictor>], trace: &Trace) -> Vec<Vec<bool>> {
-    let branches = trace.conditional_branch_count();
-    let mut flags: Vec<Vec<bool>> = predictors
-        .iter()
-        .map(|_| Vec::with_capacity(branches))
-        .collect();
-    let mut block: Vec<(u64, bool)> = Vec::with_capacity(SWEEP_BLOCK);
-    let mut stream = trace.conditional_branches();
-    loop {
-        block.clear();
-        block.extend(
-            stream
-                .by_ref()
-                .take(SWEEP_BLOCK)
-                .map(|br| (br.ip, br.taken)),
-        );
-        if block.is_empty() {
-            return flags;
-        }
+    sweep_flags_stream(predictors, trace.reader()).expect("in-memory reader cannot fail")
+}
+
+/// [`sweep_flags`] over any [`TraceReader`]: the flag streams are
+/// bit-identical to the in-memory sweep, but a block-wise file reader
+/// never materializes the trace.
+///
+/// # Errors
+///
+/// Propagates any [`ReadTraceError`] from the underlying stream.
+pub fn sweep_flags_stream<R: TraceReader>(
+    predictors: &mut [Box<dyn DirectionPredictor>],
+    reader: R,
+) -> Result<Vec<Vec<bool>>, ReadTraceError> {
+    let mut flags: Vec<Vec<bool>> = predictors.iter().map(|_| Vec::new()).collect();
+    stream_branch_blocks(reader, |block| {
         for (p, f) in predictors.iter_mut().zip(flags.iter_mut()) {
-            for &(ip, taken) in &block {
+            for &(ip, taken) in block {
                 f.push(p.predict_and_train(ip, taken) != taken);
             }
         }
-    }
+    })?;
+    Ok(flags)
 }
 
 /// Single-pass counterpart of [`measure`](crate::measure): aggregate
@@ -299,26 +327,29 @@ pub fn sweep_measure(
     predictors: &mut [Box<dyn DirectionPredictor>],
     trace: &Trace,
 ) -> Vec<AccuracyStats> {
+    sweep_measure_stream(predictors, trace.reader()).expect("in-memory reader cannot fail")
+}
+
+/// [`sweep_measure`] over any [`TraceReader`]. With a block-wise file
+/// reader, peak memory is bounded by one decode block regardless of
+/// trace length — the path long-horizon accuracy studies use.
+///
+/// # Errors
+///
+/// Propagates any [`ReadTraceError`] from the underlying stream.
+pub fn sweep_measure_stream<R: TraceReader>(
+    predictors: &mut [Box<dyn DirectionPredictor>],
+    reader: R,
+) -> Result<Vec<AccuracyStats>, ReadTraceError> {
     let mut stats = vec![AccuracyStats::default(); predictors.len()];
-    let mut block: Vec<(u64, bool)> = Vec::with_capacity(SWEEP_BLOCK);
-    let mut stream = trace.conditional_branches();
-    loop {
-        block.clear();
-        block.extend(
-            stream
-                .by_ref()
-                .take(SWEEP_BLOCK)
-                .map(|br| (br.ip, br.taken)),
-        );
-        if block.is_empty() {
-            return stats;
-        }
+    stream_branch_blocks(reader, |block| {
         for (p, s) in predictors.iter_mut().zip(stats.iter_mut()) {
-            for &(ip, taken) in &block {
+            for &(ip, taken) in block {
                 s.record(p.predict_and_train(ip, taken) == taken);
             }
         }
-    }
+    })?;
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -375,6 +406,31 @@ mod tests {
         for (spec, stats) in specs.iter().zip(&swept) {
             assert_eq!(*stats, measure(spec.build().as_mut(), &t), "{}", spec.label());
         }
+    }
+
+    #[test]
+    fn streamed_sweeps_match_in_memory_sweeps() {
+        // The same trace through the block-wise file decoder must yield
+        // bit-identical flags and stats: chunk boundaries carry no
+        // meaning once re-blocked to SWEEP_BLOCK.
+        let t = noisy_trace(50_000);
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes).unwrap();
+        let specs = PredictorSpec::survey();
+
+        let mut mem = specs.iter().map(PredictorSpec::build).collect::<Vec<_>>();
+        let mem_flags = sweep_flags(&mut mem, &t);
+        let mut streamed = specs.iter().map(PredictorSpec::build).collect::<Vec<_>>();
+        let reader = bp_trace::BptrReader::new(bytes.as_slice()).unwrap();
+        let stream_flags = sweep_flags_stream(&mut streamed, reader).unwrap();
+        assert_eq!(mem_flags, stream_flags);
+
+        let mut mem = specs.iter().map(PredictorSpec::build).collect::<Vec<_>>();
+        let mem_stats = sweep_measure(&mut mem, &t);
+        let mut streamed = specs.iter().map(PredictorSpec::build).collect::<Vec<_>>();
+        let reader = bp_trace::BptrReader::new(bytes.as_slice()).unwrap();
+        let stream_stats = sweep_measure_stream(&mut streamed, reader).unwrap();
+        assert_eq!(mem_stats, stream_stats);
     }
 
     #[test]

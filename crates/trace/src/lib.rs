@@ -23,13 +23,17 @@
 //! assert_eq!(trace[0].class, InstClass::Branch);
 //! ```
 
+mod codec_v3;
 mod isa;
+mod reader;
 mod record;
 mod serialize;
 mod slice;
 mod trace;
 
+pub use codec_v3::{TraceWriter, BLOCK_RECORDS, MAX_BLOCK_PAYLOAD};
 pub use isa::{BranchKind, Cond, InstClass, Reg, NUM_REGS};
+pub use reader::{BptrReader, SharedReader, SliceReader, TraceReader};
 pub use record::{BranchInfo, RetiredInst};
 pub use serialize::{ReadTraceError, WriteTraceError};
 pub use slice::{SliceConfig, Slices};

@@ -39,7 +39,7 @@ pub use interp::Interpreter;
 pub use motifs::{Emitter, RareTier, VarGapSpec};
 pub use program::{Block, BlockId, Op, Program, ProgramBuilder, Terminator, CODE_BASE, INST_BYTES};
 pub use spec::{Family, MotifSet, WorkloadSpec};
-pub use store::{StoreStats, TraceKey, TraceStore};
+pub use store::{StoreReader, StoreStats, TraceKey, TraceStore};
 pub use suite::{
     find_workload, lcf_suite, specint_suite, workload_names, LCF_TRACE_LEN, SPECINT_TRACE_LEN,
 };

@@ -19,7 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use bp_metrics::Counter;
-use bp_trace::Trace;
+use bp_trace::{
+    BptrReader, ReadTraceError, RetiredInst, SharedReader, Trace, TraceMeta, TraceReader,
+};
 
 use crate::program::Program;
 use crate::spec::WorkloadSpec;
@@ -66,6 +68,9 @@ pub struct StoreStats {
     /// Cache files found torn/corrupt, quarantined as `.corrupt`, and
     /// regenerated.
     pub corrupt: u64,
+    /// Valid cache files in an old `BPTR` format version, rewritten in
+    /// the current (v3) format on load.
+    pub upgraded: u64,
 }
 
 /// One memoization slot. The `OnceLock` guarantees exactly-once generation
@@ -84,6 +89,7 @@ pub struct TraceStore {
     disk_loads: AtomicU64,
     hits: AtomicU64,
     corrupt: AtomicU64,
+    upgraded: AtomicU64,
     /// `bp-metrics` mirrors of the stats above (no-ops unless
     /// `BRANCH_LAB_METRICS` enables the registry).
     m_generated: Counter,
@@ -104,6 +110,7 @@ impl TraceStore {
             disk_loads: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            upgraded: AtomicU64::new(0),
             m_generated: Counter::get("trace_store.generate"),
             m_disk_loads: Counter::get("trace_store.disk_load"),
             m_hits: Counter::get("trace_store.hit"),
@@ -165,9 +172,21 @@ impl TraceStore {
         if let Some(dir) = &self.cache_dir {
             let path = dir.join(key.file_name());
             match bp_metrics::time("trace_store.disk_load", || load_valid(&path, key)) {
-                DiskRead::Valid(t) => {
+                DiskRead::Valid(t, version) => {
                     self.disk_loads.fetch_add(1, Ordering::Relaxed);
                     self.m_disk_loads.incr();
+                    if version < CURRENT_FORMAT_VERSION {
+                        // Format-version cache invalidation: rewrite
+                        // old-format entries in the current codec so the
+                        // disk library converges on v3 (smaller files,
+                        // block-wise streaming). Best-effort, like every
+                        // other persistence write.
+                        if !bp_metrics::faultpoint::should_fail("trace_store.save")
+                            && t.save(&path).is_ok()
+                        {
+                            self.upgraded.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     return t;
                 }
                 DiskRead::Corrupt(reason) => {
@@ -206,6 +225,53 @@ impl TraceStore {
         )
     }
 
+    /// Returns a streaming reader over the trace for `spec` at
+    /// (`input`, `len`) without requiring it in memory.
+    ///
+    /// When the on-disk cache holds a matching file, records stream
+    /// block-by-block from disk — peak memory stays bounded by one codec
+    /// block no matter how long the trace is. Otherwise the trace is
+    /// obtained via [`TraceStore::get`] (generating and persisting it as
+    /// usual) and streamed from memory. Corruption in a disk-streamed
+    /// file surfaces as a [`ReadTraceError`] from the reader's
+    /// `next_chunk`, exactly like reading the file directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= spec.inputs`, mirroring [`TraceStore::get`].
+    pub fn stream(&self, spec: &WorkloadSpec, input: u32, len: usize) -> StoreReader {
+        let key = TraceKey::new(spec, input, len);
+        // Already resident? Share it — no disk I/O, no second copy.
+        let resident = {
+            let map = self.traces.lock().unwrap_or_else(PoisonError::into_inner);
+            map.get(&key).and_then(|slot| slot.get().cloned())
+        };
+        if let Some(t) = resident {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.m_hits.incr();
+            return StoreReader::Mem(SharedReader::new(t));
+        }
+        if let Some(dir) = &self.cache_dir {
+            let path = dir.join(key.file_name());
+            if !bp_metrics::faultpoint::should_fail("trace_store.load") {
+                if let Ok(r) = Trace::open(&path) {
+                    let meta = r.meta();
+                    if meta.name == key.name
+                        && meta.input == key.input
+                        && r.len_hint() == Some(key.len as u64)
+                    {
+                        self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                        self.m_disk_loads.incr();
+                        return StoreReader::Disk(Box::new(r));
+                    }
+                }
+            }
+            // Missing, unreadable, or wrong identity: fall through to the
+            // materializing path, which quarantines/regenerates properly.
+        }
+        StoreReader::Mem(SharedReader::new(self.get(spec, input, len)))
+    }
+
     /// Current counters.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -213,6 +279,43 @@ impl TraceStore {
             disk_loads: self.disk_loads.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
+            upgraded: self.upgraded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The `BPTR` format version [`TraceStore`] persists; older valid cache
+/// files are upgraded to it on load.
+const CURRENT_FORMAT_VERSION: u16 = 3;
+
+/// A [`TraceReader`] handed out by [`TraceStore::stream`]: block-wise
+/// disk decode when the cache holds the trace, shared memory otherwise.
+pub enum StoreReader {
+    /// Streaming straight from the on-disk cache file.
+    Disk(Box<BptrReader<std::io::BufReader<std::fs::File>>>),
+    /// Streaming a memoized in-memory trace.
+    Mem(SharedReader),
+}
+
+impl TraceReader for StoreReader {
+    fn meta(&self) -> &TraceMeta {
+        match self {
+            StoreReader::Disk(r) => r.meta(),
+            StoreReader::Mem(r) => r.meta(),
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        match self {
+            StoreReader::Disk(r) => r.len_hint(),
+            StoreReader::Mem(r) => r.len_hint(),
+        }
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<&[RetiredInst]>, ReadTraceError> {
+        match self {
+            StoreReader::Disk(r) => r.next_chunk(),
+            StoreReader::Mem(r) => r.next_chunk(),
         }
     }
 }
@@ -225,8 +328,9 @@ impl Default for TraceStore {
 
 /// Outcome of probing the on-disk cache for one key.
 enum DiskRead {
-    /// A complete, checksum-verified trace matching the key.
-    Valid(Trace),
+    /// A complete, checksum-verified trace matching the key, and the
+    /// `BPTR` format version it was stored in.
+    Valid(Trace, u16),
     /// No cache file (the ordinary cold-cache case).
     Missing,
     /// A file exists but is torn, corrupt, or carries the wrong identity;
@@ -243,25 +347,43 @@ fn load_valid(path: &Path, key: &TraceKey) -> DiskRead {
     if bp_metrics::faultpoint::should_fail("trace_store.load") {
         return DiskRead::Corrupt("injected fault: trace_store.load".to_string());
     }
-    let t = match Trace::load(path) {
-        Ok(t) => t,
-        Err(bp_trace::ReadTraceError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+    let mut reader = match Trace::open(path) {
+        Ok(r) => r,
+        Err(ReadTraceError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
             return DiskRead::Missing;
         }
         // Anything else — truncation (unexpected EOF), bad magic, bad
         // field encodings, checksum mismatch — is a damaged cache entry.
         Err(e) => return DiskRead::Corrupt(e.to_string()),
     };
-    if t.meta().name == key.name && t.meta().input == key.input && t.len() == key.len {
-        DiskRead::Valid(t)
+    // Reject a wrong-identity header before decoding a single record.
+    if reader.meta().name != key.name || reader.meta().input != key.input {
+        return DiskRead::Corrupt(format!(
+            "cache identity mismatch: file holds {}/i{}, key wants {}/i{}",
+            reader.meta().name,
+            reader.meta().input,
+            key.name,
+            key.input
+        ));
+    }
+    let version = reader.version();
+    let mut t = Trace::with_capacity(reader.meta().clone(), key.len.min(1 << 20));
+    loop {
+        match reader.next_chunk() {
+            Ok(Some(chunk)) => t.extend(chunk.iter().copied()),
+            Ok(None) => break,
+            Err(e) => return DiskRead::Corrupt(e.to_string()),
+        }
+        if t.len() > key.len {
+            break; // Longer than the key says: identity mismatch below.
+        }
+    }
+    if t.len() == key.len {
+        DiskRead::Valid(t, version)
     } else {
         DiskRead::Corrupt(format!(
-            "cache identity mismatch: file holds {}/i{}/l{}, key wants {}/i{}/l{}",
-            t.meta().name,
-            t.meta().input,
+            "cache length mismatch: file holds {} records, key wants {}",
             t.len(),
-            key.name,
-            key.input,
             key.len
         ))
     }
@@ -337,6 +459,90 @@ mod tests {
                 scope.spawn(|| store.get(&s, 0, 2_000));
             }
         });
+        assert_eq!(store.stats().generated, 1);
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "bp_store_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn old_format_cache_files_are_upgraded_to_v3_on_load() {
+        let dir = scratch_dir("upgrade");
+        let s = spec();
+        let key = TraceKey::new(&s, 0, 2_000);
+        let path = dir.join(key.file_name());
+
+        // Seed the cache with a legacy v2 file, as a pre-v3 run would
+        // have left behind.
+        let direct = s.trace(0, 2_000);
+        let mut bytes = Vec::new();
+        direct.write_to_v2(&mut bytes).expect("v2 encode");
+        std::fs::write(&path, &bytes).expect("seed v2 cache file");
+
+        let store = TraceStore::with_cache_dir(&dir);
+        let t = store.get(&s, 0, 2_000);
+        assert_eq!(t.insts(), direct.insts());
+        let stats = store.stats();
+        assert_eq!(stats.disk_loads, 1, "{stats:?}");
+        assert_eq!(stats.generated, 0, "{stats:?}");
+        assert_eq!(stats.upgraded, 1, "{stats:?}");
+
+        // The file on disk is now the current format and still valid.
+        let reader = Trace::open(&path).expect("reopen upgraded file");
+        assert_eq!(reader.version(), CURRENT_FORMAT_VERSION);
+        assert_eq!(Trace::load(&path).expect("load upgraded").insts(), direct.insts());
+
+        // A second store just disk-loads it; no further upgrade.
+        let again = TraceStore::with_cache_dir(&dir);
+        let _ = again.get(&s, 0, 2_000);
+        assert_eq!(again.stats().upgraded, 0, "{:?}", again.stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_serves_from_disk_without_materializing() {
+        let dir = scratch_dir("stream");
+        let s = spec();
+        let good = TraceStore::with_cache_dir(&dir).get(&s, 0, 2_000);
+
+        // A fresh store: the trace is on disk but not in memory, so the
+        // stream must come straight from the cache file.
+        let store = TraceStore::with_cache_dir(&dir);
+        let mut r = store.stream(&s, 0, 2_000);
+        assert!(matches!(r, StoreReader::Disk(_)));
+        assert_eq!(r.len_hint(), Some(2_000));
+        let mut streamed = Vec::new();
+        while let Some(chunk) = r.next_chunk().expect("stream") {
+            streamed.extend_from_slice(chunk);
+        }
+        assert_eq!(streamed, good.insts());
+        assert_eq!(store.stats().disk_loads, 1);
+        assert_eq!(store.stats().generated, 0);
+
+        // Once resident in memory, streaming shares rather than re-reads.
+        let _ = store.get(&s, 0, 2_000);
+        let r = store.stream(&s, 0, 2_000);
+        assert!(matches!(r, StoreReader::Mem(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_without_cache_dir_generates_and_shares() {
+        let store = TraceStore::new();
+        let s = spec();
+        let mut r = store.stream(&s, 1, 1_500);
+        assert!(matches!(r, StoreReader::Mem(_)));
+        let chunk = r.next_chunk().expect("chunk").expect("records").to_vec();
+        assert_eq!(chunk.len(), 1_500);
+        assert_eq!(chunk, store.get(&s, 1, 1_500).insts());
         assert_eq!(store.stats().generated, 1);
     }
 
