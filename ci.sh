@@ -33,6 +33,16 @@ echo "== decode robustness =="
 cargo test --release -q -p bp-trace --test decode_robustness
 cargo test --release -q --test streaming_scale -- --include-ignored
 
+echo "== differential (release) =="
+# The lockstep sweep and lane-vector replay must be behaviour-preserving:
+# every registered predictor spec trained as a lane digests identically
+# to a solo run, every replay lane matches the scalar path bit-for-bit
+# (including ragged lane groups and the u64 cycle fallback), and the
+# single-pass grid equals per-config invocations at any thread count.
+BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
+    cargo test --release -q --test differential --test grid_parity
+cargo test --release -q -p bp-pipeline --test lane_properties
+
 echo "== fault injection =="
 cargo test --release -q --test fault_tolerance
 

@@ -17,7 +17,16 @@
 //!   the single-pass engine (`sweep_flags` + one prepared `SweepReplay`
 //!   driving all eight lanes at every pipeline scale), with
 //!   `sweep/storage-8pt-per-config` keeping the per-config shape it
-//!   replaced so the speedup stays pinned.
+//!   replaced so the speedup stays pinned;
+//! * `sweep/hetero-grid` — the heterogeneous grid study's inner loop:
+//!   all sixteen `PredictorSpec::hetero_grid` lanes trained in one
+//!   lockstep walk, then replayed at every pipeline scale (96 sims) from
+//!   one prepared trace, with `sweep/hetero-grid-per-config` keeping the
+//!   solo-predictor/scalar-replay shape for the speedup ratio;
+//! * `sweep/interleave-2trace` — pure replay throughput: two prepared
+//!   traces' 16-lane chunk cursors round-robined through
+//!   `simulate_interleaved` (flags and preparation outside the timed
+//!   region).
 //!
 //! Default mode records `BENCH_<date>.json` in the current directory
 //! (schema `bp-perf/v1`, see `bp_bench::perf`); `--check-baseline`
@@ -36,8 +45,10 @@
 use std::process::ExitCode;
 
 use bp_bench::perf::{self, PerfReport};
-use bp_pipeline::{simulate, PipelineConfig, SweepReplay};
-use bp_predictors::{misprediction_flags, sweep_flags, DirectionPredictor, TageScL, TageSclConfig};
+use bp_pipeline::{simulate, simulate_interleaved, InterleaveGroup, PipelineConfig, SweepReplay};
+use bp_predictors::{
+    misprediction_flags, sweep_flags, DirectionPredictor, PredictorSpec, TageScL, TageSclConfig,
+};
 use bp_trace::{BptrReader, TraceReader};
 use bp_workloads::{lcf_suite, specint_suite};
 
@@ -271,6 +282,93 @@ fn run_suite(opts: &Options) -> PerfReport {
                 }
             }
             cycles
+        },
+    ));
+
+    // The heterogeneous grid's inner loop: sixteen mixed predictor specs
+    // (TAGE-SC-L storage points, ablations, classical baselines, bounds)
+    // trained as lanes in one lockstep walk, then one prepared trace
+    // replayed as a 16-wide lane chunk at every pipeline scale — 96
+    // simulations from two passes over the trace. The per-config twin
+    // keeps the shape this replaced (one solo training walk per spec,
+    // one scalar replay per cell) so the grid speedup is baseline-gated.
+    let grid_specs = PredictorSpec::hetero_grid();
+    let grid_sims = grid_specs.len() as u64 * PipelineConfig::SCALES.len() as u64;
+    measurements.push(perf::measure(
+        "sweep/hetero-grid",
+        lcf_trace.len() as u64 * grid_sims,
+        lcf_branches * grid_sims,
+        warmup,
+        samples,
+        || {
+            let mut predictors = PredictorSpec::build_all(&grid_specs);
+            let per_spec = sweep_flags(&mut predictors, &lcf_trace);
+            let lanes: Vec<&[bool]> = per_spec.iter().map(Vec::as_slice).collect();
+            let sweep = SweepReplay::new(&lcf_trace, &cfg);
+            let mut cycles = 0u64;
+            for scale in PipelineConfig::SCALES {
+                for stats in sweep.simulate_many(&lanes, &cfg.scaled(scale)) {
+                    cycles += stats.cycles;
+                }
+            }
+            cycles
+        },
+    ));
+    measurements.push(perf::measure(
+        "sweep/hetero-grid-per-config",
+        lcf_trace.len() as u64 * grid_sims,
+        lcf_branches * grid_sims,
+        warmup,
+        samples,
+        || {
+            let per_spec: Vec<Vec<bool>> = grid_specs
+                .iter()
+                .map(|s| misprediction_flags(s.build().as_mut(), &lcf_trace))
+                .collect();
+            let mut cycles = 0u64;
+            for scale in PipelineConfig::SCALES {
+                let scaled = cfg.scaled(scale);
+                for lane in &per_spec {
+                    cycles += simulate(&lcf_trace, lane, &scaled).cycles;
+                }
+            }
+            cycles
+        },
+    ));
+
+    // Pure replay: both pinned traces' 16-lane chunk cursors interleaved
+    // in 8K-instruction slices. Training and preparation stay outside
+    // the timed region, so this isolates the lane-vector replay loop —
+    // the aggregate lane-records/s ceiling every sweep study shares.
+    let spec_grid_flags: Vec<Vec<bool>> = {
+        let mut predictors = PredictorSpec::build_all(&grid_specs);
+        sweep_flags(&mut predictors, &spec_trace)
+    };
+    let lcf_grid_flags: Vec<Vec<bool>> = {
+        let mut predictors = PredictorSpec::build_all(&grid_specs);
+        sweep_flags(&mut predictors, &lcf_trace)
+    };
+    let spec_lanes: Vec<&[bool]> = spec_grid_flags.iter().map(Vec::as_slice).collect();
+    let lcf_lanes: Vec<&[bool]> = lcf_grid_flags.iter().map(Vec::as_slice).collect();
+    let spec_sweep = SweepReplay::new(&spec_trace, &cfg);
+    let lcf_sweep = SweepReplay::new(&lcf_trace, &cfg);
+    let lanes_per_group = grid_specs.len() as u64;
+    measurements.push(perf::measure(
+        "sweep/interleave-2trace",
+        (spec_trace.len() as u64 + lcf_trace.len() as u64) * lanes_per_group,
+        (spec_branches + lcf_branches) * lanes_per_group,
+        warmup,
+        samples,
+        || {
+            let groups = [
+                InterleaveGroup::new(&spec_sweep, &spec_lanes, &cfg),
+                InterleaveGroup::new(&lcf_sweep, &lcf_lanes, &cfg),
+            ];
+            simulate_interleaved(&groups, 8192)
+                .iter()
+                .flatten()
+                .map(|s| s.cycles)
+                .sum::<u64>()
         },
     ));
 

@@ -15,10 +15,11 @@ use std::sync::Arc;
 use bp_analysis::{BranchProfile, H2pCriteria};
 use bp_pipeline::{simulate, PipelineConfig, SweepReplay};
 use bp_predictors::{
-    misprediction_flags, sweep_flags, DirectionPredictor, PerfectSetOracle, TageScL, TageSclConfig,
+    misprediction_flags, sweep_flags, sweep_flags_stream, DirectionPredictor, PerfectSetOracle,
+    PredictorSpec, TageScL, TageSclConfig,
 };
 use bp_trace::Trace;
-use bp_workloads::WorkloadSpec;
+use bp_workloads::{TraceStore, WorkloadSpec};
 
 use crate::config::DatasetConfig;
 use crate::parallel::Engine;
@@ -210,6 +211,12 @@ pub fn storage_scaling_study(
 }
 
 /// [`storage_scaling_study`] on an explicit [`Engine`].
+///
+/// Fully streamed: both the lockstep predictor pass and the replay
+/// preparation consume the trace through [`TraceStore::stream`], so a
+/// workload whose trace lives on disk is never materialized — peak
+/// memory is bounded by the prepared 12-byte records plus one flag
+/// stream per storage point, independent of decode blocking.
 #[must_use]
 pub fn storage_scaling_study_with(
     engine: Engine,
@@ -222,8 +229,6 @@ pub fn storage_scaling_study_with(
     let storages = TageSclConfig::STORAGE_POINTS_KB.to_vec();
     let base_cfg = PipelineConfig::skylake();
     let rows: Vec<StorageScalingRow> = engine.map(specs, |_, spec| {
-        let trace = spec.cached_trace(0, config.trace_len);
-        let perfect = vec![false; trace.conditional_branch_count()];
         // All storage points train through one pass over the branch
         // stream — this is the sweep the single-pass engine exists for.
         let mut predictors: Vec<Box<dyn DirectionPredictor>> = storages
@@ -232,7 +237,11 @@ pub fn storage_scaling_study_with(
                 Box::new(TageScL::new(TageSclConfig::storage_kb(kb))) as Box<dyn DirectionPredictor>
             })
             .collect();
-        let flags_per_storage = sweep_flags(&mut predictors, &trace);
+        let store = TraceStore::global();
+        let flags_per_storage =
+            sweep_flags_stream(&mut predictors, store.stream(spec, 0, config.trace_len))
+                .expect("stream trace for storage sweep");
+        let perfect = vec![false; flags_per_storage[0].len()];
         // Lane order: the 8KB baseline, the perfect bound, then every
         // storage point (8KB replays twice so each lane maps 1:1 onto
         // the per-config sims it replaced).
@@ -240,7 +249,8 @@ pub fn storage_scaling_study_with(
         lanes.push(&flags_per_storage[0]);
         lanes.push(&perfect);
         lanes.extend(flags_per_storage.iter().map(Vec::as_slice));
-        let sweep = SweepReplay::new(&trace, &base_cfg);
+        let sweep = SweepReplay::prepare(store.stream(spec, 0, config.trace_len), &base_cfg)
+            .expect("stream trace for replay prepare");
         let mut gap_closed = Vec::with_capacity(scales.len());
         for &scale in &scales {
             let cfg = base_cfg.scaled(scale);
@@ -263,6 +273,97 @@ pub fn storage_scaling_study_with(
     StorageScalingStudy {
         scales,
         storages_kb: storages,
+        rows,
+    }
+}
+
+/// One application's heterogeneous-grid result.
+#[derive(Clone, Debug)]
+pub struct HeteroGridRow {
+    /// Workload name.
+    pub name: String,
+    /// `ipc[scale_index][spec_index]`, aligned with
+    /// [`HeteroGridStudy::scales`] and [`HeteroGridStudy::specs`].
+    pub ipc: Vec<Vec<f64>>,
+    /// Mispredictions per kilo-instruction per spec (scale-independent:
+    /// the misprediction stream is fixed before replay).
+    pub mpki: Vec<f64>,
+}
+
+/// The heterogeneous per-workload grid: every registered predictor
+/// configuration at every pipeline scale.
+#[derive(Clone, Debug)]
+pub struct HeteroGridStudy {
+    /// Pipeline scaling factors.
+    pub scales: Vec<u32>,
+    /// Predictor lineup, in lane order.
+    pub specs: Vec<PredictorSpec>,
+    /// One row per application.
+    pub rows: Vec<HeteroGridRow>,
+}
+
+/// Runs the heterogeneous predictor grid over `workloads`: the
+/// [`PredictorSpec::hetero_grid`] lineup (mixed TAGE-SC-L storage
+/// points, TAGE-only/TAGE-L ablations, classical baselines, and the
+/// always-taken/perfect bounds) trained as lanes in **one** lockstep
+/// walk of each trace, then replayed as 16 lane-vector streams at every
+/// pipeline scale from **one** prepared trace.
+///
+/// This is the single-pass form of the paper's per-workload grids: per
+/// workload, the trace is streamed twice ([`TraceStore::stream`] — once
+/// to train all predictors, once to prepare the replay) regardless of
+/// how many (predictor, scale) cells the grid has, and never
+/// materialized when the on-disk cache holds it.
+#[must_use]
+pub fn hetero_grid_study(workloads: &[WorkloadSpec], config: &DatasetConfig) -> HeteroGridStudy {
+    hetero_grid_study_with(Engine::from_env(), workloads, config)
+}
+
+/// [`hetero_grid_study`] on an explicit [`Engine`]. Results are
+/// identical for any thread count: each workload's grid is computed
+/// independently and collected in workload order.
+#[must_use]
+pub fn hetero_grid_study_with(
+    engine: Engine,
+    workloads: &[WorkloadSpec],
+    config: &DatasetConfig,
+) -> HeteroGridStudy {
+    let _timer = bp_metrics::stage("study.hetero_grid");
+    bp_metrics::Counter::get("study.hetero_grid.workloads").add(workloads.len() as u64);
+    let scales = PipelineConfig::SCALES.to_vec();
+    let grid_specs = PredictorSpec::hetero_grid();
+    let base_cfg = PipelineConfig::skylake();
+    let rows: Vec<HeteroGridRow> = engine.map(workloads, |_, spec| {
+        let store = TraceStore::global();
+        let mut predictors = PredictorSpec::build_all(&grid_specs);
+        let flags = sweep_flags_stream(&mut predictors, store.stream(spec, 0, config.trace_len))
+            .expect("stream trace for grid sweep");
+        let lanes: Vec<&[bool]> = flags.iter().map(Vec::as_slice).collect();
+        let sweep = SweepReplay::prepare(store.stream(spec, 0, config.trace_len), &base_cfg)
+            .expect("stream trace for replay prepare");
+        let insts = sweep.len().max(1) as f64;
+        let mut ipc = Vec::with_capacity(scales.len());
+        let mut mpki = Vec::new();
+        for &scale in &scales {
+            let cfg = base_cfg.scaled(scale);
+            let stats = sweep.simulate_many(&lanes, &cfg);
+            if mpki.is_empty() {
+                mpki = stats
+                    .iter()
+                    .map(|s| s.mispredictions as f64 * 1000.0 / insts)
+                    .collect();
+            }
+            ipc.push(stats.iter().map(bp_pipeline::SimStats::ipc).collect());
+        }
+        HeteroGridRow {
+            name: spec.name.clone(),
+            ipc,
+            mpki,
+        }
+    });
+    HeteroGridStudy {
+        scales,
+        specs: grid_specs,
         rows,
     }
 }

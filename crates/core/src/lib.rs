@@ -37,9 +37,10 @@ pub use characterize::{
 };
 pub use config::DatasetConfig;
 pub use experiment::{
-    ipc_of, rare_oracle_study, rare_oracle_study_with, scaling_study, scaling_study_with,
-    storage_scaling_study, storage_scaling_study_with, RareOracleRow, ScalingSeries, ScalingStudy,
-    StorageScalingRow, StorageScalingStudy,
+    hetero_grid_study, hetero_grid_study_with, ipc_of, rare_oracle_study, rare_oracle_study_with,
+    scaling_study, scaling_study_with, storage_scaling_study, storage_scaling_study_with,
+    HeteroGridRow, HeteroGridStudy, RareOracleRow, ScalingSeries, ScalingStudy, StorageScalingRow,
+    StorageScalingStudy,
 };
 pub use parallel::{thread_count, Engine, TaskError};
 pub use report::{f3, pct, Report, ReportItem, Table};

@@ -1,0 +1,5 @@
+//! Standalone shim for the heterogeneous predictor grid study.
+
+fn main() {
+    bp_experiments::cli::study_shim("grid");
+}

@@ -67,6 +67,14 @@ pub fn registry() -> StudyRegistry {
         },
         |ctx| studies::baselines_report(&ctx.dataset),
     )));
+    reg.register(Box::new(FnStudy::new(
+        StudyInfo {
+            name: "grid",
+            title: "Heterogeneous grid: every predictor lane at every pipeline scale, one pass per workload",
+            kind: StudyKind::Standalone,
+        },
+        |ctx| reports::grid_report(&ctx.dataset),
+    )));
     report(
         &mut reg,
         "fig3",

@@ -17,8 +17,8 @@ use bp_analysis::{
     RecurrenceAnalysis,
 };
 use bp_core::{
-    characterize_workload, f3, pct, rare_oracle_study, scaling_study, storage_scaling_study,
-    DatasetConfig, Table,
+    characterize_workload, f3, hetero_grid_study, pct, rare_oracle_study, scaling_study,
+    storage_scaling_study, DatasetConfig, Table,
 };
 use bp_predictors::TageScL;
 use bp_trace::SliceConfig;
@@ -468,5 +468,50 @@ pub fn fig9_report(cfg: &DatasetConfig) -> Report {
         .map(|(l, _)| l.clone())
         .unwrap_or_default();
     report.note(format!("peak bin (excluding singletons): {peak} (paper: 100K-1M)"));
+    report
+}
+
+/// Heterogeneous predictor grid: every [`bp_predictors::PredictorSpec`]
+/// in the grid lineup at every pipeline scale, one single-pass sweep per
+/// workload.
+#[must_use]
+pub fn grid_report(cfg: &DatasetConfig) -> Report {
+    let study = hetero_grid_study(&lcf_suite(), cfg);
+    let labels: Vec<String> = study.specs.iter().map(|s| s.label()).collect();
+    let mut report = Report::new();
+    for (si, &scale) in study.scales.iter().enumerate() {
+        let mut headers = vec!["application".to_owned()];
+        headers.extend(labels.iter().cloned());
+        let mut table = Table::new(headers.iter().map(String::as_str).collect());
+        for row in &study.rows {
+            let mut cells = vec![row.name.clone()];
+            cells.extend(row.ipc[si].iter().map(|&v| f3(v)));
+            table.row(cells);
+        }
+        report.section(
+            format!("Grid ({scale}x pipeline): IPC per predictor lane"),
+            format!("grid_{scale}x"),
+            table,
+        );
+    }
+    let mut headers = vec!["application".to_owned()];
+    headers.extend(labels.iter().cloned());
+    let mut mpki_table = Table::new(headers.iter().map(String::as_str).collect());
+    for row in &study.rows {
+        let mut cells = vec![row.name.clone()];
+        cells.extend(row.mpki.iter().map(|&v| format!("{v:.2}")));
+        mpki_table.row(cells);
+    }
+    report.section(
+        "Grid: mispredictions per kilo-instruction (scale-independent)",
+        "grid_mpki",
+        mpki_table,
+    );
+    report.note(format!(
+        "single pass per workload: {} predictor lanes trained in one lockstep walk, {} scales replayed from one prepared trace ({} cells)",
+        study.specs.len(),
+        study.scales.len(),
+        study.specs.len() * study.scales.len(),
+    ));
     report
 }

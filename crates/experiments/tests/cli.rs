@@ -24,9 +24,10 @@ const LEGACY_BINS: [&str; 16] = [
     "alloc_stats", "fig7", "fig8", "fig9", "fig10", "helpers", "ablation",
 ];
 
-/// Every study fixture recorded from the legacy binaries at `--quick`.
-const GOLDEN: [&str; 9] = [
-    "table1", "table2", "fig1", "fig2", "fig3", "fig5", "fig7", "fig8", "fig9",
+/// Every study fixture recorded from the legacy binaries at `--quick`
+/// (plus `grid`, recorded from the single-pass study when it landed).
+const GOLDEN: [&str; 10] = [
+    "table1", "table2", "fig1", "fig2", "fig3", "fig5", "fig7", "fig8", "fig9", "grid",
 ];
 
 #[test]
@@ -42,15 +43,17 @@ fn registry_covers_every_study_binary() {
     assert_eq!(
         reg.names(),
         vec![
-            "table1", "fig1", "fig2", "table2", "baselines", "fig3", "fig4", "fig5",
-            "table3", "fig6", "alloc_stats", "fig7", "fig8", "fig9", "fig10",
+            "table1", "fig1", "fig2", "table2", "baselines", "grid", "fig3", "fig4",
+            "fig5", "table3", "fig6", "alloc_stats", "fig7", "fig8", "fig9", "fig10",
             "helpers", "ablation", "calibrate", "debug_ipc",
         ]
     );
-    assert_eq!(
-        reg.get("baselines").unwrap().info().kind,
-        StudyKind::Standalone
-    );
+    for standalone in ["baselines", "grid"] {
+        assert_eq!(
+            reg.get(standalone).unwrap().info().kind,
+            StudyKind::Standalone
+        );
+    }
     for probe in ["calibrate", "debug_ipc"] {
         assert_eq!(reg.get(probe).unwrap().info().kind, StudyKind::Probe);
     }

@@ -1,0 +1,218 @@
+//! Explicit fixed-width SIMD lane vectors for lockstep replay.
+//!
+//! [`SweepReplay`](crate::SweepReplay) steps up to 16 independent
+//! simulations through one pass over a prepared trace. All per-lane state
+//! is held in [`LaneVec`] values — thin `[C; K]` wrappers whose
+//! operations are written as straight-line per-lane loops that LLVM
+//! reliably auto-vectorizes (`max`/`add`/`select` over 4–16 integer
+//! lanes compile to packed vector instructions on any SIMD ISA the
+//! target offers, with scalar fallback elsewhere; no intrinsics, no
+//! `unsafe`).
+//!
+//! The module is public so the replay loop's primitives can be property
+//! tested against per-lane scalar loops (see
+//! `crates/pipeline/tests/lane_properties.rs`): every operation here is
+//! required to be *exactly* the lane-wise lift of its scalar
+//! counterpart, which is what makes a 16-lane replay bit-identical to 16
+//! scalar replays.
+//!
+//! Lane *masks* are plain `u32` bit sets (bit `k` = lane `k`), so a
+//! single integer test skips the masked path when no lane is affected —
+//! the common case for well-trained predictors. `K` may not exceed
+//! [`MAX_LANES`].
+
+/// Maximum lanes per [`LaneVec`]: masks are `u32` bit sets.
+pub const MAX_LANES: usize = 32;
+
+/// A lane timestamp word: `u64`, or `u32` when a prepare-time bound
+/// proves no timestamp can overflow it (see
+/// [`SweepReplay`](crate::SweepReplay)).
+///
+/// Only the operations the replay loop performs are abstracted; all of
+/// them are exact (never wrapping) for in-bound timestamps, so the two
+/// widths produce bit-identical results.
+pub trait CycleWord: Copy + Default + Ord + std::fmt::Debug {
+    /// The constant 1, for the loop's `+ 1` steps.
+    const ONE: Self;
+    /// Converts from `u64`; the caller guarantees `v` fits.
+    fn narrow(v: u64) -> Self;
+    /// Converts back to `u64` (always lossless).
+    fn widen(self) -> u64;
+    /// Exact addition (caller-guaranteed not to overflow).
+    fn add(self, rhs: Self) -> Self;
+    /// Saturating subtraction, mirroring the scalar loop's
+    /// `saturating_sub`.
+    fn sub_sat(self, rhs: Self) -> Self;
+}
+
+macro_rules! impl_cycle_word {
+    ($($ty:ty),*) => {$(
+        impl CycleWord for $ty {
+            const ONE: Self = 1;
+            #[inline(always)]
+            fn narrow(v: u64) -> Self {
+                v as Self
+            }
+            #[inline(always)]
+            fn widen(self) -> u64 {
+                u64::from(self)
+            }
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                self + rhs
+            }
+            #[inline(always)]
+            fn sub_sat(self, rhs: Self) -> Self {
+                self.saturating_sub(rhs)
+            }
+        }
+    )*};
+}
+
+impl_cycle_word!(u32, u64);
+
+/// `K` per-lane words stepped in lockstep.
+///
+/// Every method is the exact lane-wise lift of a scalar operation: lane
+/// `k` of the result depends only on lane `k` of the inputs (and bit `k`
+/// of a mask), never on its neighbours. `K` must be at most
+/// [`MAX_LANES`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct LaneVec<C, const K: usize>(pub [C; K]);
+
+impl<C: CycleWord, const K: usize> Default for LaneVec<C, K> {
+    fn default() -> Self {
+        LaneVec([C::default(); K])
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // index k runs over parallel lane arrays
+impl<C: CycleWord, const K: usize> LaneVec<C, K> {
+    /// Compile-time guard: masks are `u32`, so at most [`MAX_LANES`]
+    /// lanes.
+    const FITS_MASK: () = assert!(K <= MAX_LANES, "LaneVec is limited to MAX_LANES lanes");
+
+    /// All lanes set to `v`.
+    #[inline(always)]
+    #[must_use]
+    pub fn splat(v: C) -> Self {
+        let () = Self::FITS_MASK;
+        LaneVec([v; K])
+    }
+
+    /// Lane-wise maximum.
+    #[inline(always)]
+    #[must_use]
+    pub fn max(self, rhs: Self) -> Self {
+        let mut out = self;
+        for k in 0..K {
+            out.0[k] = if rhs.0[k] > out.0[k] { rhs.0[k] } else { out.0[k] };
+        }
+        out
+    }
+
+    /// Adds the scalar `rhs` to every lane (exact; the caller guarantees
+    /// no overflow, as with [`CycleWord::add`]).
+    #[inline(always)]
+    #[must_use]
+    pub fn add_scalar(self, rhs: C) -> Self {
+        let mut out = self;
+        for k in 0..K {
+            out.0[k] = out.0[k].add(rhs);
+        }
+        out
+    }
+
+    /// Lane-wise saturating subtraction (`max(self - rhs, 0)` per lane).
+    #[inline(always)]
+    #[must_use]
+    pub fn sub_sat(self, rhs: Self) -> Self {
+        let mut out = self;
+        for k in 0..K {
+            out.0[k] = out.0[k].sub_sat(rhs.0[k]);
+        }
+        out
+    }
+
+    /// The masked saturating update: lanes whose mask bit is set take
+    /// `max(self, rhs)`, all other lanes keep their value. This is the
+    /// redirect-skip primitive — a mispredicting lane advances its
+    /// front-end redirect base while correctly-predicting lanes are
+    /// untouched.
+    #[inline(always)]
+    #[must_use]
+    pub fn masked_max(self, mask: u32, rhs: Self) -> Self {
+        let mut out = self;
+        for k in 0..K {
+            let take = mask & (1 << k) != 0 && rhs.0[k] > out.0[k];
+            out.0[k] = if take { rhs.0[k] } else { out.0[k] };
+        }
+        out
+    }
+
+    /// Lane select: lanes whose mask bit is set come from `a`, the rest
+    /// from `b`.
+    #[inline(always)]
+    #[must_use]
+    pub fn select(mask: u32, a: Self, b: Self) -> Self {
+        let mut out = b;
+        for k in 0..K {
+            if mask & (1 << k) != 0 {
+                out.0[k] = a.0[k];
+            }
+        }
+        out
+    }
+
+    /// Bit mask of lanes where `self > rhs`.
+    #[inline(always)]
+    #[must_use]
+    pub fn gt_mask(self, rhs: Self) -> u32 {
+        let mut m = 0u32;
+        for k in 0..K {
+            m |= u32::from(self.0[k] > rhs.0[k]) << k;
+        }
+        m
+    }
+
+    /// Widens every lane to `u64` (lossless).
+    #[inline(always)]
+    #[must_use]
+    pub fn widen(self) -> LaneVec<u64, K> {
+        let mut out = LaneVec([0u64; K]);
+        for k in 0..K {
+            out.0[k] = self.0[k].widen();
+        }
+        out
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // index k runs over parallel lane arrays
+impl<const K: usize> LaneVec<u64, K> {
+    /// Adds 1 to every lane whose mask bit is set — the lane-wise lift of
+    /// `counter += u64::from(condition)`.
+    #[inline(always)]
+    pub fn add_mask_bits(&mut self, mask: u32) {
+        for k in 0..K {
+            self.0[k] += u64::from(mask & (1 << k) != 0);
+        }
+    }
+
+    /// Adds `delta`'s lanes into the masked lanes only.
+    #[inline(always)]
+    pub fn add_masked(&mut self, mask: u32, delta: LaneVec<u64, K>) {
+        for k in 0..K {
+            if mask & (1 << k) != 0 {
+                self.0[k] += delta.0[k];
+            }
+        }
+    }
+
+    /// Sum of all lanes.
+    #[inline(always)]
+    #[must_use]
+    pub fn lane_sum(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}

@@ -25,13 +25,14 @@
 
 mod cache;
 mod config;
+pub mod lanes;
 mod scoreboard;
 mod sweep;
 
 pub use cache::{CacheConfig, CacheModel};
 pub use config::PipelineConfig;
 pub use scoreboard::{simulate, SimStats};
-pub use sweep::SweepReplay;
+pub use sweep::{simulate_interleaved, InterleaveGroup, SweepReplay};
 
 use bp_predictors::{misprediction_flags, DirectionPredictor};
 use bp_trace::Trace;

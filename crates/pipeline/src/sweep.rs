@@ -2,7 +2,8 @@
 //!
 //! Every IPC study in `bp-core` replays the *same* trace under many
 //! predictor or pipeline configurations — the Fig. 7 storage sweep alone
-//! simulates each workload 48 times. [`simulate`](crate::simulate)
+//! simulates each workload 48 times, and the heterogeneous grid study
+//! replays 16 different predictors at 6 scalings. [`simulate`](crate::simulate)
 //! re-decodes the trace on every call: it re-walks 64-byte
 //! [`RetiredInst`](bp_trace::RetiredInst) records, re-runs the cache
 //! model, and re-resolves store→load forwarding through a hash map, even
@@ -19,27 +20,42 @@
 //!   forwarding *link* (the ordinal of the latest earlier store to the
 //!   same address — the one `AddrMap` lookup the scalar loop performs).
 //! * **Replay** ([`SweepReplay::simulate_many`]): iterate the prepared
-//!   records once while stepping up to 8 misprediction-flag lanes in
+//!   records once while stepping up to 16 misprediction-flag lanes in
 //!   lockstep. All per-lane state (register scoreboard, rings, store
-//!   ready cycles) is stored as `[C; K]` lane vectors, so the inner loop
-//!   is straight-line `max`/`add` lane arithmetic that the compiler
-//!   auto-vectorizes. The timestamp word `C` is `u32` whenever a
-//!   prepare-time bound proves no timestamp can overflow it (true for
-//!   any realistically-sized trace), halving lane-state memory traffic;
-//!   `u64` remains as the exact fallback.
+//!   ready cycles) is stored as [`LaneVec`](crate::lanes::LaneVec) lane
+//!   vectors, so the inner loop is straight-line `max`/`add` lane
+//!   arithmetic that the compiler auto-vectorizes. The timestamp word `C`
+//!   is `u32` whenever a prepare-time bound proves no timestamp can
+//!   overflow it (true for any realistically-sized trace), halving
+//!   lane-state memory traffic; `u64` remains as the exact fallback.
+//!
+//! Lane counts that are not powers of two decompose into *chunked lane
+//! groups*: 27 streams replay as 16 + 8 + 2 + 1 lanes, each chunk with
+//! its own freshly transposed mask stream, so a ragged tail never runs
+//! against a stale mask (`lane_chunks` is unit-tested for every count).
+//!
+//! Independent prepared traces can additionally be *interleaved* through
+//! [`simulate_interleaved`]: each trace's lane chunks become resumable
+//! cursors that round-robin in bounded instruction slices, so two
+//! workloads' table-miss stalls overlap instead of serializing. Cursors
+//! share no state, so the result is exactly the per-group
+//! [`SweepReplay::simulate_many`] output regardless of interleave
+//! granularity.
 //!
 //! Replay is **bit-identical** to the scalar loop: every lane performs the
 //! same integer arithmetic in the same order as one
 //! [`simulate`](crate::simulate) call, and the `bp-metrics` pipeline
 //! counters advance exactly as if each lane had been its own scalar run
 //! (one `pipeline.sim_runs` per lane, summed cycle/flush/bubble totals).
-//! `tests/sweep_equivalence` in this crate and the unchanged golden
-//! fixtures lock this in.
+//! The in-crate sweep tests, `tests/lane_properties.rs` in this crate,
+//! `tests/differential.rs` at the workspace root, and the unchanged
+//! golden fixtures lock this in.
 
 use bp_trace::{InstClass, ReadTraceError, Trace, TraceReader, NUM_REGS};
 
 use crate::cache::{CacheConfig, CacheModel};
 use crate::config::PipelineConfig;
+use crate::lanes::{CycleWord, LaneVec};
 use crate::scoreboard::{AddrMap, PipeCounters, SimStats};
 
 /// Source-register slot that always reads 0 (encodes `src: None`).
@@ -261,17 +277,20 @@ impl SweepReplay {
     #[must_use]
     pub fn simulate(&self, mispredicted: &[bool], config: &PipelineConfig) -> SimStats {
         let mut out = [SimStats::default()];
-        self.replay_chunk(&[mispredicted], config, &mut out);
+        let mut cursor = self.chunk_cursor(&[mispredicted], config);
+        cursor.advance(usize::MAX);
+        cursor.finish(&mut out);
         out[0]
     }
 
     /// Replays every stream in `flag_streams` through one pass over the
     /// prepared trace, returning one [`SimStats`] per stream in order.
     ///
-    /// Streams are stepped in lockstep, 8 lanes at a time; each lane's
-    /// result (and its contribution to the `bp-metrics` pipeline
-    /// counters) is identical to a scalar [`simulate`](crate::simulate)
-    /// call with the same flags.
+    /// Streams are stepped in lockstep, up to 16 lanes at a time (ragged
+    /// counts decompose into 16/8/4/2/1-lane chunks, each with its own
+    /// mask stream); each lane's result (and its contribution to the
+    /// `bp-metrics` pipeline counters) is identical to a scalar
+    /// [`simulate`](crate::simulate) call with the same flags.
     ///
     /// # Panics
     ///
@@ -284,21 +303,10 @@ impl SweepReplay {
         let mut out = vec![SimStats::default(); flag_streams.len()];
         let mut done = 0;
         while done < flag_streams.len() {
-            let left = flag_streams.len() - done;
-            let take = if left >= 8 {
-                8
-            } else if left >= 4 {
-                4
-            } else if left >= 2 {
-                2
-            } else {
-                1
-            };
-            self.replay_chunk(
-                &flag_streams[done..done + take],
-                config,
-                &mut out[done..done + take],
-            );
+            let take = lane_chunk(flag_streams.len() - done);
+            let mut cursor = self.chunk_cursor(&flag_streams[done..done + take], config);
+            cursor.advance(usize::MAX);
+            cursor.finish(&mut out[done..done + take]);
             done += take;
         }
         out
@@ -320,177 +328,246 @@ impl SweepReplay {
             + self.cond_branches as u64 * u64::from(config.mispredict_penalty)
     }
 
-    /// Dispatches one ≤8-lane chunk to the monomorphized replay loop.
+    /// Builds the monomorphized resumable cursor for one lane chunk.
     ///
     /// Lane word width is chosen per call: when [`Self::cycle_bound`]
     /// fits in 32 bits — every realistically-sized trace — lanes run on
     /// `u32` timestamps, halving lane-state memory traffic and doubling
     /// SIMD density; otherwise the `u64` path keeps the result exact.
-    fn replay_chunk(&self, flags: &[&[bool]], config: &PipelineConfig, out: &mut [SimStats]) {
+    fn chunk_cursor<'a>(
+        &'a self,
+        flags: &[&'a [bool]],
+        config: &PipelineConfig,
+    ) -> Box<dyn LaneCursor + 'a> {
         assert!(
             config.cache == self.cache && config.mul_latency == self.mul_latency,
             "SweepReplay prepared under a different cache/mul-latency configuration"
         );
         let metrics = bp_metrics::enabled();
         let narrow = self.cycle_bound(config) < u64::from(u32::MAX);
-        match (flags.len(), metrics, narrow) {
-            (1, false, true) => self.replay_lanes::<1, false, u32>(flags, config, out),
-            (1, true, true) => self.replay_lanes::<1, true, u32>(flags, config, out),
-            (2, false, true) => self.replay_lanes::<2, false, u32>(flags, config, out),
-            (2, true, true) => self.replay_lanes::<2, true, u32>(flags, config, out),
-            (4, false, true) => self.replay_lanes::<4, false, u32>(flags, config, out),
-            (4, true, true) => self.replay_lanes::<4, true, u32>(flags, config, out),
-            (8, false, true) => self.replay_lanes::<8, false, u32>(flags, config, out),
-            (8, true, true) => self.replay_lanes::<8, true, u32>(flags, config, out),
-            (1, false, false) => self.replay_lanes::<1, false, u64>(flags, config, out),
-            (1, true, false) => self.replay_lanes::<1, true, u64>(flags, config, out),
-            (2, false, false) => self.replay_lanes::<2, false, u64>(flags, config, out),
-            (2, true, false) => self.replay_lanes::<2, true, u64>(flags, config, out),
-            (4, false, false) => self.replay_lanes::<4, false, u64>(flags, config, out),
-            (4, true, false) => self.replay_lanes::<4, true, u64>(flags, config, out),
-            (8, false, false) => self.replay_lanes::<8, false, u64>(flags, config, out),
-            (8, true, false) => self.replay_lanes::<8, true, u64>(flags, config, out),
-            (k, ..) => unreachable!("unsupported lane count {k}"),
+        macro_rules! dispatch {
+            ($($k:literal),*) => {
+                match (flags.len(), metrics, narrow) {
+                    $(
+                        ($k, false, true) => {
+                            Box::new(ChunkCursor::<$k, false, u32>::new(self, flags, config)) as _
+                        }
+                        ($k, true, true) => {
+                            Box::new(ChunkCursor::<$k, true, u32>::new(self, flags, config)) as _
+                        }
+                        ($k, false, false) => {
+                            Box::new(ChunkCursor::<$k, false, u64>::new(self, flags, config)) as _
+                        }
+                        ($k, true, false) => {
+                            Box::new(ChunkCursor::<$k, true, u64>::new(self, flags, config)) as _
+                        }
+                    )*
+                    (k, ..) => unreachable!("unsupported lane count {k}"),
+                }
+            };
         }
+        dispatch!(1, 2, 4, 8, 16)
     }
+}
 
-    /// The lockstep replay loop: the scalar `simulate_impl` arithmetic,
-    /// with every cycle variable widened to a `[C; K]` lane vector.
-    ///
-    /// `C` is the timestamp word (`u32` or `u64`); the caller guarantees
-    /// via [`Self::cycle_bound`] that no timestamp can overflow it, so
-    /// the lane arithmetic below is exact in either width. Counters that
-    /// accumulate across the whole trace (mispredictions, bubbles,
-    /// stalls) stay `u64` regardless.
-    #[allow(clippy::needless_range_loop)] // index k runs over parallel lane arrays
-    fn replay_lanes<const K: usize, const METRICS: bool, C: CycleWord>(
-        &self,
-        flags: &[&[bool]],
-        config: &PipelineConfig,
-        out: &mut [SimStats],
-    ) {
-        for lane_flags in flags {
+/// The largest supported lane-chunk size ≤ `left`.
+///
+/// `simulate_many` and the interleave cursors decompose any stream count
+/// into chunks of these sizes; because every chunk transposes its own
+/// flag streams into a fresh mask vector, a ragged tail (say 3 streams
+/// after a 16-lane chunk) can never replay against a previous chunk's
+/// mask.
+fn lane_chunk(left: usize) -> usize {
+    debug_assert!(left > 0);
+    match left {
+        16.. => 16,
+        8.. => 8,
+        4.. => 4,
+        2.. => 2,
+        _ => 1,
+    }
+}
+
+/// A resumable lane-chunk replay: the monomorphized hot loop behind both
+/// [`SweepReplay::simulate_many`] (one `advance(usize::MAX)`) and
+/// [`simulate_interleaved`] (bounded `advance` slices, round-robin).
+trait LaneCursor {
+    /// Replays up to `n` further prepared instructions; returns `true`
+    /// while instructions remain.
+    fn advance(&mut self, n: usize) -> bool;
+    /// Writes the final per-lane [`SimStats`] (and `bp-metrics` pipeline
+    /// counters) once the cursor has been advanced to the end of the
+    /// trace. `out` must hold exactly this chunk's lane count.
+    fn finish(self: Box<Self>, out: &mut [SimStats]);
+}
+
+/// The per-chunk lockstep replay state: the scalar `simulate_impl`
+/// arithmetic, with every cycle variable widened to a
+/// [`LaneVec<C, K>`] lane vector.
+///
+/// `C` is the timestamp word (`u32` or `u64`); the caller guarantees via
+/// `SweepReplay::cycle_bound` that no timestamp can overflow it, so the
+/// lane arithmetic below is exact in either width. Counters that
+/// accumulate across the whole trace (mispredictions, bubbles, stalls)
+/// stay `u64` regardless.
+struct ChunkCursor<'a, const K: usize, const METRICS: bool, C: CycleWord> {
+    replay: &'a SweepReplay,
+    /// One K-bit mask per conditional branch, transposed from the flag
+    /// streams at construction: the hot loop tests a single word, and
+    /// skips the lane update outright when no lane mispredicts — by far
+    /// the common case for the well-trained predictors these sweeps
+    /// compare.
+    masks: Vec<u32>,
+    /// Next prepared-instruction index.
+    pos: usize,
+    flag_idx: usize,
+    penalty: C,
+    /// Per-lane ready cycles per register slot (+ sentinels). A
+    /// power-of-two-sized array: `& (REG_SLOTS - 1)` indexing compiles to
+    /// an unchecked access.
+    reg_ready: [LaneVec<C, K>; REG_SLOTS],
+    /// Per-lane ready cycle of every forwarded store, by store ordinal.
+    store_done: Vec<LaneVec<C, K>>,
+    fetch_ring: LaneRing<K, C>,
+    /// ROB occupancy and retire bandwidth both constrain on the same
+    /// retirement sequence, just `rob_size` vs `retire_width` entries
+    /// back — one shared ring with two lagged cursors records it once.
+    retire_ring: LaggedRing<K, C>,
+    fetch_base: LaneVec<C, K>,
+    last_retire: LaneVec<C, K>,
+    refetch_bubbles: LaneVec<u64, K>,
+    rob_stalls: LaneVec<u64, K>,
+    mispredictions: LaneVec<u64, K>,
+    cond_branches: u64,
+}
+
+impl<'a, const K: usize, const METRICS: bool, C: CycleWord> ChunkCursor<'a, K, METRICS, C> {
+    fn new(replay: &'a SweepReplay, flags: &[&[bool]], config: &PipelineConfig) -> Self {
+        assert_eq!(flags.len(), K, "chunk size matches K");
+        let mut masks = vec![0u32; replay.cond_branches];
+        for (k, lane_flags) in flags.iter().enumerate() {
             assert!(
-                lane_flags.len() >= self.cond_branches,
+                lane_flags.len() >= replay.cond_branches,
                 "need one misprediction flag per conditional branch"
             );
+            for (m, &f) in masks.iter_mut().zip(*lane_flags) {
+                *m |= u32::from(f) << k;
+            }
         }
-        let n = self.insts.len() as u64;
+        ChunkCursor {
+            replay,
+            masks,
+            pos: 0,
+            flag_idx: 0,
+            penalty: C::narrow(u64::from(config.mispredict_penalty)),
+            reg_ready: [LaneVec::default(); REG_SLOTS],
+            store_done: vec![LaneVec::default(); replay.store_slots.max(1)],
+            fetch_ring: LaneRing::new(config.fetch_width as usize),
+            retire_ring: LaggedRing::new(config.rob_size as usize, config.retire_width as usize),
+            fetch_base: LaneVec::default(),
+            last_retire: LaneVec::default(),
+            refetch_bubbles: LaneVec::default(),
+            rob_stalls: LaneVec::default(),
+            mispredictions: LaneVec::default(),
+            cond_branches: 0,
+        }
+    }
+}
+
+impl<const K: usize, const METRICS: bool, C: CycleWord> LaneCursor
+    for ChunkCursor<'_, K, METRICS, C>
+{
+    fn advance(&mut self, n: usize) -> bool {
+        let end = self.pos.saturating_add(n).min(self.replay.insts.len());
+        // Hot lane vectors live in locals across the slice so the
+        // compiler keeps them in registers; ring/scoreboard state is
+        // memory-resident either way.
+        let mut fetch_base = self.fetch_base;
+        let mut last_retire = self.last_retire;
+        let mut flag_idx = self.flag_idx;
+        let mut cond_branches = self.cond_branches;
+        let penalty = self.penalty;
+
+        for inst in &self.replay.insts[self.pos..end] {
+            // Enter the window: front-end bandwidth, redirect stall, ROB.
+            let fetch_old = self.fetch_ring.oldest();
+            let rob_free = self.retire_ring.oldest_rob();
+            let bw_enter = fetch_base.max(fetch_old.add_scalar(C::ONE));
+            if METRICS {
+                self.rob_stalls.add_mask_bits(rob_free.gt_mask(bw_enter));
+            }
+            let enter = bw_enter.max(rob_free);
+            self.fetch_ring.record(enter);
+
+            // Dataflow: sources ready + latency (sentinel slots make the
+            // reads unconditional).
+            let s1 = self.reg_ready[inst.src1 as usize & (REG_SLOTS - 1)];
+            let s2 = self.reg_ready[inst.src2 as usize & (REG_SLOTS - 1)];
+            let latency = C::narrow(u64::from(inst.latency));
+            let mut done = enter.max(s1).max(s2).add_scalar(latency);
+            if inst.kind & KIND_LOAD_FWD != 0 {
+                let src = self.store_done[inst.link as usize];
+                done = done.max(src.add_scalar(C::ONE));
+            }
+            if inst.kind & KIND_STORE != 0 {
+                self.store_done[inst.link as usize] = done;
+            }
+            self.reg_ready[inst.dst as usize & (REG_SLOTS - 1)] = done;
+
+            // Branch handling: a mispredicted conditional branch stalls
+            // the front end until it resolves plus the refill penalty.
+            if inst.kind & KIND_BRANCH != 0 {
+                cond_branches += 1;
+                let mask = self.masks[flag_idx];
+                if mask != 0 {
+                    self.mispredictions.add_mask_bits(mask);
+                    let redirect = done.add_scalar(penalty);
+                    if METRICS {
+                        let bubbles = redirect.sub_sat(enter.add_scalar(C::ONE)).widen();
+                        self.refetch_bubbles.add_masked(mask, bubbles);
+                    }
+                    fetch_base = fetch_base.masked_max(mask, redirect);
+                }
+                flag_idx += 1;
+            }
+
+            // In-order retirement with bandwidth.
+            let bw_old = self.retire_ring.oldest_bw();
+            let retire = done.max(last_retire).max(bw_old.add_scalar(C::ONE));
+            self.retire_ring.record(retire);
+            last_retire = retire;
+        }
+
+        self.fetch_base = fetch_base;
+        self.last_retire = last_retire;
+        self.flag_idx = flag_idx;
+        self.cond_branches = cond_branches;
+        self.pos = end;
+        self.pos < self.replay.insts.len()
+    }
+
+    fn finish(self: Box<Self>, out: &mut [SimStats]) {
+        assert_eq!(out.len(), K, "output slice matches lane count");
+        assert_eq!(self.pos, self.replay.insts.len(), "cursor fully advanced");
+        let n = self.replay.insts.len() as u64;
         for s in out.iter_mut() {
             *s = SimStats {
                 instructions: n,
                 ..SimStats::default()
             };
         }
-        if self.insts.is_empty() {
+        if self.replay.insts.is_empty() {
             // The scalar loop returns before touching the cache floor or
             // the metrics counters; so do we.
             return;
         }
-        let flags: &[&[bool]; K] = flags.try_into().expect("chunk size matches K");
-
-        // Transpose the flag streams into one K-bit mask per branch: the
-        // hot loop then tests a single byte, and skips the lane loop
-        // outright when no lane mispredicts — by far the common case for
-        // the well-trained predictors these sweeps compare.
-        let mut masks = vec![0u8; self.cond_branches];
-        for (k, lane_flags) in flags.iter().enumerate() {
-            for (m, &f) in masks.iter_mut().zip(*lane_flags) {
-                *m |= u8::from(f) << k;
-            }
-        }
-
-        // Per-lane ready cycles per register slot (+ sentinels). A stack
-        // array of power-of-two size: `& (REG_SLOTS - 1)` indexing below
-        // compiles to an unchecked access.
-        let mut reg_ready = [[C::default(); K]; REG_SLOTS];
-        // Per-lane ready cycle of every store, indexed by store ordinal.
-        let mut store_done = vec![[C::default(); K]; self.store_slots.max(1)];
-        let mut fetch_ring = LaneRing::<K, C>::new(config.fetch_width as usize);
-        // ROB occupancy and retire bandwidth both constrain on the same
-        // retirement sequence, just `rob_size` vs `retire_width` entries
-        // back — one shared ring with two lagged cursors records it once.
-        let mut retire_ring =
-            LaggedRing::<K, C>::new(config.rob_size as usize, config.retire_width as usize);
-        let mut fetch_base = [C::default(); K];
-        let mut last_retire = [C::default(); K];
-        let mut flag_idx = 0usize;
-        let penalty = C::narrow(u64::from(config.mispredict_penalty));
-
-        let mut refetch_bubbles = [0u64; K];
-        let mut rob_stalls = [0u64; K];
-        let mut mispredictions = [0u64; K];
-        let mut cond_branches = 0u64;
-
-        for inst in &self.insts {
-            // Enter the window: front-end bandwidth, redirect stall, ROB.
-            let fetch_old = fetch_ring.oldest();
-            let rob_free = retire_ring.oldest_rob();
-            let mut enter = [C::default(); K];
-            for k in 0..K {
-                let bw_enter = fetch_base[k].max(fetch_old[k].add(C::ONE));
-                if METRICS {
-                    rob_stalls[k] += u64::from(rob_free[k] > bw_enter);
-                }
-                enter[k] = bw_enter.max(rob_free[k]);
-            }
-            fetch_ring.record(&enter);
-
-            // Dataflow: sources ready + latency (sentinel slots make the
-            // reads unconditional).
-            let s1 = reg_ready[inst.src1 as usize & (REG_SLOTS - 1)];
-            let s2 = reg_ready[inst.src2 as usize & (REG_SLOTS - 1)];
-            let latency = C::narrow(u64::from(inst.latency));
-            let mut done = [C::default(); K];
-            for k in 0..K {
-                done[k] = enter[k].max(s1[k]).max(s2[k]).add(latency);
-            }
-            if inst.kind & KIND_LOAD_FWD != 0 {
-                let src = store_done[inst.link as usize];
-                for k in 0..K {
-                    done[k] = done[k].max(src[k].add(C::ONE));
-                }
-            }
-            if inst.kind & KIND_STORE != 0 {
-                store_done[inst.link as usize] = done;
-            }
-            reg_ready[inst.dst as usize & (REG_SLOTS - 1)] = done;
-
-            // Branch handling: a mispredicted conditional branch stalls
-            // the front end until it resolves plus the refill penalty.
-            if inst.kind & KIND_BRANCH != 0 {
-                cond_branches += 1;
-                let mask = masks[flag_idx];
-                if mask != 0 {
-                    for k in 0..K {
-                        if mask & (1 << k) != 0 {
-                            mispredictions[k] += 1;
-                            let redirect = done[k].add(penalty);
-                            if METRICS {
-                                refetch_bubbles[k] +=
-                                    redirect.sub_sat(enter[k].add(C::ONE)).widen();
-                            }
-                            fetch_base[k] = fetch_base[k].max(redirect);
-                        }
-                    }
-                }
-                flag_idx += 1;
-            }
-
-            // In-order retirement with bandwidth.
-            let bw_old = retire_ring.oldest_bw();
-            let mut retire = [C::default(); K];
-            for k in 0..K {
-                retire[k] = done[k].max(last_retire[k]).max(bw_old[k].add(C::ONE));
-            }
-            retire_ring.record(&retire);
-            last_retire = retire;
-        }
-
-        for k in 0..K {
-            out[k].cycles = last_retire[k].widen().max(self.floor_cycles).max(1);
-            out[k].cond_branches = cond_branches;
-            out[k].mispredictions = mispredictions[k];
+        for (k, s) in out.iter_mut().enumerate() {
+            s.cycles = self.last_retire.0[k]
+                .widen()
+                .max(self.replay.floor_cycles)
+                .max(1);
+            s.cond_branches = self.cond_branches;
+            s.mispredictions = self.mispredictions.0[k];
         }
 
         if METRICS {
@@ -500,58 +577,107 @@ impl SweepReplay {
             counters.sim_runs.add(K as u64);
             counters.instructions.add(n * K as u64);
             counters.cycles.add(out.iter().map(|s| s.cycles).sum());
-            counters.flushes.add(mispredictions.iter().sum());
-            counters.refetch_bubbles.add(refetch_bubbles.iter().sum());
-            counters.rob_stalls.add(rob_stalls.iter().sum());
+            counters.flushes.add(self.mispredictions.lane_sum());
+            counters.refetch_bubbles.add(self.refetch_bubbles.lane_sum());
+            counters.rob_stalls.add(self.rob_stalls.lane_sum());
         }
     }
 }
 
-/// A lane timestamp word: `u64`, or `u32` when the replay's
-/// [`SweepReplay::cycle_bound`] proves no timestamp can overflow it.
-///
-/// Only the operations the replay loop performs are abstracted; all of
-/// them are exact (never wrapping) for in-bound timestamps, so the two
-/// widths produce bit-identical results.
-trait CycleWord: Copy + Default + Ord {
-    /// The constant 1, for the loop's `+ 1` steps.
-    const ONE: Self;
-    /// Converts from `u64`; the caller guarantees `v` fits.
-    fn narrow(v: u64) -> Self;
-    /// Converts back to `u64` (always lossless).
-    fn widen(self) -> u64;
-    /// Exact addition (caller-guaranteed not to overflow).
-    fn add(self, rhs: Self) -> Self;
-    /// Saturating subtraction, mirroring the scalar loop's
-    /// `saturating_sub`.
-    fn sub_sat(self, rhs: Self) -> Self;
+/// One prepared trace plus its flag streams and pipeline configuration,
+/// for [`simulate_interleaved`].
+pub struct InterleaveGroup<'a> {
+    replay: &'a SweepReplay,
+    flags: &'a [&'a [bool]],
+    config: &'a PipelineConfig,
 }
 
-macro_rules! impl_cycle_word {
-    ($($ty:ty),*) => {$(
-        impl CycleWord for $ty {
-            const ONE: Self = 1;
-            #[inline(always)]
-            fn narrow(v: u64) -> Self {
-                v as Self
-            }
-            #[inline(always)]
-            fn widen(self) -> u64 {
-                u64::from(self)
-            }
-            #[inline(always)]
-            fn add(self, rhs: Self) -> Self {
-                self + rhs
-            }
-            #[inline(always)]
-            fn sub_sat(self, rhs: Self) -> Self {
-                self.saturating_sub(rhs)
+impl<'a> InterleaveGroup<'a> {
+    /// Bundles a prepared trace with the flag streams to replay against
+    /// it and the pipeline configuration to replay under. The usual
+    /// [`SweepReplay::simulate_many`] rules apply per group: every stream
+    /// needs one flag per conditional branch, and `config` must share the
+    /// preparation's cache hierarchy and multiply latency.
+    #[must_use]
+    pub fn new(
+        replay: &'a SweepReplay,
+        flags: &'a [&'a [bool]],
+        config: &'a PipelineConfig,
+    ) -> Self {
+        InterleaveGroup {
+            replay,
+            flags,
+            config,
+        }
+    }
+}
+
+/// Replays several independent prepared traces in interleaved lockstep.
+///
+/// Each group's lane chunks become resumable cursors; the cursors
+/// round-robin in `granularity`-instruction slices until every trace is
+/// exhausted. Interleaving lets one workload's compute-bound stretches
+/// overlap another's prepared-record and mask cache misses — the two
+/// streams prefetch independently — without threads.
+///
+/// Cursors share no state, so the output is **exactly** what each group's
+/// [`SweepReplay::simulate_many`] call would return, for every
+/// granularity (including `usize::MAX`, which degenerates to sequential
+/// replay); `crates/pipeline/tests/lane_properties.rs` locks this in.
+/// Returns one `Vec<SimStats>` per group, in group order.
+///
+/// # Panics
+///
+/// Panics if `granularity` is 0, or on any per-group violation of the
+/// [`SweepReplay::simulate_many`] contract (short flag streams, cache or
+/// multiply-latency mismatch).
+#[must_use]
+pub fn simulate_interleaved(
+    groups: &[InterleaveGroup<'_>],
+    granularity: usize,
+) -> Vec<Vec<SimStats>> {
+    assert!(granularity > 0, "interleave granularity must be positive");
+    struct Slot<'a> {
+        cursor: Box<dyn LaneCursor + 'a>,
+        group: usize,
+        lanes: std::ops::Range<usize>,
+        live: bool,
+    }
+    let mut slots: Vec<Slot<'_>> = Vec::new();
+    for (g, group) in groups.iter().enumerate() {
+        let mut done = 0;
+        while done < group.flags.len() {
+            let take = lane_chunk(group.flags.len() - done);
+            slots.push(Slot {
+                cursor: group
+                    .replay
+                    .chunk_cursor(&group.flags[done..done + take], group.config),
+                group: g,
+                lanes: done..done + take,
+                live: !group.replay.is_empty(),
+            });
+            done += take;
+        }
+    }
+    let mut any_live = slots.iter().any(|s| s.live);
+    while any_live {
+        any_live = false;
+        for slot in &mut slots {
+            if slot.live {
+                slot.live = slot.cursor.advance(granularity);
+                any_live |= slot.live;
             }
         }
-    )*};
+    }
+    let mut out: Vec<Vec<SimStats>> = groups
+        .iter()
+        .map(|g| vec![SimStats::default(); g.flags.len()])
+        .collect();
+    for slot in slots {
+        slot.cursor.finish(&mut out[slot.group][slot.lanes]);
+    }
+    out
 }
-
-impl_cycle_word!(u32, u64);
 
 /// A per-lane timestamp ring read at two different lags.
 ///
@@ -561,7 +687,7 @@ impl_cycle_word!(u32, u64);
 /// per constraint. Slots start at 0, matching a `LaneRing`'s behaviour
 /// for not-yet-seen history.
 struct LaggedRing<const K: usize, C: CycleWord> {
-    buf: Vec<[C; K]>,
+    buf: Vec<LaneVec<C, K>>,
     /// Next slot to write: the value `len` steps back.
     write: usize,
     /// Slot holding the value `rob` steps back.
@@ -576,7 +702,7 @@ impl<const K: usize, C: CycleWord> LaggedRing<K, C> {
         let bw = bw.max(1);
         let len = rob.max(bw);
         LaggedRing {
-            buf: vec![[C::default(); K]; len],
+            buf: vec![LaneVec::default(); len],
             write: 0,
             rob_cursor: (len - rob) % len,
             bw_cursor: (len - bw) % len,
@@ -585,21 +711,21 @@ impl<const K: usize, C: CycleWord> LaggedRing<K, C> {
 
     /// The retirement timestamp `rob` records ago (0 before that).
     #[inline]
-    fn oldest_rob(&self) -> [C; K] {
+    fn oldest_rob(&self) -> LaneVec<C, K> {
         self.buf[self.rob_cursor]
     }
 
     /// The retirement timestamp `bw` records ago (0 before that).
     #[inline]
-    fn oldest_bw(&self) -> [C; K] {
+    fn oldest_bw(&self) -> LaneVec<C, K> {
         self.buf[self.bw_cursor]
     }
 
     /// Records the current retirement timestamps and advances all
     /// cursors.
     #[inline]
-    fn record(&mut self, cycles: &[C; K]) {
-        self.buf[self.write] = *cycles;
+    fn record(&mut self, cycles: LaneVec<C, K>) {
+        self.buf[self.write] = cycles;
         let len = self.buf.len();
         self.write += 1;
         if self.write == len {
@@ -619,14 +745,14 @@ impl<const K: usize, C: CycleWord> LaggedRing<K, C> {
 /// A fixed-size ring of per-lane cycle timestamps with a shared cursor —
 /// the lane-vector form of the scalar loop's `CycleRing`.
 struct LaneRing<const K: usize, C: CycleWord> {
-    buf: Vec<[C; K]>,
+    buf: Vec<LaneVec<C, K>>,
     cursor: usize,
 }
 
 impl<const K: usize, C: CycleWord> LaneRing<K, C> {
     fn new(len: usize) -> Self {
         LaneRing {
-            buf: vec![[C::default(); K]; len.max(1)],
+            buf: vec![LaneVec::default(); len.max(1)],
             cursor: 0,
         }
     }
@@ -634,14 +760,14 @@ impl<const K: usize, C: CycleWord> LaneRing<K, C> {
     /// Timestamps `len` positions ago: the slot the next `record`
     /// overwrites.
     #[inline]
-    fn oldest(&self) -> [C; K] {
+    fn oldest(&self) -> LaneVec<C, K> {
         self.buf[self.cursor]
     }
 
     /// Records the current event's per-lane timestamps and advances.
     #[inline]
-    fn record(&mut self, cycles: &[C; K]) {
-        self.buf[self.cursor] = *cycles;
+    fn record(&mut self, cycles: LaneVec<C, K>) {
+        self.buf[self.cursor] = cycles;
         self.cursor += 1;
         if self.cursor == self.buf.len() {
             self.cursor = 0;
@@ -745,6 +871,22 @@ mod tests {
     }
 
     #[test]
+    fn sixteen_lanes_match_scalar() {
+        // A full 16-wide chunk — the widest monomorphization — must agree
+        // with 16 scalar replays.
+        let (t, branches) = mixed_trace(12_000);
+        let streams: Vec<Vec<bool>> = (0..16)
+            .map(|i| flag_stream(branches, 101 + i, (i * 5) % 70))
+            .collect();
+        let refs: Vec<&[bool]> = streams.iter().map(Vec::as_slice).collect();
+        let sweep = SweepReplay::new(&t, &cfg());
+        let many = sweep.simulate_many(&refs, &cfg());
+        for (f, got) in refs.iter().zip(&many) {
+            assert_eq!(*got, simulate(&t, f, &cfg()));
+        }
+    }
+
+    #[test]
     fn single_lane_matches_scalar() {
         let (t, branches) = mixed_trace(5_000);
         let flags = flag_stream(branches, 3, 20);
@@ -798,10 +940,31 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_interleaves_fine() {
+        let t = Trace::new(TraceMeta::new("empty", 0));
+        let (t2, branches) = mixed_trace(2_000);
+        let c = cfg();
+        let empty = SweepReplay::new(&t, &c);
+        let full = SweepReplay::new(&t2, &c);
+        let flags = flag_stream(branches, 9, 15);
+        let empty_flags: [&[bool]; 1] = [&[]];
+        let full_flags: [&[bool]; 1] = [&flags];
+        let out = simulate_interleaved(
+            &[
+                InterleaveGroup::new(&empty, &empty_flags, &c),
+                InterleaveGroup::new(&full, &full_flags, &c),
+            ],
+            64,
+        );
+        assert_eq!(out[0][0], simulate(&t, &[], &c));
+        assert_eq!(out[1][0], simulate(&t2, &flags, &c));
+    }
+
+    #[test]
     fn lane_count_is_transparent() {
-        // 1, 2, 4, 8 and ragged counts must all agree.
+        // 1, 2, 4, 8, 16 and ragged counts must all agree.
         let (t, branches) = mixed_trace(8_000);
-        let streams: Vec<Vec<bool>> = (0..11)
+        let streams: Vec<Vec<bool>> = (0..19)
             .map(|i| flag_stream(branches, 31 + i, (i * 7) % 60))
             .collect();
         let refs: Vec<&[bool]> = streams.iter().map(Vec::as_slice).collect();
@@ -809,6 +972,28 @@ mod tests {
         let all = sweep.simulate_many(&refs, &cfg());
         for (i, f) in refs.iter().enumerate() {
             assert_eq!(all[i], sweep.simulate(f, &cfg()), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn lane_chunks_cover_every_count() {
+        // The chunk decomposition must tile any stream count exactly —
+        // no chunk larger than the remainder (which would read another
+        // chunk's mask) and no lanes left behind.
+        for n in 1..=64usize {
+            let mut left = n;
+            let mut chunks = Vec::new();
+            while left > 0 {
+                let take = lane_chunk(left);
+                assert!(take <= left, "chunk {take} exceeds remainder {left}");
+                assert!(
+                    matches!(take, 1 | 2 | 4 | 8 | 16),
+                    "chunk {take} has no monomorphization"
+                );
+                chunks.push(take);
+                left -= take;
+            }
+            assert_eq!(chunks.iter().sum::<usize>(), n);
         }
     }
 

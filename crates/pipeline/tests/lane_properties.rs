@@ -1,0 +1,264 @@
+//! Property tests for the lane-vector primitives and the interleaved
+//! replay scheduler.
+//!
+//! Every [`LaneVec`] operation is required to be the exact lane-wise lift
+//! of its scalar counterpart — lane `k` of the output depends only on
+//! lane `k` of the inputs and bit `k` of the mask. These tests drive
+//! each primitive with seeded pseudo-random lanes and masks at every
+//! chunk width the replay dispatcher instantiates (K ∈ {1, 2, 4, 8, 16})
+//! for both cycle-word widths, comparing against a direct per-lane
+//! scalar loop.
+//!
+//! The interleave tests prove the scheduler property the grid study
+//! depends on: [`simulate_interleaved`] returns exactly each group's
+//! [`SweepReplay::simulate_many`] result for *any* interleave
+//! granularity, because cursors share no state.
+
+use bp_pipeline::lanes::{CycleWord, LaneVec};
+use bp_pipeline::{simulate_interleaved, InterleaveGroup, PipelineConfig, SweepReplay};
+use bp_trace::{InstClass, Reg, RetiredInst, Trace, TraceMeta};
+
+/// Deterministic 64-bit LCG (same multiplier the in-crate tests use).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+    *state
+}
+
+/// Drives one binary LaneVec op against its scalar lift for `ROUNDS`
+/// random inputs at lane width `K`.
+fn check_binary_op<C: CycleWord, const K: usize>(
+    seed: u64,
+    op: impl Fn(LaneVec<C, K>, LaneVec<C, K>) -> LaneVec<C, K>,
+    scalar: impl Fn(C, C) -> C,
+    label: &str,
+) {
+    const ROUNDS: usize = 200;
+    let mut state = seed;
+    for round in 0..ROUNDS {
+        let mut a = LaneVec::<C, K>::default();
+        let mut b = LaneVec::<C, K>::default();
+        for k in 0..K {
+            a.0[k] = C::narrow(lcg(&mut state) >> 34);
+            b.0[k] = C::narrow(lcg(&mut state) >> 34);
+        }
+        let got = op(a, b);
+        for k in 0..K {
+            assert_eq!(
+                got.0[k],
+                scalar(a.0[k], b.0[k]),
+                "{label}: K={K} lane {k} round {round}"
+            );
+        }
+    }
+}
+
+/// Runs the full primitive battery at one (C, K) instantiation.
+fn check_primitives<C: CycleWord, const K: usize>(seed: u64) {
+    check_binary_op::<C, K>(seed, LaneVec::max, |a, b| a.max(b), "max");
+    check_binary_op::<C, K>(seed ^ 0xA5, LaneVec::sub_sat, CycleWord::sub_sat, "sub_sat");
+
+    let mut state = seed.wrapping_add(99);
+    for round in 0..200 {
+        let mut a = LaneVec::<C, K>::default();
+        let mut b = LaneVec::<C, K>::default();
+        for k in 0..K {
+            a.0[k] = C::narrow(lcg(&mut state) >> 34);
+            b.0[k] = C::narrow(lcg(&mut state) >> 34);
+        }
+        let mask = (lcg(&mut state) & ((1u64 << K) - 1)) as u32;
+        let scalar_inc = C::narrow(lcg(&mut state) >> 40);
+
+        let splat = LaneVec::<C, K>::splat(scalar_inc);
+        let added = a.add_scalar(scalar_inc);
+        let mmax = a.masked_max(mask, b);
+        let sel = LaneVec::select(mask, a, b);
+        let gt = a.gt_mask(b);
+        let wide = a.widen();
+        for k in 0..K {
+            let bit = mask & (1 << k) != 0;
+            assert_eq!(splat.0[k], scalar_inc, "splat: K={K} lane {k}");
+            assert_eq!(added.0[k], a.0[k].add(scalar_inc), "add_scalar: K={K} lane {k}");
+            let expect_mmax = if bit && b.0[k] > a.0[k] { b.0[k] } else { a.0[k] };
+            assert_eq!(mmax.0[k], expect_mmax, "masked_max: K={K} lane {k} round {round}");
+            let expect_sel = if bit { a.0[k] } else { b.0[k] };
+            assert_eq!(sel.0[k], expect_sel, "select: K={K} lane {k}");
+            assert_eq!(gt & (1 << k) != 0, a.0[k] > b.0[k], "gt_mask: K={K} lane {k}");
+            assert_eq!(wide.0[k], a.0[k].widen(), "widen: K={K} lane {k}");
+        }
+
+        // u64 accumulator primitives, lifted from the same lanes.
+        let mut acc = wide;
+        acc.add_mask_bits(mask);
+        let mut acc2 = wide;
+        acc2.add_masked(mask, b.widen());
+        let mut sum = 0u64;
+        for k in 0..K {
+            let bit = mask & (1 << k) != 0;
+            assert_eq!(acc.0[k], a.0[k].widen() + u64::from(bit), "add_mask_bits");
+            let expect = a.0[k].widen() + if bit { b.0[k].widen() } else { 0 };
+            assert_eq!(acc2.0[k], expect, "add_masked: K={K} lane {k}");
+            sum += wide.0[k];
+        }
+        assert_eq!(wide.lane_sum(), sum, "lane_sum: K={K}");
+    }
+}
+
+#[test]
+fn primitives_match_scalar_lift_at_every_chunk_width() {
+    check_primitives::<u32, 1>(3);
+    check_primitives::<u32, 2>(5);
+    check_primitives::<u32, 4>(7);
+    check_primitives::<u32, 8>(11);
+    check_primitives::<u32, 16>(13);
+    check_primitives::<u64, 1>(17);
+    check_primitives::<u64, 2>(19);
+    check_primitives::<u64, 4>(23);
+    check_primitives::<u64, 8>(29);
+    check_primitives::<u64, 16>(31);
+}
+
+/// A mixed synthetic trace exercising loads, stores, forwarding,
+/// multiplies and branches (mirrors the in-crate sweep tests).
+fn mixed_trace(name: &str, seed: u64, n: u64) -> (Trace, usize) {
+    let mut t = Trace::new(TraceMeta::new(name, 0));
+    let mut branches = 0;
+    let mut state = seed;
+    for i in 0..n {
+        lcg(&mut state);
+        match state % 7 {
+            0 => {
+                t.push(RetiredInst::cond_branch(
+                    i * 4,
+                    state & 2 == 0,
+                    0,
+                    Some((state % 8) as u8),
+                    None,
+                ));
+                branches += 1;
+            }
+            1 => t.push(RetiredInst::mem(
+                i * 4,
+                InstClass::Load,
+                (state >> 8) % 4096,
+                None,
+                None,
+                Some(Reg::new((state % 16) as u8)),
+                0,
+            )),
+            2 => t.push(RetiredInst::mem(
+                i * 4,
+                InstClass::Store,
+                (state >> 8) % 4096,
+                Some(Reg::new((state % 16) as u8)),
+                None,
+                None,
+                0,
+            )),
+            3 => t.push(RetiredInst::op(
+                i * 4,
+                InstClass::Mul,
+                Some(Reg::new((state % 16) as u8)),
+                Some(Reg::new(((state >> 4) % 16) as u8)),
+                Some(Reg::new(((state >> 8) % 16) as u8)),
+                0,
+            )),
+            _ => t.push(RetiredInst::op(
+                i * 4,
+                InstClass::Alu,
+                Some(Reg::new((state % 16) as u8)),
+                None,
+                Some(Reg::new(((state >> 4) % 16) as u8)),
+                0,
+            )),
+        }
+    }
+    (t, branches)
+}
+
+fn flag_streams(branches: usize, count: u64, seed: u64) -> Vec<Vec<bool>> {
+    (0..count)
+        .map(|i| {
+            let mut state = seed + i;
+            (0..branches)
+                .map(|_| lcg(&mut state) % 100 < i * 7 % 60)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn interleave_output_is_independent_of_granularity() {
+    let cfg = PipelineConfig::skylake();
+    // Deliberately unequal lengths and ragged lane counts: 11 lanes
+    // (8 + 2 + 1 chunks) and 5 lanes (4 + 1), so chunks finish at
+    // different times within and across groups.
+    let (ta, ba) = mixed_trace("ia", 7, 12_000);
+    let (tb, bb) = mixed_trace("ib", 1009, 4_500);
+    let fa = flag_streams(ba, 11, 21);
+    let fb = flag_streams(bb, 5, 77);
+    let ra: Vec<&[bool]> = fa.iter().map(Vec::as_slice).collect();
+    let rb: Vec<&[bool]> = fb.iter().map(Vec::as_slice).collect();
+    let sa = SweepReplay::new(&ta, &cfg);
+    let sb = SweepReplay::new(&tb, &cfg);
+    let scaled = cfg.scaled(8);
+
+    let expect = vec![sa.simulate_many(&ra, &scaled), sb.simulate_many(&rb, &scaled)];
+    for granularity in [1, 7, 1000, 16_384, usize::MAX] {
+        let groups = [
+            InterleaveGroup::new(&sa, &ra, &scaled),
+            InterleaveGroup::new(&sb, &rb, &scaled),
+        ];
+        assert_eq!(
+            simulate_interleaved(&groups, granularity),
+            expect,
+            "granularity {granularity}"
+        );
+    }
+}
+
+#[test]
+fn interleave_handles_mixed_configs_and_single_group() {
+    let base = PipelineConfig::skylake();
+    let (t, b) = mixed_trace("solo", 41, 6_000);
+    let flags = flag_streams(b, 3, 5);
+    let refs: Vec<&[bool]> = flags.iter().map(Vec::as_slice).collect();
+    let sweep = SweepReplay::new(&t, &base);
+    // Two groups may replay the same prepared trace at different scales.
+    let c1 = base.scaled(1);
+    let c2 = base.scaled(32);
+    let expect = vec![
+        sweep.simulate_many(&refs, &c1),
+        sweep.simulate_many(&refs, &c2),
+    ];
+    let groups = [
+        InterleaveGroup::new(&sweep, &refs, &c1),
+        InterleaveGroup::new(&sweep, &refs, &c2),
+    ];
+    assert_eq!(simulate_interleaved(&groups, 13), expect);
+    // A single group degenerates to plain simulate_many.
+    let solo = [InterleaveGroup::new(&sweep, &refs, &c1)];
+    assert_eq!(simulate_interleaved(&solo, 3)[0], expect[0]);
+}
+
+#[test]
+fn ragged_lane_counts_replay_every_stream() {
+    // Every lane count from 1 to 36 must produce exactly one result per
+    // stream, each matching its solo scalar replay — no stream may be
+    // dropped or doubled by the chunk decomposition.
+    let cfg = PipelineConfig::skylake();
+    let (t, b) = mixed_trace("ragged", 3, 3_000);
+    let sweep = SweepReplay::new(&t, &cfg);
+    let all = flag_streams(b, 36, 9);
+    let solos: Vec<_> = all
+        .iter()
+        .map(|f| sweep.simulate_many(&[f.as_slice()], &cfg)[0])
+        .collect();
+    for n in 1..=36 {
+        let refs: Vec<&[bool]> = all[..n].iter().map(Vec::as_slice).collect();
+        let many = sweep.simulate_many(&refs, &cfg);
+        assert_eq!(many.len(), n);
+        for (k, got) in many.iter().enumerate() {
+            assert_eq!(*got, solos[k], "n={n} lane {k}");
+        }
+    }
+}

@@ -56,7 +56,10 @@ pub use perceptron::Perceptron;
 pub use ppm::{Ppm, PpmConfig};
 pub use sc::{ScConfig, ScDecision, ScOnly, StatisticalCorrector};
 pub use simple::{AlwaysTaken, Bimodal, GShare, TwoLevelLocal};
-pub use spec::{sweep_flags, sweep_flags_stream, sweep_measure, sweep_measure_stream, PredictorSpec};
+pub use spec::{
+    sweep_flags, sweep_flags_stream, sweep_flags_stream_observed, sweep_measure,
+    sweep_measure_stream, PredictorSpec,
+};
 pub use tage::{AllocationTracker, Tage, TageConfig};
 pub use tagescl::{TageScL, TageSclConfig};
 pub use tournament::Tournament;
@@ -81,6 +84,19 @@ pub trait Predictor {
 
     /// Estimated storage footprint in bits, for budget verification.
     fn storage_bits(&self) -> usize;
+
+    /// FNV-1a digest of the predictor's complete mutable state.
+    ///
+    /// The differential suite (`tests/differential.rs`) replays the same
+    /// configuration through the lockstep sweep path and a solo reference
+    /// run, comparing digests at fixed branch counts: any divergence in
+    /// the branch sequence a predictor observes surfaces as a digest
+    /// mismatch at the next checkpoint. Stateless predictors keep the
+    /// default of 0; every stateful predictor overrides this to hash all
+    /// tables, histories, and policy counters.
+    fn state_digest(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -339,6 +339,10 @@ impl Predictor for NaiveTage {
         let tagged: usize = self.tables.iter().map(|t| t.len() * entry_bits).sum();
         self.bimodal.len() * 2 + tagged + self.config.max_hist + 64
     }
+
+    fn state_digest(&self) -> u64 {
+        NaiveTage::state_digest(self)
+    }
 }
 
 /// Reference statistical corrector: every table index recomputed at each
@@ -615,6 +619,10 @@ impl Predictor for NaiveTageScL {
                 })
             + self.loop_pred.as_ref().map_or(0, LoopPredictor::storage_bits)
             + 7
+    }
+
+    fn state_digest(&self) -> u64 {
+        NaiveTageScL::state_digest(self)
     }
 }
 

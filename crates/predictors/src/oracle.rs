@@ -24,6 +24,14 @@ pub trait DirectionPredictor {
     /// Predicts the branch at `ip` and then trains on `taken`, returning
     /// the prediction.
     fn predict_and_train(&mut self, ip: u64, taken: bool) -> bool;
+
+    /// FNV-1a digest of the predictor's mutable state — see
+    /// [`Predictor::state_digest`], which honest predictors forward to
+    /// via the blanket implementation. Stateless oracles keep the
+    /// default of 0.
+    fn state_digest(&self) -> u64 {
+        0
+    }
 }
 
 impl<P: Predictor> DirectionPredictor for P {
@@ -35,6 +43,10 @@ impl<P: Predictor> DirectionPredictor for P {
         let pred = self.predict(ip);
         self.update(ip, taken, pred);
         pred
+    }
+
+    fn state_digest(&self) -> u64 {
+        Predictor::state_digest(self)
     }
 }
 
@@ -112,6 +124,12 @@ impl<P: Predictor> DirectionPredictor for PerfectSetOracle<P> {
         } else {
             inner_pred
         }
+    }
+
+    fn state_digest(&self) -> u64 {
+        // The oracled set is immutable; the inner predictor is the only
+        // mutable state.
+        self.inner.state_digest()
     }
 }
 

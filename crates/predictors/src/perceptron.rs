@@ -114,6 +114,20 @@ impl Predictor for Perceptron {
         let per = (self.history_len + 1) * 8;
         self.weights.len() * per + self.history_len
     }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = crate::digest::Fnv::new();
+        for (ws, &b) in self.weights.iter().zip(&self.bias) {
+            h.push(b as u64);
+            for &w in ws {
+                h.push(w as u64);
+            }
+        }
+        for &bit in &self.history {
+            h.push(u64::from(bit));
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -193,6 +193,30 @@ impl Predictor for Ppm {
         self.ghist.push(taken);
     }
 
+    fn state_digest(&self) -> u64 {
+        let mut h = crate::digest::Fnv::new();
+        for c in &self.base {
+            h.push(u64::from(c.value()));
+        }
+        for t in &self.tables {
+            for e in t {
+                h.push(u64::from(e.tag));
+                h.push(u64::from(e.ctr.value()));
+            }
+        }
+        for (fi, ft) in self.folded_idx.iter().zip(&self.folded_tag) {
+            h.push(fi.value());
+            h.push(ft.value());
+        }
+        // The raw history register, up to the longest length any table
+        // folds over.
+        let longest = *self.config.history_lengths.last().unwrap();
+        for age in 0..longest {
+            h.push(u64::from(self.ghist.bit(age)));
+        }
+        h.finish()
+    }
+
     fn storage_bits(&self) -> usize {
         let entry = (3 + self.config.tag_bits) as usize;
         self.base.len() * 2

@@ -302,6 +302,10 @@ impl Predictor for ScOnly {
     fn storage_bits(&self) -> usize {
         self.sc.storage_bits()
     }
+
+    fn state_digest(&self) -> u64 {
+        self.sc.state_digest()
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Classical baseline predictors: bimodal, gshare, and two-level local.
 
 use crate::counter::SatCounter;
+use crate::digest::Fnv;
 use crate::Predictor;
 
 fn index_mask(log2: u32) -> u64 {
@@ -65,6 +66,14 @@ impl Predictor for Bimodal {
     fn storage_bits(&self) -> usize {
         self.table.len() * 2
     }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for c in &self.table {
+            h.push(u64::from(c.value()));
+        }
+        h.finish()
+    }
 }
 
 /// Global-history-XOR-IP indexed 2-bit counters (McFarling's gshare).
@@ -118,6 +127,15 @@ impl Predictor for GShare {
 
     fn storage_bits(&self) -> usize {
         self.table.len() * 2 + self.history_bits as usize
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for c in &self.table {
+            h.push(u64::from(c.value()));
+        }
+        h.push(self.history);
+        h.finish()
     }
 }
 
@@ -179,6 +197,17 @@ impl Predictor for TwoLevelLocal {
 
     fn storage_bits(&self) -> usize {
         self.histories.len() * self.local_bits as usize + self.pht.len() * 2
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for &r in &self.histories {
+            h.push(u64::from(r));
+        }
+        for c in &self.pht {
+            h.push(u64::from(c.value()));
+        }
+        h.finish()
     }
 }
 

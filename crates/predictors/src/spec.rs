@@ -135,6 +135,50 @@ impl PredictorSpec {
             .collect()
     }
 
+    /// The heterogeneous grid lineup: every distinct configuration the
+    /// paper's per-workload grids draw on, trained together in one
+    /// lockstep trace walk by the `grid` study.
+    ///
+    /// Sixteen specs — the six Fig. 7 TAGE-SC-L storage points, the
+    /// 8 KB TAGE-only and TAGE-L ablation rows, the six classical §II
+    /// survey generations, the always-taken floor, and the perfect
+    /// ceiling — i.e. mixed TAGE sizes, SC on/off, and classical
+    /// baselines in a single pass.
+    #[must_use]
+    pub fn hetero_grid() -> Vec<PredictorSpec> {
+        let mut specs = Self::storage_points();
+        specs.push(PredictorSpec::TageOnly { storage_kb: 8 });
+        specs.push(PredictorSpec::TageL { storage_kb: 8 });
+        specs.extend(
+            Self::survey()
+                .into_iter()
+                .filter(|s| !matches!(s, PredictorSpec::TageScl { .. })),
+        );
+        specs.push(PredictorSpec::AlwaysTaken);
+        specs.push(PredictorSpec::Perfect);
+        specs
+    }
+
+    /// Parses a comma-separated list of canonical labels (the CLI's
+    /// `--predictors` syntax). Whitespace around items is ignored; empty
+    /// items are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-label [`PredictorSpec::parse`] error.
+    pub fn parse_list(s: &str) -> Result<Vec<PredictorSpec>, String> {
+        s.split(',')
+            .map(|item| PredictorSpec::parse(item.trim()))
+            .collect()
+    }
+
+    /// Builds every spec in `specs`, in order — the lane lineup fed to
+    /// [`sweep_flags`] and friends.
+    #[must_use]
+    pub fn build_all(specs: &[PredictorSpec]) -> Vec<Box<dyn DirectionPredictor>> {
+        specs.iter().map(PredictorSpec::build).collect()
+    }
+
     /// Instantiates the configured predictor behind an object-safe
     /// replay handle.
     #[must_use]
@@ -309,13 +353,37 @@ pub fn sweep_flags_stream<R: TraceReader>(
     predictors: &mut [Box<dyn DirectionPredictor>],
     reader: R,
 ) -> Result<Vec<Vec<bool>>, ReadTraceError> {
+    sweep_flags_stream_observed(predictors, reader, |_, _| {})
+}
+
+/// [`sweep_flags_stream`], invoking `observe` after every processed
+/// block with the cumulative branch count and the predictors (for
+/// example to record [`DirectionPredictor::state_digest`] checkpoints).
+///
+/// Blocking is an implementation detail of cache residency, not of
+/// predictor behaviour: after `observe(n, ..)`, every predictor has
+/// consumed exactly the first `n` branches of the stream — the same
+/// state a solo run reaches after `n` branches — which is what lets the
+/// differential suite compare digests mid-stream.
+///
+/// # Errors
+///
+/// Propagates any [`ReadTraceError`] from the underlying stream.
+pub fn sweep_flags_stream_observed<R: TraceReader>(
+    predictors: &mut [Box<dyn DirectionPredictor>],
+    reader: R,
+    mut observe: impl FnMut(usize, &[Box<dyn DirectionPredictor>]),
+) -> Result<Vec<Vec<bool>>, ReadTraceError> {
     let mut flags: Vec<Vec<bool>> = predictors.iter().map(|_| Vec::new()).collect();
+    let mut seen = 0usize;
     stream_branch_blocks(reader, |block| {
         for (p, f) in predictors.iter_mut().zip(flags.iter_mut()) {
             for &(ip, taken) in block {
                 f.push(p.predict_and_train(ip, taken) != taken);
             }
         }
+        seen += block.len();
+        observe(seen, predictors);
     })?;
     Ok(flags)
 }
@@ -431,6 +499,75 @@ mod tests {
         let reader = bp_trace::BptrReader::new(bytes.as_slice()).unwrap();
         let stream_stats = sweep_measure_stream(&mut streamed, reader).unwrap();
         assert_eq!(mem_stats, stream_stats);
+    }
+
+    #[test]
+    fn hetero_grid_is_sixteen_distinct_buildable_specs() {
+        let grid = PredictorSpec::hetero_grid();
+        assert_eq!(grid.len(), 16);
+        for (i, a) in grid.iter().enumerate() {
+            assert!(grid[i + 1..].iter().all(|b| a != b), "duplicate {a:?}");
+            // Every grid spec round-trips through its label and builds.
+            assert_eq!(PredictorSpec::parse(&a.label()), Ok(*a));
+            let _ = a.build();
+        }
+    }
+
+    #[test]
+    fn parse_list_accepts_spaced_labels_and_rejects_unknowns() {
+        let specs = PredictorSpec::parse_list("gshare, tage-sc-l-64kb ,perfect").unwrap();
+        assert_eq!(
+            specs,
+            vec![
+                PredictorSpec::GShare {
+                    log2_entries: 13,
+                    history_bits: 16
+                },
+                PredictorSpec::TageScl { storage_kb: 64 },
+                PredictorSpec::Perfect,
+            ]
+        );
+        assert!(PredictorSpec::parse_list("gshare,,perfect").is_err());
+        assert!(PredictorSpec::parse_list("gshare,warp-drive").is_err());
+    }
+
+    #[test]
+    fn observed_sweep_checkpoints_match_solo_replay() {
+        // After the observer reports n branches consumed, each lockstep
+        // predictor's digest must equal a solo predictor fed exactly the
+        // first n branches — blocking must not be observable.
+        let t = noisy_trace(40_000);
+        let branches: Vec<(u64, bool)> = t
+            .iter()
+            .filter_map(|i| i.branch.map(|b| (i.ip, b.taken)))
+            .collect();
+        let specs = [
+            PredictorSpec::GShare {
+                log2_entries: 10,
+                history_bits: 12,
+            },
+            PredictorSpec::TageScl { storage_kb: 8 },
+        ];
+        let mut lockstep = PredictorSpec::build_all(&specs);
+        let mut checkpoints: Vec<(usize, Vec<u64>)> = Vec::new();
+        let _ = sweep_flags_stream_observed(&mut lockstep, t.reader(), |n, ps| {
+            checkpoints.push((n, ps.iter().map(|p| p.state_digest()).collect()));
+        })
+        .unwrap();
+        assert!(checkpoints.len() >= 2, "expected multiple blocks");
+
+        let mut solo = PredictorSpec::build_all(&specs);
+        let mut fed = 0usize;
+        for (n, digests) in &checkpoints {
+            for &(ip, taken) in &branches[fed..*n] {
+                for p in &mut solo {
+                    let _ = p.predict_and_train(ip, taken);
+                }
+            }
+            fed = *n;
+            let solo_digests: Vec<u64> = solo.iter().map(|p| p.state_digest()).collect();
+            assert_eq!(digests, &solo_digests, "checkpoint at {n}");
+        }
     }
 
     #[test]

@@ -626,6 +626,10 @@ impl Predictor for Tage {
         let entry_bits = (3 + 2 + self.config.tag_bits) as usize;
         self.bimodal.len() * 2 + self.tags.len() * entry_bits + self.config.max_hist + 64
     }
+
+    fn state_digest(&self) -> u64 {
+        Tage::state_digest(self)
+    }
 }
 
 #[cfg(test)]

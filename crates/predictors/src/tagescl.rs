@@ -283,6 +283,10 @@ impl Predictor for TageScL {
             + self.loop_pred.as_ref().map_or(0, LoopPredictor::storage_bits)
             + 7
     }
+
+    fn state_digest(&self) -> u64 {
+        TageScL::state_digest(self)
+    }
 }
 
 #[cfg(test)]

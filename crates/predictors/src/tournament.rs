@@ -110,6 +110,17 @@ impl Predictor for Tournament {
     fn storage_bits(&self) -> usize {
         self.local.storage_bits() + self.global.storage_bits() + self.chooser.len() * 2 + 64
     }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = crate::digest::Fnv::new();
+        h.push(self.local.state_digest());
+        h.push(self.global.state_digest());
+        for c in &self.chooser {
+            h.push(u64::from(c.value()));
+        }
+        h.push(self.history);
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -118,3 +118,8 @@ fn golden_fig8() {
 fn golden_fig9() {
     check("fig9", &reports::fig9_report(&golden_config()).render());
 }
+
+#[test]
+fn golden_grid() {
+    check("grid", &reports::grid_report(&golden_config()).render());
+}
