@@ -77,6 +77,65 @@ BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
 grep -Eq "fig3 +ok +1" "$FAULT_SINK/resume.log"
 grep -q '"fig3": "ok"' "$FAULT_SINK/all.json"
 
+echo "== chaos harness =="
+# Deterministic seeded fault schedules driven through the in-process
+# `branch-lab all` executor: an injected mid-study engine panic, a forced
+# per-study deadline expiry, and a corrupt trace cache must each be
+# absorbed (retry / regenerate) with CSV outputs byte-identical to a
+# clean run; an unrecovered failure must exit nonzero; and a memory
+# budget far below the working set must degrade to disk streaming
+# (eviction counters in the merged manifest) without changing results.
+CHAOS_TRACES=target/ci-chaos-traces
+CHAOS_OUT=target/ci-chaos
+rm -rf "$CHAOS_TRACES" "$CHAOS_OUT" && mkdir -p "$CHAOS_OUT"
+
+chaos_all() { # <tag> [VAR=val ...] -- extra env for this run
+    local tag="$1"; shift
+    env BRANCH_LAB_TRACE_DIR="$CHAOS_TRACES" BRANCH_LAB_RETRY_DELAY_MS=10 "$@" \
+        target/release/branch-lab all --keep-going --quick --len 40000 \
+        --csv "$CHAOS_OUT/$tag" \
+        > "$CHAOS_OUT/$tag.log" 2>&1
+}
+
+chaos_all clean
+
+chaos_all panic BRANCH_LAB_FAULTS=engine.task:panic@3 BRANCH_LAB_CHAOS_SEED=7
+grep -q "injected fault: panic at engine.task" "$CHAOS_OUT/panic.log" \
+    || { echo "chaos leg: panic schedule never fired"; exit 1; }
+diff -r "$CHAOS_OUT/clean" "$CHAOS_OUT/panic"
+
+chaos_all timeout BRANCH_LAB_FAULTS=exec.deadline.fig1:fail@1
+grep -q "injected fault: deadline expired" "$CHAOS_OUT/timeout.log" \
+    || { echo "chaos leg: deadline schedule never fired"; exit 1; }
+grep -Eq "fig1 +ok +2" "$CHAOS_OUT/timeout.log" \
+    || { echo "chaos leg: fig1 should recover on its second attempt"; exit 1; }
+diff -r "$CHAOS_OUT/clean" "$CHAOS_OUT/timeout"
+
+chaos_all corrupt BRANCH_LAB_FAULTS=trace_store.load:fail@1
+grep -q "quarantined corrupt trace cache file" "$CHAOS_OUT/corrupt.log" \
+    || { echo "chaos leg: corrupt-cache schedule never fired"; exit 1; }
+diff -r "$CHAOS_OUT/clean" "$CHAOS_OUT/corrupt"
+
+# Without --keep-going an unrecovered failure must abort the sweep and
+# exit nonzero.
+set +e
+env BRANCH_LAB_TRACE_DIR="$CHAOS_TRACES" BRANCH_LAB_RETRY_DELAY_MS=10 \
+    BRANCH_LAB_FAULTS=all.child.table1:fail \
+    target/release/branch-lab all --quick --len 40000 \
+    > "$CHAOS_OUT/unrecovered.log" 2>&1
+rc=$?
+set -e
+[ "$rc" -ne 0 ] || { echo "chaos leg: unrecovered failure must exit nonzero"; exit 1; }
+grep -Eq "table1 +failed: injected fault: child failure +2" "$CHAOS_OUT/unrecovered.log"
+grep -q "not-run" "$CHAOS_OUT/unrecovered.log"
+
+CHAOS_SINK="$CHAOS_OUT/membudget-metrics"
+mkdir -p "$CHAOS_SINK"
+chaos_all membudget BRANCH_LAB_MEM_BUDGET=4M BRANCH_LAB_METRICS="$CHAOS_SINK"
+grep -q '"trace_store.evict"' "$CHAOS_SINK/all.json" \
+    || { echo "chaos leg: memory governor never evicted under a 4M budget"; exit 1; }
+diff -r "$CHAOS_OUT/clean" "$CHAOS_OUT/membudget"
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -26,6 +26,7 @@
 
 mod characterize;
 mod config;
+pub mod exec;
 mod experiment;
 mod parallel;
 mod report;
@@ -52,3 +53,11 @@ pub use study::{FnStudy, Study, StudyCtx, StudyInfo, StudyKind, StudyRegistry};
 /// host fault sites, but `bp_core::faultpoint` is the canonical path for
 /// experiment code and tests.
 pub use bp_metrics::faultpoint;
+
+/// Cooperative cancellation (re-export of [`bp_metrics::cancel`]).
+///
+/// Lives in `bp-metrics` so the replay block loops below `bp-core` can
+/// host cancellation checkpoints; `bp_core::cancel` is the canonical
+/// path for experiment code, and [`exec`] builds the fault-tolerant
+/// executor on top of it.
+pub use bp_metrics::cancel;

@@ -63,19 +63,25 @@ pub struct TaskError {
     /// Human-readable item label (defaults to `#<index>`).
     pub label: String,
     /// Rendered panic payload (the `&str`/`String` message when there was
-    /// one, a placeholder hint otherwise).
+    /// one, the cancellation reason for cancelled tasks, a placeholder
+    /// hint otherwise).
     pub message: String,
     /// Total attempts made, retries included.
     pub attempts: u32,
+    /// True when the task stopped cooperatively (the scope
+    /// [`bp_metrics::cancel`] token was cancelled or its deadline expired)
+    /// rather than genuinely panicking. Cancelled tasks are never retried.
+    pub cancelled: bool,
 }
 
 impl fmt::Display for TaskError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "task {} ({}) panicked after {} attempt{}: {}",
+            "task {} ({}) {} after {} attempt{}: {}",
             self.index,
             self.label,
+            if self.cancelled { "cancelled" } else { "panicked" },
             self.attempts,
             if self.attempts == 1 { "" } else { "s" },
             self.message
@@ -86,7 +92,7 @@ impl fmt::Display for TaskError {
 impl Error for TaskError {}
 
 /// Renders a panic payload the way the default hook would.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -141,7 +147,19 @@ impl Engine {
     {
         self.try_map(items, f)
             .into_iter()
-            .map(|r| r.unwrap_or_else(|e| panic!("engine task failed: {e}")))
+            .map(|r| {
+                r.unwrap_or_else(|e| {
+                    if e.cancelled {
+                        // Preserve the typed payload so outer catchers
+                        // (the exec watchdog, nested engines) still
+                        // classify this as an orderly stop.
+                        std::panic::panic_any(bp_metrics::cancel::Cancelled {
+                            reason: e.message,
+                        });
+                    }
+                    panic!("engine task failed: {e}")
+                })
+            })
             .collect()
     }
 
@@ -187,6 +205,7 @@ impl Engine {
         let _map_timer = bp_metrics::stage("engine.map");
         let run = |i: usize, item: &T| {
             bp_metrics::time("engine.task", || {
+                bp_metrics::cancel::checkpoint("engine.task");
                 bp_metrics::faultpoint::panic_point("engine.task");
                 f(i, item)
             })
@@ -198,6 +217,22 @@ impl Engine {
                 match catch_unwind(AssertUnwindSafe(|| run(i, item))) {
                     Ok(r) => return Ok(r),
                     Err(payload) => {
+                        // A cancelled scope is an orderly stop, not a task
+                        // failure: report it without retrying (the token is
+                        // sticky, so every retry would die at the first
+                        // checkpoint anyway).
+                        if let Some(c) =
+                            payload.downcast_ref::<bp_metrics::cancel::Cancelled>()
+                        {
+                            bp_metrics::Counter::get("engine.task_cancelled").incr();
+                            return Err(TaskError {
+                                index: i,
+                                label: label(i, item),
+                                message: c.reason.clone(),
+                                attempts,
+                                cancelled: true,
+                            });
+                        }
                         bp_metrics::Counter::get("engine.task_panics").incr();
                         if attempts > retries {
                             return Err(TaskError {
@@ -205,6 +240,7 @@ impl Engine {
                                 label: label(i, item),
                                 message: panic_message(payload.as_ref()),
                                 attempts,
+                                cancelled: false,
                             });
                         }
                         bp_metrics::Counter::get("engine.task_retries").incr();
@@ -225,9 +261,14 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let indexed: Mutex<Vec<(usize, Result<R, TaskError>)>> =
             Mutex::new(Vec::with_capacity(items.len()));
+        // Cancellation scopes are thread-local: capture the caller's token
+        // (if any) and re-install it in every worker, so cancelling the
+        // task stops all of its parallel shards.
+        let scope_token = bp_metrics::cancel::current();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    let _cancel_scope = scope_token.clone().map(bp_metrics::cancel::set_scope);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -346,6 +387,29 @@ mod tests {
         assert_eq!(err.label, "beta");
         assert_eq!(err.attempts, 2);
         assert!(err.to_string().contains("after 2 attempts"), "{err}");
+    }
+
+    #[test]
+    fn cancelled_tasks_are_not_retried() {
+        use bp_metrics::cancel;
+        let token = cancel::CancelToken::new();
+        let _scope = cancel::set_scope(token.clone());
+        token.cancel("test stop");
+        let items = [1u32, 2, 3];
+        // Multi-threaded: workers must inherit the caller's scope.
+        let out = Engine::with_threads(3).try_map_with(
+            &items,
+            5,
+            |i, _| format!("item-{i}"),
+            |_, &x| x,
+        );
+        for r in &out {
+            let err = r.as_ref().unwrap_err();
+            assert!(err.cancelled);
+            assert_eq!(err.attempts, 1, "cancellation must not burn retries");
+            assert!(err.message.contains("test stop"), "{}", err.message);
+            assert!(err.to_string().contains("cancelled"), "{err}");
+        }
     }
 
     #[test]

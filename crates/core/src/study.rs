@@ -50,15 +50,31 @@ pub struct StudyCtx {
     pub dataset: DatasetConfig,
     /// Positional arguments, used by [`StudyKind::Probe`] studies only.
     pub args: Vec<String>,
+    /// Cancellation handle for this run. Defaults to an inert token; the
+    /// fault-tolerant executor (`bp_core::exec`) arms it with deadlines
+    /// and installs it as the cancel scope, so long studies stop at the
+    /// next block checkpoint when cancelled.
+    pub cancel: bp_metrics::cancel::CancelToken,
 }
 
 impl StudyCtx {
-    /// A context with no positional arguments.
+    /// A context with no positional arguments and an inert cancel token.
     #[must_use]
     pub fn new(dataset: DatasetConfig) -> Self {
         StudyCtx {
             dataset,
             args: Vec::new(),
+            cancel: bp_metrics::cancel::CancelToken::new(),
+        }
+    }
+
+    /// A context wired to an executor-owned cancellation token.
+    #[must_use]
+    pub fn with_cancel(dataset: DatasetConfig, cancel: bp_metrics::cancel::CancelToken) -> Self {
+        StudyCtx {
+            dataset,
+            args: Vec::new(),
+            cancel,
         }
     }
 }

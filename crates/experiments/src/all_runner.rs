@@ -5,59 +5,67 @@
 //! ([`crate::registry::registry`], [`bp_core::StudyRegistry::report_names`])
 //! — registering a study is all it takes to join the sweep.
 //!
-//! The studies run as separate sibling processes (the per-study shim
-//! binaries next to the current executable), so the in-memory
-//! `TraceStore` cannot be shared between them; instead `all` points every
-//! child at one `BRANCH_LAB_TRACE_DIR` (defaulting to `out/traces`) so
-//! each workload trace is interpreted once and then loaded from disk by
-//! every later child. An explicit `BRANCH_LAB_TRACE_DIR` in the
-//! environment wins.
+//! The studies run **in-process** as tasks of the fault-tolerant
+//! executor ([`bp_core::exec`]), which supplies panic isolation,
+//! cooperative cancellation with per-study deadlines (a watchdog thread
+//! plus block-granular checkpoints in the replay loops), bounded retries
+//! with deterministic jittered backoff, and a study-granularity
+//! checkpoint file. Running in one process means every study shares the
+//! in-memory `TraceStore`; `all` still defaults `BRANCH_LAB_TRACE_DIR`
+//! to `out/traces` (an explicit value in the environment wins) so traces
+//! also persist on disk for later single-study runs, and so the memory
+//! governor (`BRANCH_LAB_MEM_BUDGET`) can evict cold traces and fall
+//! back to streaming them from disk.
 //!
 //! A full sweep is exactly the kind of multi-hour batch run that must not
-//! lose fifteen finished children to one flaky one, so the runner:
+//! lose fifteen finished studies to one flaky one, so the runner:
 //!
-//! * retries each failing child once (after a short backoff);
+//! * retries each failing study once (after a seeded jittered backoff);
 //! * with `--keep-going` (or `BRANCH_LAB_KEEP_GOING=1`) continues past
-//!   ultimately-failed children instead of aborting;
-//! * kills children that exceed `--timeout-secs N` (or
-//!   `BRANCH_LAB_CHILD_TIMEOUT_SECS`);
+//!   ultimately-failed studies instead of aborting;
+//! * cancels studies that exceed `--timeout-secs N` (or
+//!   `BRANCH_LAB_CHILD_TIMEOUT_SECS`; `0` disables the deadline) at the
+//!   next replay-block checkpoint;
 //! * records every success in a checkpoint file (`all.checkpoint` in the
 //!   metrics sink or trace dir) so `all --resume` re-runs only the
-//!   children that have not succeeded yet;
-//! * prints a final per-child summary table and exits nonzero iff any
-//!   child ultimately failed.
+//!   studies that have not succeeded yet;
+//! * prints a final per-study summary table and exits nonzero iff any
+//!   study ultimately failed.
 //!
-//! All other flags are forwarded verbatim to the children.
+//! The remaining flags (`--len`, `--quick`, `--csv`) are the standard
+//! report-study options and apply to every study.
 //!
-//! With `BRANCH_LAB_METRICS` pointing at a sink directory, each child
-//! writes its own run manifest there; `all` merges whichever manifests
-//! exist into `<sink>/all.json`, annotated with a per-child status table
-//! — a partial sweep produces a partial (but honest) merged manifest.
+//! With `BRANCH_LAB_METRICS` pointing at a sink directory, each study
+//! writes a per-study *delta* manifest there (counters attributed to
+//! that study alone, via [`bp_metrics::CounterBaseline`]); `all` merges
+//! whichever manifests exist into `<sink>/all.json`, annotated with a
+//! per-child status table and attempt counts — a partial sweep produces
+//! a partial (but honest) merged manifest.
 //!
-//! Fault injection: each spawn attempt of child `<bin>` passes the
+//! Fault injection: each attempt of study `<bin>` passes the
 //! `all.child.<bin>` fault site, so `BRANCH_LAB_FAULTS=all.child.fig3:fail`
-//! deterministically fails that child without needing a crashing binary.
+//! deterministically fails that study; `exec.deadline.<bin>` force-expires
+//! its deadline. Both drive the chaos leg of `ci.sh`.
 
-use std::collections::HashSet;
-use std::io::Write as _;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::process::Command;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use bp_core::Table;
+use bp_core::exec::{self, Backoff, ExecOptions, Task, TaskReport};
+use bp_core::{StudyCtx, Table};
 
 use crate::registry::registry;
+use crate::Cli;
 
-/// How many extra attempts a failing child gets.
+/// How many extra attempts a failing study gets.
 const RETRIES: u32 = 1;
 
 struct Options {
     keep_going: bool,
     resume: bool,
     timeout: Option<Duration>,
-    retry_delay: Duration,
-    /// Arguments forwarded verbatim to every child.
-    forwarded: Vec<String>,
+    /// Standard report-study flags applied to every study.
+    cli: Cli,
 }
 
 impl Options {
@@ -66,242 +74,156 @@ impl Options {
             std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
         };
         let env_u64 = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
-        let mut o = Options {
-            keep_going: env_flag("BRANCH_LAB_KEEP_GOING"),
-            resume: false,
-            timeout: env_u64("BRANCH_LAB_CHILD_TIMEOUT_SECS").map(Duration::from_secs),
-            retry_delay: Duration::from_millis(env_u64("BRANCH_LAB_RETRY_DELAY_MS").unwrap_or(500)),
-            forwarded: Vec::new(),
-        };
+        let mut keep_going = env_flag("BRANCH_LAB_KEEP_GOING");
+        let mut resume = false;
+        let mut timeout = env_u64("BRANCH_LAB_CHILD_TIMEOUT_SECS")
+            .filter(|&secs| secs > 0)
+            .map(Duration::from_secs);
+        let mut forwarded = Vec::new();
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--keep-going" => o.keep_going = true,
-                "--resume" => o.resume = true,
+                "--keep-going" => keep_going = true,
+                "--resume" => resume = true,
                 "--timeout-secs" => {
                     let v = args.next().expect("--timeout-secs needs a value");
                     let secs: u64 = v.parse().expect("--timeout-secs must be an integer");
-                    o.timeout = Some(Duration::from_secs(secs));
+                    timeout = (secs > 0).then(|| Duration::from_secs(secs));
                 }
-                _ => o.forwarded.push(a),
+                _ => forwarded.push(a),
             }
         }
-        o
-    }
-}
-
-/// Final state of one child binary.
-enum Outcome {
-    /// Exited 0 on some attempt this run.
-    Succeeded,
-    /// Checkpoint from an earlier run says it already succeeded.
-    Resumed,
-    /// Every attempt failed; the detail names the last failure.
-    Failed(String),
-    /// Never started: an earlier child failed and `--keep-going` was off.
-    NotRun,
-}
-
-impl Outcome {
-    /// Status string used in the summary table and the merged manifest.
-    fn status(&self) -> String {
-        match self {
-            Outcome::Succeeded => "ok".to_string(),
-            Outcome::Resumed => "ok (resumed)".to_string(),
-            Outcome::Failed(detail) => format!("failed: {detail}"),
-            Outcome::NotRun => "not-run".to_string(),
+        let cli = Cli::parse_from(forwarded);
+        if let Some(first) = cli.rest.first() {
+            panic!("unknown argument {first}; supported: --len N --quick --csv DIR");
         }
+        Options { keep_going, resume, timeout, cli }
     }
-}
-
-struct ChildReport {
-    bin: &'static str,
-    outcome: Outcome,
-    attempts: u32,
-    duration: Duration,
 }
 
 /// Runs the full sweep with the given (already `skip`ped) argument list.
-/// Exits the process with status 1 iff any child ultimately failed.
+/// Exits the process with status 1 iff any study ultimately failed.
 ///
 /// # Panics
 ///
-/// Panics on malformed arguments or an unlocatable current executable.
+/// Panics on malformed arguments.
 pub fn run_from(args: Vec<String>) {
-    let bins = registry().report_names();
     let opts = Options::parse_from(args);
-    let trace_dir = std::env::var("BRANCH_LAB_TRACE_DIR")
-        .ok()
-        .filter(|d| !d.is_empty())
-        .unwrap_or_else(|| "out/traces".to_owned());
-    let self_path = std::env::current_exe().expect("current exe");
-    let bin_dir = self_path.parent().expect("exe dir").to_path_buf();
+    // Default the shared trace cache before the first store access, so a
+    // bare `branch-lab all` leaves reusable traces behind like the old
+    // child-process runner did. An explicit setting wins.
+    if std::env::var("BRANCH_LAB_TRACE_DIR").ok().filter(|d| !d.is_empty()).is_none() {
+        std::env::set_var("BRANCH_LAB_TRACE_DIR", "out/traces");
+    }
+    let trace_dir = std::env::var("BRANCH_LAB_TRACE_DIR").expect("trace dir just defaulted");
 
     // The checkpoint lives next to the other run artifacts: in the
     // metrics sink when one is configured, else in the trace dir.
     let checkpoint = bp_metrics::sink_dir()
         .map_or_else(|| PathBuf::from(&trace_dir), Path::to_path_buf)
         .join("all.checkpoint");
-    let done: HashSet<String> = if opts.resume {
-        load_checkpoint(&checkpoint)
-    } else {
-        // A fresh (non-resume) run must not inherit stale successes.
-        let _ = std::fs::remove_file(&checkpoint);
-        HashSet::new()
-    };
-
-    let mut reports: Vec<ChildReport> = Vec::with_capacity(bins.len());
-    let mut aborted = false;
-    for bin in bins {
-        if aborted {
-            reports.push(ChildReport {
-                bin,
-                outcome: Outcome::NotRun,
-                attempts: 0,
-                duration: Duration::ZERO,
-            });
-            continue;
-        }
-        if done.contains(bin) {
-            println!("\n########## {bin} ########## (skipped: already succeeded)");
-            reports.push(ChildReport {
-                bin,
-                outcome: Outcome::Resumed,
-                attempts: 0,
-                duration: Duration::ZERO,
-            });
-            continue;
-        }
-        println!("\n########## {bin} ##########");
-        let started = Instant::now();
-        let mut attempts = 0;
-        let outcome = loop {
-            attempts += 1;
-            match run_child(&bin_dir, bin, &opts, &trace_dir) {
-                Ok(()) => break Outcome::Succeeded,
-                Err(detail) if attempts <= RETRIES => {
-                    eprintln!(
-                        "all: {bin} failed ({detail}); retrying in {:.1}s",
-                        opts.retry_delay.as_secs_f64()
-                    );
-                    std::thread::sleep(opts.retry_delay);
-                }
-                Err(detail) => break Outcome::Failed(detail),
-            }
-        };
-        match &outcome {
-            Outcome::Succeeded => record_success(&checkpoint, bin),
-            Outcome::Failed(detail) => {
-                eprintln!("all: {bin} ultimately failed after {attempts} attempts: {detail}");
-                if !opts.keep_going {
-                    aborted = true;
-                }
-            }
-            Outcome::Resumed | Outcome::NotRun => unreachable!("loop outcomes only"),
-        }
-        reports.push(ChildReport { bin, outcome, attempts, duration: started.elapsed() });
+    if let Some(dir) = checkpoint.parent() {
+        let _ = std::fs::create_dir_all(dir);
     }
+
+    let reg = registry();
+    let info = manifest_info(&opts.cli);
+    let tasks: Vec<Task<'_>> = reg
+        .report_names()
+        .into_iter()
+        .map(|bin| {
+            let cli = &opts.cli;
+            let reg = &reg;
+            let info = &info;
+            Task::new(bin, move |token: &bp_metrics::cancel::CancelToken| {
+                let baseline = bp_metrics::CounterBaseline::take();
+                let study = reg.get(bin).expect("report_names came from this registry");
+                let ctx = StudyCtx::with_cancel(cli.dataset(), token.clone());
+                let report = study.run(&ctx);
+                cli.emit_report(&report);
+                if let Some(sink) = bp_metrics::sink_dir() {
+                    baseline
+                        .capture_delta(bin, info.clone())
+                        .write_to_sink(sink)
+                        .map_err(|e| format!("failed to write manifest: {e}"))?;
+                }
+                Ok(())
+            })
+        })
+        .collect();
+
+    let exec_opts = ExecOptions {
+        retries: RETRIES,
+        backoff: Backoff::from_env(),
+        deadline: opts.timeout,
+        keep_going: opts.keep_going,
+        checkpoint: Some(checkpoint),
+        resume: opts.resume,
+        fault_prefix: Some("all.child".to_string()),
+        log_prefix: Some("all".to_string()),
+    };
+    let reports = exec::run(tasks, &exec_opts);
 
     print_summary(&reports);
     merge_manifests(&reports);
-    if reports.iter().any(|r| matches!(r.outcome, Outcome::Failed(_) | Outcome::NotRun)) {
+    if reports.iter().any(|r| !r.outcome.is_success()) {
         std::process::exit(1);
     }
 }
 
-/// Runs one attempt of `bin`, enforcing the timeout when one is set.
-fn run_child(bin_dir: &Path, bin: &str, opts: &Options, trace_dir: &str) -> Result<(), String> {
-    if bp_metrics::faultpoint::should_fail(&format!("all.child.{bin}")) {
-        return Err("injected fault: child failure".to_string());
-    }
-    let mut child = Command::new(bin_dir.join(bin))
-        .args(&opts.forwarded)
-        .env("BRANCH_LAB_TRACE_DIR", trace_dir)
-        .spawn()
-        .map_err(|e| format!("failed to launch: {e}"))?;
-    let status = match opts.timeout {
-        None => child.wait().map_err(|e| format!("wait failed: {e}"))?,
-        Some(limit) => {
-            let deadline = Instant::now() + limit;
-            loop {
-                match child.try_wait() {
-                    Ok(Some(status)) => break status,
-                    Ok(None) if Instant::now() >= deadline => {
-                        let _ = child.kill();
-                        let _ = child.wait();
-                        return Err(format!("timed out after {}s (killed)", limit.as_secs()));
-                    }
-                    Ok(None) => std::thread::sleep(Duration::from_millis(25)),
-                    Err(e) => return Err(format!("wait failed: {e}")),
-                }
-            }
-        }
-    };
-    if status.success() {
-        Ok(())
-    } else {
-        Err(status.to_string())
-    }
+/// The dataset-shape `info` block every per-study manifest records —
+/// the same keys and formatting [`Cli::metrics_run`] uses, so a study
+/// run under `all` and one run standalone produce comparable manifests.
+fn manifest_info(cli: &Cli) -> BTreeMap<String, String> {
+    let cfg = cli.dataset();
+    BTreeMap::from([
+        ("trace_len".to_string(), cfg.trace_len.to_string()),
+        ("slice_len".to_string(), cfg.slice.len().to_string()),
+        (
+            "max_inputs".to_string(),
+            cfg.max_inputs.map_or_else(|| "none".to_owned(), |n| n.to_string()),
+        ),
+        ("quick".to_string(), cli.quick.to_string()),
+    ])
 }
 
-fn load_checkpoint(path: &Path) -> HashSet<String> {
-    match std::fs::read_to_string(path) {
-        Ok(s) => s.lines().map(str::trim).filter(|l| !l.is_empty()).map(String::from).collect(),
-        Err(_) => HashSet::new(),
-    }
-}
-
-/// Appends `bin` to the checkpoint. Best-effort: checkpoint I/O failures
-/// cost resumability, never the run itself.
-fn record_success(path: &Path, bin: &str) {
-    if let Some(dir) = path.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    let result = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .and_then(|mut f| writeln!(f, "{bin}").and_then(|()| f.flush()));
-    if let Err(e) = result {
-        eprintln!("all: failed to update checkpoint {}: {e}", path.display());
-    }
-}
-
-fn print_summary(reports: &[ChildReport]) {
+fn print_summary(reports: &[TaskReport]) {
     let mut table = Table::new(vec!["binary", "outcome", "attempts", "seconds"]);
     for r in reports {
         table.row(vec![
-            r.bin.to_string(),
+            r.name.clone(),
             r.outcome.status(),
             r.attempts.to_string(),
-            format!("{:.2}", r.duration.as_secs_f64()),
+            format!("{:.2}", r.seconds),
         ]);
     }
     println!("\n== all: per-child summary ==");
     print!("{}", table.render());
 }
 
-/// Merges the manifests of every child known to have succeeded (this run
+/// Merges the manifests of every study known to have succeeded (this run
 /// or a resumed one) into `<sink>/all.json`, with a `children` status
-/// table covering all children — including the failed and not-run ones
-/// the merge is missing. Silent no-op when metrics are off; merge
-/// problems go to stderr only, so stdout stays byte-identical with and
-/// without metrics.
-fn merge_manifests(reports: &[ChildReport]) {
+/// table covering all studies — including the failed and not-run ones
+/// the merge is missing — and a `child_attempts` table. Silent no-op
+/// when metrics are off; merge problems go to stderr only, so stdout
+/// stays byte-identical with and without metrics.
+fn merge_manifests(reports: &[TaskReport]) {
     let Some(sink) = bp_metrics::sink_dir() else { return };
     let mut runs = Vec::new();
     for r in reports {
-        if !matches!(r.outcome, Outcome::Succeeded | Outcome::Resumed) {
+        if !r.outcome.is_success() {
             continue;
         }
-        let path = sink.join(format!("{}.json", r.bin));
+        let path = sink.join(format!("{}.json", r.name));
         match std::fs::read_to_string(&path) {
             Ok(s) => runs.push(s),
             Err(e) => eprintln!("bp-metrics: missing manifest {}: {e}", path.display()),
         }
     }
-    let children: Vec<(String, String)> =
-        reports.iter().map(|r| (r.bin.to_string(), r.outcome.status())).collect();
+    let children: Vec<(String, String, u32)> = reports
+        .iter()
+        .map(|r| (r.name.clone(), r.outcome.merged_status(), r.attempts))
+        .collect();
     match bp_metrics::merge_manifests_with_children(&runs, &children) {
         Ok(merged) => {
             let path = sink.join("all.json");

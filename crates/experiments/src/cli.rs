@@ -62,9 +62,12 @@ pub fn help_text() -> String {
          \x20   BRANCH_LAB_TRACE_DIR           shared on-disk trace cache directory\n\
          \x20   BRANCH_LAB_METRICS            metrics sink: stderr, off, or a directory\n\
          \x20   BRANCH_LAB_FAULTS             deterministic fault injection spec (tests)\n\
+         \x20   BRANCH_LAB_CHAOS_SEED         seed for probabilistic faults + retry jitter\n\
+         \x20   BRANCH_LAB_MEM_BUDGET         trace-cache memory budget (e.g. 512M); cold\n\
+         \x20                                 traces evict and stream from disk when over\n\
          \x20   BRANCH_LAB_KEEP_GOING         all-runner: same as --keep-going\n\
-         \x20   BRANCH_LAB_CHILD_TIMEOUT_SECS all-runner: same as --timeout-secs\n\
-         \x20   BRANCH_LAB_RETRY_DELAY_MS     all-runner: delay between retries (default 500)\n\
+         \x20   BRANCH_LAB_CHILD_TIMEOUT_SECS all-runner: same as --timeout-secs (0 = none)\n\
+         \x20   BRANCH_LAB_RETRY_DELAY_MS     all-runner: retry backoff base (default 500)\n\
          \x20   BRANCH_LAB_UPDATE_GOLDEN      golden tests: rewrite fixtures instead of diffing\n\
          \n\
          WORKLOADS:\n",

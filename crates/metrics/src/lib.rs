@@ -26,11 +26,14 @@
 //! are deterministic across thread counts — only the timing fields vary
 //! (see [`manifest::normalize`]).
 
+pub mod cancel;
 pub mod faultpoint;
 pub mod json;
 pub mod manifest;
 
-pub use manifest::{merge_manifests, merge_manifests_with_children, normalize, Manifest, RunGuard};
+pub use manifest::{
+    merge_manifests, merge_manifests_with_children, normalize, CounterBaseline, Manifest, RunGuard,
+};
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;

@@ -102,6 +102,71 @@ impl Manifest {
     pub fn to_json(&self) -> String {
         self.to_value().to_json()
     }
+
+    /// Writes the manifest as `<dir>/<run>.json` (payload plus trailing
+    /// newline, the same framing [`RunGuard`] uses), creating `dir` if
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation / write failures.
+    pub fn write_to_sink(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.run));
+        std::fs::write(path, format!("{}\n", self.to_json()))
+    }
+}
+
+/// A snapshot of the global counter/timer registry taken *before* a unit
+/// of work, so [`CounterBaseline::capture_delta`] can attribute exactly
+/// that unit's activity to its own manifest.
+///
+/// The registry is process-global and cumulative; when several studies
+/// run sequentially in one process (the in-process `all` executor), a
+/// plain [`Manifest::capture`] after study N would include studies
+/// 1..N-1 too. Delta capture restores the per-study manifests the old
+/// one-child-per-process runner produced.
+pub struct CounterBaseline {
+    counters: BTreeMap<String, u64>,
+    timers: BTreeMap<String, u64>,
+    start: Instant,
+}
+
+impl CounterBaseline {
+    /// Snapshots the registry now and starts the wall clock.
+    #[must_use]
+    pub fn take() -> CounterBaseline {
+        CounterBaseline {
+            counters: crate::snapshot_counters().into_iter().collect(),
+            timers: crate::snapshot_timers().into_iter().collect(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Captures a manifest whose counters/timers are the registry's
+    /// growth since [`CounterBaseline::take`] (zero-delta entries are
+    /// dropped — a counter another study registered but this one never
+    /// touched does not appear), and whose wall time is the elapsed time
+    /// since the baseline.
+    #[must_use]
+    pub fn capture_delta(&self, run: &str, info: BTreeMap<String, String>) -> Manifest {
+        let delta = |now: Vec<(String, u64)>, base: &BTreeMap<String, u64>| {
+            now.into_iter()
+                .filter_map(|(name, value)| {
+                    let d = value.saturating_sub(base.get(&name).copied().unwrap_or(0));
+                    (d > 0).then_some((name, d))
+                })
+                .collect::<BTreeMap<String, u64>>()
+        };
+        Manifest {
+            run: run.to_string(),
+            info,
+            threads: crate::thread_count(),
+            wall_time_ns: u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            counters: delta(crate::snapshot_counters(), &self.counters),
+            timers_ns: delta(crate::snapshot_timers(), &self.timers),
+        }
+    }
 }
 
 /// Strips the volatile fields (`threads`, `timers_ns`, `wall_time_ns`)
@@ -140,14 +205,15 @@ pub fn merge_manifests(run_jsons: &[String]) -> Result<String, JsonError> {
     merge_manifests_with_children(run_jsons, &[])
 }
 
-/// Like [`merge_manifests`], but additionally records a per-child status
-/// table under a `children` key (`{name: status}`), so a *partial* merge
-/// — some children failed or never ran — names exactly what is missing
-/// from `runs` and why. With an empty `children` slice the output is
-/// byte-identical to [`merge_manifests`].
+/// Like [`merge_manifests`], but additionally records per-child outcome
+/// tables: `children` (`{name: status}`) so a *partial* merge — some
+/// children failed or never ran — names exactly what is missing from
+/// `runs` and why, and `child_attempts` (`{name: attempts}`) recording
+/// how many executor attempts each child consumed. With an empty
+/// `children` slice the output is byte-identical to [`merge_manifests`].
 pub fn merge_manifests_with_children(
     run_jsons: &[String],
-    children: &[(String, String)],
+    children: &[(String, String, u32)],
 ) -> Result<String, JsonError> {
     let mut runs = Vec::with_capacity(run_jsons.len());
     for raw in run_jsons {
@@ -163,7 +229,16 @@ pub fn merge_manifests_with_children(
             Value::Obj(
                 children
                     .iter()
-                    .map(|(name, status)| (name.clone(), Value::Str(status.clone())))
+                    .map(|(name, status, _)| (name.clone(), Value::Str(status.clone())))
+                    .collect(),
+            ),
+        );
+        map.insert(
+            "child_attempts".to_string(),
+            Value::Obj(
+                children
+                    .iter()
+                    .map(|(name, _, attempts)| (name.clone(), Value::uint(u64::from(*attempts))))
                     .collect(),
             ),
         );
@@ -283,14 +358,35 @@ mod tests {
             merge_manifests_with_children(&runs, &[]).unwrap()
         );
         let children = vec![
-            ("fig1".to_string(), "ok".to_string()),
-            ("fig2".to_string(), "failed: exit status: 101".to_string()),
+            ("fig1".to_string(), "ok".to_string(), 1),
+            ("fig2".to_string(), "failed: exit status: 101".to_string(), 2),
         ];
         let merged = merge_manifests_with_children(&runs, &children).unwrap();
         let value = json::parse(&merged).unwrap();
         let table = value.as_obj().unwrap()["children"].as_obj().unwrap();
         assert_eq!(table["fig1"].as_str(), Some("ok"));
         assert_eq!(table["fig2"].as_str(), Some("failed: exit status: 101"));
+        let attempts = value.as_obj().unwrap()["child_attempts"].as_obj().unwrap();
+        assert_eq!(attempts["fig1"].as_u64(), Some(1));
+        assert_eq!(attempts["fig2"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn counter_baseline_attributes_only_the_delta() {
+        crate::force_enable();
+        let c = crate::Counter::get("test.manifest.delta");
+        c.add(7);
+        let base = CounterBaseline::take();
+        c.add(5);
+        let m = base.capture_delta("unit", BTreeMap::new());
+        assert_eq!(m.counters.get("test.manifest.delta"), Some(&5));
+        let quiet = CounterBaseline::take();
+        let m2 = quiet.capture_delta("unit", BTreeMap::new());
+        assert_eq!(
+            m2.counters.get("test.manifest.delta"),
+            None,
+            "untouched counters are dropped from delta manifests"
+        );
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Property battery for `faultpoint::parse`: every well-formed spec
+//! round-trips through `Display`, every malformed spec yields a
+//! structured error, and no input — well-formed, malformed, or mutated —
+//! ever panics the parser.
+//!
+//! Randomness is a hand-rolled LCG seeded per test, so failures replay
+//! deterministically (no external property-testing crate needed).
+
+use bp_metrics::faultpoint::{parse, Action, FaultSpec, When};
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.below(options.len() as u64) as usize]
+    }
+}
+
+/// A random site name from the charset real sites use.
+fn arb_site(rng: &mut Lcg) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-";
+    let len = 1 + rng.below(20) as usize;
+    (0..len).map(|_| *rng.pick(CHARS) as char).collect()
+}
+
+fn arb_when(rng: &mut Lcg) -> When {
+    match rng.below(5) {
+        0 => When::Always,
+        1 => When::Nth(1 + rng.below(1_000)),
+        2 => {
+            let from = 1 + rng.below(500);
+            When::Range { from, to: Some(from + rng.below(500)) }
+        }
+        3 => When::Range { from: 1 + rng.below(500), to: None },
+        _ => When::Prob { percent: 1 + rng.below(100) as u8 },
+    }
+}
+
+fn arb_spec(rng: &mut Lcg) -> FaultSpec {
+    FaultSpec {
+        site: arb_site(rng),
+        action: *rng.pick(&[Action::Fail, Action::Panic]),
+        when: arb_when(rng),
+    }
+}
+
+#[test]
+fn well_formed_specs_round_trip_through_display_and_parse() {
+    let mut rng = Lcg(0xfau64 << 32 | 0x17);
+    for case in 0..500 {
+        let specs: Vec<FaultSpec> = (0..1 + rng.below(4)).map(|_| arb_spec(&mut rng)).collect();
+        let rendered: Vec<String> = specs.iter().map(ToString::to_string).collect();
+        let joined = rendered.join(",");
+        let parsed = parse(&joined)
+            .unwrap_or_else(|e| panic!("case {case}: `{joined}` must parse: {e}"));
+        assert_eq!(parsed, specs, "case {case}: `{joined}` must round-trip");
+    }
+}
+
+#[test]
+fn malformed_specs_yield_structured_errors_not_panics() {
+    // Every family of malformation the grammar rules out: the error must
+    // be an `Err` naming the offending entry, never a panic, and the
+    // whole value must be rejected even when other entries are fine.
+    let malformed = [
+        "siteonly",                // missing :action
+        ":fail",                   // empty site
+        "s:flail",                 // unknown action
+        "s:fail@0",                // nth must be >= 1
+        "s:fail@",                 // empty schedule
+        "s:fail@x",                // non-numeric schedule
+        "s:fail@-3",               // negative
+        "s:fail@18446744073709551616", // > u64::MAX
+        "s:fail@0..5",             // range start must be >= 1
+        "s:fail@5..3",             // inverted range
+        "s:fail@..",               // empty range start
+        "s:fail@..7",              // still empty range start
+        "s:fail@2..x",             // non-numeric range end
+        "s:fail@0%",               // percent must be >= 1
+        "s:fail@101%",             // percent must be <= 100
+        "s:fail@%",                // empty percent
+        "s:panic@3.5",             // non-integer schedule
+    ];
+    for bad in malformed {
+        let err = parse(bad).expect_err(bad);
+        assert!(
+            err.contains(bad.trim()),
+            "error for `{bad}` must name the entry, got: {err}"
+        );
+        let mixed = format!("good.site:fail,{bad}");
+        assert!(
+            parse(&mixed).is_err(),
+            "`{mixed}`: one bad entry must reject the whole value"
+        );
+    }
+}
+
+#[test]
+fn mutated_specs_never_panic_and_accepted_ones_still_round_trip() {
+    // Take a valid rendering, smash one byte with a hostile character,
+    // and feed it back: the parser must return *something* (Ok or Err)
+    // without panicking, and anything it accepts must itself round-trip.
+    const HOSTILE: &[u8] = b":@%,.!$ 09x-";
+    let mut rng = Lcg(0xdead_bee5);
+    for case in 0..2_000 {
+        let mut bytes = arb_spec(&mut rng).to_string().into_bytes();
+        let at = rng.below(bytes.len() as u64) as usize;
+        bytes[at] = *rng.pick(HOSTILE);
+        let mutated = String::from_utf8(bytes).expect("ascii stays ascii");
+        let outcome = std::panic::catch_unwind(|| parse(&mutated));
+        let parsed = outcome
+            .unwrap_or_else(|_| panic!("case {case}: `{mutated}` panicked the parser"));
+        if let Ok(specs) = parsed {
+            let rendered: Vec<String> = specs.iter().map(ToString::to_string).collect();
+            let reparsed = parse(&rendered.join(","))
+                .unwrap_or_else(|e| panic!("case {case}: `{mutated}` reparse failed: {e}"));
+            assert_eq!(reparsed, specs, "case {case}: `{mutated}` accepted but unstable");
+        }
+    }
+}
+
+#[test]
+fn whitespace_and_empty_entries_are_tolerated() {
+    let specs = parse(" a.b:fail@3 ,, c:panic@40% ,").expect("whitespace-padded value");
+    assert_eq!(specs.len(), 2);
+    assert_eq!(specs[0].site, "a.b");
+    assert_eq!(specs[0].when, When::Nth(3));
+    assert_eq!(specs[1].action, Action::Panic);
+    assert_eq!(specs[1].when, When::Prob { percent: 40 });
+    assert_eq!(parse("").expect("empty value"), Vec::new());
+    assert_eq!(parse(" , ,").expect("only separators"), Vec::new());
+}

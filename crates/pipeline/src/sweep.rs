@@ -173,6 +173,9 @@ impl SweepReplay {
         let mut cond_branches = 0usize;
         let mut latency_sum = 0u64;
         while let Some(chunk) = reader.next_chunk()? {
+            // Cooperative cancellation at chunk granularity: a cancelled
+            // prepare stops within one streamed block.
+            bp_metrics::cancel::checkpoint("sweep.prepare");
             for inst in chunk {
                 let latency = match inst.class {
                     InstClass::Load => cache.access(inst.mem_addr),
@@ -278,7 +281,7 @@ impl SweepReplay {
     pub fn simulate(&self, mispredicted: &[bool], config: &PipelineConfig) -> SimStats {
         let mut out = [SimStats::default()];
         let mut cursor = self.chunk_cursor(&[mispredicted], config);
-        cursor.advance(usize::MAX);
+        drive_to_end(cursor.as_mut());
         cursor.finish(&mut out);
         out[0]
     }
@@ -305,7 +308,7 @@ impl SweepReplay {
         while done < flag_streams.len() {
             let take = lane_chunk(flag_streams.len() - done);
             let mut cursor = self.chunk_cursor(&flag_streams[done..done + take], config);
-            cursor.advance(usize::MAX);
+            drive_to_end(cursor.as_mut());
             cursor.finish(&mut out[done..done + take]);
             done += take;
         }
@@ -612,6 +615,27 @@ impl<'a> InterleaveGroup<'a> {
     }
 }
 
+/// Slice size for cancellable replay: matches the 16K-record streaming
+/// block, so a cancelled study stops within one block of work.
+const CANCEL_SLICE: usize = 16 * 1024;
+
+/// Runs a cursor to exhaustion. Without a cancellation scope (every
+/// production run) this is the single `advance(usize::MAX)` fast path;
+/// under a scope the cursor advances in [`CANCEL_SLICE`] steps with a
+/// cancellation checkpoint between slices.
+fn drive_to_end(cursor: &mut (dyn LaneCursor + '_)) {
+    if !bp_metrics::cancel::active() {
+        cursor.advance(usize::MAX);
+        return;
+    }
+    loop {
+        bp_metrics::cancel::checkpoint("sweep.replay");
+        if !cursor.advance(CANCEL_SLICE) {
+            return;
+        }
+    }
+}
+
 /// Replays several independent prepared traces in interleaved lockstep.
 ///
 /// Each group's lane chunks become resumable cursors; the cursors
@@ -661,6 +685,9 @@ pub fn simulate_interleaved(
     }
     let mut any_live = slots.iter().any(|s| s.live);
     while any_live {
+        // One cancellation poll per round-robin round: each round is at
+        // most `granularity` instructions per cursor.
+        bp_metrics::cancel::checkpoint("sweep.replay");
         any_live = false;
         for slot in &mut slots {
             if slot.live {

@@ -310,6 +310,10 @@ fn stream_branch_blocks<R: TraceReader>(
 ) -> Result<(), ReadTraceError> {
     let mut block: Vec<(u64, bool)> = Vec::with_capacity(SWEEP_BLOCK);
     while let Some(chunk) = reader.next_chunk()? {
+        // Cooperative cancellation once per streamed chunk (a no-op
+        // without an installed scope): a cancelled sweep stops training
+        // within one block instead of finishing the trace.
+        bp_metrics::cancel::checkpoint("sweep.train");
         for inst in chunk {
             if let Some(b) = inst.branch {
                 if b.kind == bp_trace::BranchKind::Conditional {

@@ -12,6 +12,19 @@
 //! The per-process singleton is [`TraceStore::global`]; workloads reach it
 //! through [`crate::WorkloadSpec::cached_trace`]. Set `BRANCH_LAB_TRACE_DIR`
 //! to enable the on-disk layer for the global store.
+//!
+//! # Memory governor
+//!
+//! Long multi-study runs accumulate every workload's trace in memory.
+//! Setting `BRANCH_LAB_MEM_BUDGET` (bytes, with optional `K`/`M`/`G`
+//! suffix) caps the store's resident trace bytes: after each request the
+//! least-recently-used entries are dropped from the memoization map until
+//! the store is back under budget (the most recent entry always stays, so
+//! the trace in active use is never thrashed). Evicted traces reload from
+//! the disk cache — or regenerate — on their next request, and
+//! [`TraceStore::stream`] requests served block-wise from disk while a
+//! budget is active are counted as degraded streams. Degradation trades
+//! throughput for bounded memory; outputs are unaffected.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -71,6 +84,12 @@ pub struct StoreStats {
     /// Valid cache files in an old `BPTR` format version, rewritten in
     /// the current (v3) format on load.
     pub upgraded: u64,
+    /// In-memory entries dropped by the `BRANCH_LAB_MEM_BUDGET` governor.
+    pub evicted: u64,
+    /// [`TraceStore::stream`] requests served block-wise from disk while
+    /// a memory budget was active (streaming degradation instead of
+    /// materialization).
+    pub degraded_streams: u64,
 }
 
 /// One memoization slot. The `OnceLock` guarantees exactly-once generation
@@ -85,17 +104,28 @@ pub struct TraceStore {
     /// input-independent, so all inputs of a workload share one program.
     programs: Mutex<HashMap<String, Arc<Program>>>,
     cache_dir: Option<PathBuf>,
+    /// Resident-byte cap for memoized traces; `None` disables eviction.
+    budget: Option<u64>,
+    /// Keys in least-recently-used order (front = coldest) with the
+    /// resident byte size of each memoized trace. Only maintained when a
+    /// budget is set.
+    lru: Mutex<Vec<(TraceKey, u64)>>,
+    resident_bytes: AtomicU64,
     generated: AtomicU64,
     disk_loads: AtomicU64,
     hits: AtomicU64,
     corrupt: AtomicU64,
     upgraded: AtomicU64,
+    evicted: AtomicU64,
+    degraded_streams: AtomicU64,
     /// `bp-metrics` mirrors of the stats above (no-ops unless
     /// `BRANCH_LAB_METRICS` enables the registry).
     m_generated: Counter,
     m_disk_loads: Counter,
     m_hits: Counter,
     m_corrupt: Counter,
+    m_evicted: Counter,
+    m_degraded: Counter,
 }
 
 impl TraceStore {
@@ -106,15 +136,22 @@ impl TraceStore {
             traces: Mutex::new(HashMap::new()),
             programs: Mutex::new(HashMap::new()),
             cache_dir: None,
+            budget: None,
+            lru: Mutex::new(Vec::new()),
+            resident_bytes: AtomicU64::new(0),
             generated: AtomicU64::new(0),
             disk_loads: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             upgraded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            degraded_streams: AtomicU64::new(0),
             m_generated: Counter::get("trace_store.generate"),
             m_disk_loads: Counter::get("trace_store.disk_load"),
             m_hits: Counter::get("trace_store.hit"),
             m_corrupt: Counter::get("trace_store.corrupt"),
+            m_evicted: Counter::get("trace_store.evict"),
+            m_degraded: Counter::get("trace_store.degraded_stream"),
         }
     }
 
@@ -127,14 +164,31 @@ impl TraceStore {
         s
     }
 
-    /// The per-process shared store. Reads `BRANCH_LAB_TRACE_DIR` once, at
-    /// first use: when set and non-empty, the global store persists traces
-    /// there.
+    /// Caps the store's resident memoized-trace bytes (the memory
+    /// governor); least-recently-used entries are evicted past the cap.
+    #[must_use]
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// The per-process shared store. Reads `BRANCH_LAB_TRACE_DIR` and
+    /// `BRANCH_LAB_MEM_BUDGET` once, at first use: when set and
+    /// non-empty, the global store persists traces in the former and
+    /// bounds resident trace memory to the latter.
     pub fn global() -> &'static TraceStore {
         static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
-        GLOBAL.get_or_init(|| match std::env::var("BRANCH_LAB_TRACE_DIR") {
-            Ok(dir) if !dir.is_empty() => TraceStore::with_cache_dir(dir),
-            _ => TraceStore::new(),
+        GLOBAL.get_or_init(|| {
+            let mut store = match std::env::var("BRANCH_LAB_TRACE_DIR") {
+                Ok(dir) if !dir.is_empty() => TraceStore::with_cache_dir(dir),
+                _ => TraceStore::new(),
+            };
+            if let Some(budget) =
+                std::env::var("BRANCH_LAB_MEM_BUDGET").ok().as_deref().and_then(parse_budget)
+            {
+                store = store.with_mem_budget(budget);
+            }
+            store
         })
     }
 
@@ -163,9 +217,49 @@ impl TraceStore {
         if let Some(t) = slot.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.m_hits.incr();
+            self.note_use(&key, t);
             return Arc::clone(t);
         }
-        Arc::clone(slot.get_or_init(|| Arc::new(self.load_or_generate(spec, &key))))
+        let t = Arc::clone(slot.get_or_init(|| Arc::new(self.load_or_generate(spec, &key))));
+        self.note_use(&key, &t);
+        t
+    }
+
+    /// Records that `key` is resident and was just used; under a memory
+    /// budget, evicts the coldest entries until the store fits. The entry
+    /// just used is never evicted, so the trace in active use cannot
+    /// thrash even when it alone exceeds the budget.
+    fn note_use(&self, key: &TraceKey, trace: &Arc<Trace>) {
+        let Some(budget) = self.budget else { return };
+        let bytes = (trace.len() * std::mem::size_of::<RetiredInst>()) as u64;
+        let mut cold = Vec::new();
+        {
+            let mut lru = self.lru.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(pos) = lru.iter().position(|(k, _)| k == key) {
+                let entry = lru.remove(pos);
+                lru.push(entry);
+            } else {
+                lru.push((key.clone(), bytes));
+                self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            while self.resident_bytes.load(Ordering::Relaxed) > budget && lru.len() > 1 {
+                let (k, b) = lru.remove(0);
+                self.resident_bytes.fetch_sub(b, Ordering::Relaxed);
+                cold.push(k);
+            }
+        }
+        if !cold.is_empty() {
+            let mut map = self.traces.lock().unwrap_or_else(PoisonError::into_inner);
+            for k in &cold {
+                // Dropping the slot releases the store's Arc; callers
+                // already holding the trace keep it alive until they
+                // finish. The next request reloads from disk (or
+                // regenerates).
+                map.remove(k);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                self.m_evicted.incr();
+            }
+        }
     }
 
     fn load_or_generate(&self, spec: &WorkloadSpec, key: &TraceKey) -> Trace {
@@ -262,6 +356,13 @@ impl TraceStore {
                     {
                         self.disk_loads.fetch_add(1, Ordering::Relaxed);
                         self.m_disk_loads.incr();
+                        if self.budget.is_some() {
+                            // Streaming degradation: under a memory
+                            // budget this block-wise read replaces a
+                            // would-be materialization.
+                            self.degraded_streams.fetch_add(1, Ordering::Relaxed);
+                            self.m_degraded.incr();
+                        }
                         return StoreReader::Disk(Box::new(r));
                     }
                 }
@@ -280,6 +381,8 @@ impl TraceStore {
             hits: self.hits.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
             upgraded: self.upgraded.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            degraded_streams: self.degraded_streams.load(Ordering::Relaxed),
         }
     }
 }
@@ -389,22 +492,78 @@ fn load_valid(path: &Path, key: &TraceKey) -> DiskRead {
     }
 }
 
-/// Moves a damaged cache file aside as `<name>.corrupt` so it is never
-/// trusted again but stays available for post-mortems. Renaming within a
+/// Parses a `BRANCH_LAB_MEM_BUDGET` value: a byte count with an optional
+/// `K`/`M`/`G` (case-insensitive, 1024-based) suffix. Returns `None` for
+/// anything unparsable or zero.
+fn parse_budget(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    let (digits, shift) = match raw.chars().last()? {
+        'k' | 'K' => (&raw[..raw.len() - 1], 10u32),
+        'm' | 'M' => (&raw[..raw.len() - 1], 20),
+        'g' | 'G' => (&raw[..raw.len() - 1], 30),
+        _ => (raw, 0),
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_shl(shift).filter(|&b| b > 0)
+}
+
+/// Most recent quarantine files kept per cache directory; older evidence
+/// beyond this is pruned.
+const QUARANTINE_KEEP: usize = 8;
+
+/// Moves a damaged cache file aside as `<name>.corrupt-<n>` — with `n`
+/// picked so the name is fresh, so repeated corruption of the same key
+/// never clobbers earlier evidence — then prunes the directory's oldest
+/// quarantine files beyond [`QUARANTINE_KEEP`]. Renaming within a
 /// directory is atomic, so a concurrent reader sees the original file or
 /// no file — never a half-moved one. Best-effort: if even the rename
 /// fails, the file is removed so it cannot poison the next run.
 fn quarantine(path: &Path, reason: &str) {
-    let mut q = path.as_os_str().to_owned();
-    q.push(".corrupt");
-    let quarantined = PathBuf::from(q);
-    if std::fs::rename(path, &quarantined).is_err() {
+    let fresh_name = (1u32..10_000).map(|n| {
+        let mut q = path.as_os_str().to_owned();
+        q.push(format!(".corrupt-{n}"));
+        PathBuf::from(q)
+    });
+    let target = fresh_name.into_iter().find(|p| !p.exists());
+    let renamed = target.is_some_and(|t| std::fs::rename(path, &t).is_ok());
+    if !renamed {
         let _ = std::fs::remove_file(path);
     }
     eprintln!(
         "branch-lab: quarantined corrupt trace cache file {} ({reason}); regenerating",
         path.display()
     );
+    if let Some(dir) = path.parent() {
+        prune_quarantine(dir);
+    }
+}
+
+/// Deletes the oldest (by modification time, then name) quarantine files
+/// in `dir` beyond [`QUARANTINE_KEEP`]. Best-effort throughout: pruning
+/// exists to bound disk growth, not to guarantee an exact census.
+fn prune_quarantine(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut quarantined: Vec<(std::time::SystemTime, PathBuf)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let p = e.path();
+            let name = p.file_name()?.to_str()?;
+            if !name.contains(".corrupt") {
+                return None;
+            }
+            let mtime =
+                e.metadata().and_then(|m| m.modified()).unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            Some((mtime, p))
+        })
+        .collect();
+    if quarantined.len() <= QUARANTINE_KEEP {
+        return;
+    }
+    quarantined.sort();
+    let excess = quarantined.len() - QUARANTINE_KEEP;
+    for (_, p) in quarantined.into_iter().take(excess) {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 #[cfg(test)]
@@ -553,5 +712,91 @@ mod tests {
         let a = store.program(&s);
         let b = store.program(&s);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn budget_parser_accepts_suffixes_and_rejects_garbage() {
+        assert_eq!(parse_budget("1024"), Some(1024));
+        assert_eq!(parse_budget("4K"), Some(4 << 10));
+        assert_eq!(parse_budget(" 16m "), Some(16 << 20));
+        assert_eq!(parse_budget("2G"), Some(2 << 30));
+        assert_eq!(parse_budget("0"), None);
+        assert_eq!(parse_budget(""), None);
+        assert_eq!(parse_budget("lots"), None);
+        assert_eq!(parse_budget("-5M"), None);
+    }
+
+    #[test]
+    fn mem_budget_evicts_cold_entries_but_never_the_current_one() {
+        // Each 2000-inst trace is ~2000 × size_of::<RetiredInst>() bytes;
+        // budget one-and-a-half traces so a second resident always evicts
+        // the first.
+        let one = (2_000 * std::mem::size_of::<RetiredInst>()) as u64;
+        let store = TraceStore::new().with_mem_budget(one * 3 / 2);
+        let s = spec();
+        let a = store.get(&s, 0, 2_000);
+        assert_eq!(store.stats().evicted, 0);
+        let _b = store.get(&s, 1, 2_000); // over budget: input 0 evicted
+        assert_eq!(store.stats().evicted, 1);
+        // Caller-held Arcs survive eviction.
+        assert_eq!(a.len(), 2_000);
+        // Re-requesting input 0 regenerates (no cache dir) and in turn
+        // evicts input 1.
+        let _a2 = store.get(&s, 0, 2_000);
+        let stats = store.stats();
+        assert_eq!(stats.generated, 3, "{stats:?}");
+        assert_eq!(stats.evicted, 2, "{stats:?}");
+
+        // A budget smaller than a single trace keeps exactly the entry
+        // in use: repeated gets of the *same* key still hit.
+        let tiny = TraceStore::new().with_mem_budget(8);
+        let x = tiny.get(&s, 0, 1_000);
+        let y = tiny.get(&s, 0, 1_000);
+        assert!(Arc::ptr_eq(&x, &y));
+        assert_eq!(tiny.stats().evicted, 0);
+    }
+
+    #[test]
+    fn budgeted_disk_streams_count_as_degraded() {
+        let dir = scratch_dir("degraded");
+        let s = spec();
+        let _seed = TraceStore::with_cache_dir(&dir).get(&s, 0, 2_000);
+
+        let store = TraceStore::with_cache_dir(&dir).with_mem_budget(1 << 20);
+        let r = store.stream(&s, 0, 2_000);
+        assert!(matches!(r, StoreReader::Disk(_)));
+        assert_eq!(store.stats().degraded_streams, 1);
+
+        // Without a budget the same disk stream is not "degraded".
+        let plain = TraceStore::with_cache_dir(&dir);
+        let r = plain.stream(&s, 0, 2_000);
+        assert!(matches!(r, StoreReader::Disk(_)));
+        assert_eq!(plain.stats().degraded_streams, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_quarantines_keep_distinct_evidence_up_to_the_cap() {
+        let dir = scratch_dir("quarantine");
+        let victim = dir.join("w-i0-l100.bptr");
+        for round in 1..=(QUARANTINE_KEEP + 3) {
+            std::fs::write(&victim, format!("garbage {round}")).unwrap();
+            quarantine(&victim, "unit test");
+            assert!(!victim.exists(), "original must be moved aside");
+        }
+        let quarantined: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.contains(".corrupt"))
+            .collect();
+        assert_eq!(
+            quarantined.len(),
+            QUARANTINE_KEEP,
+            "retention is capped: {quarantined:?}"
+        );
+        let unique: std::collections::HashSet<&String> = quarantined.iter().collect();
+        assert_eq!(unique.len(), quarantined.len(), "names never clobber each other");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -44,7 +44,12 @@ fn quarantined_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
     std::fs::read_dir(dir)
         .expect("read dir")
         .map(|e| e.expect("entry").path())
-        .filter(|p| p.extension().is_some_and(|e| e == "corrupt"))
+        .filter(|p| {
+            // Quarantine names are uniquely suffixed: `<file>.corrupt-<n>`.
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".corrupt"))
+        })
         .collect()
 }
 

@@ -81,11 +81,12 @@ fn a_corrupt_cache_file_falls_back_to_generation() {
     let quarantined = std::fs::read_dir(&dir)
         .expect("read dir")
         .filter(|e| {
+            // Quarantine names are uniquely suffixed: `<file>.corrupt-<n>`.
             e.as_ref()
                 .expect("entry")
-                .path()
-                .extension()
-                .is_some_and(|x| x == "corrupt")
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.contains(".corrupt"))
         })
         .count();
     assert_eq!(quarantined, 1);
