@@ -136,6 +136,89 @@ grep -q '"trace_store.evict"' "$CHAOS_SINK/all.json" \
     || { echo "chaos leg: memory governor never evicted under a 4M budget"; exit 1; }
 diff -r "$CHAOS_OUT/clean" "$CHAOS_OUT/membudget"
 
+echo "== serve =="
+# The long-running study server must: serve a repeated request from the
+# content-addressed cache without re-executing, coalesce two concurrent
+# identical requests onto exactly one execution (serve.* counters),
+# return bodies byte-identical to the equivalent CLI invocation, and —
+# after a kill -9 plus on-disk corruption — quarantine the damaged entry
+# (never serve it) while intact entries survive the restart.
+SERVE_OUT=target/ci-serve
+rm -rf "$SERVE_OUT" && mkdir -p "$SERVE_OUT/cache"
+
+serve_start() { # <logfile> — a fresh log per start so the readiness
+    # probe can never match a previous instance's banner.
+    SERVE_LOG="$SERVE_OUT/$1"
+    env BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
+        target/release/branch-lab serve --addr 127.0.0.1:0 --workers 4 \
+        --cache-dir "$SERVE_OUT/cache" > "$SERVE_LOG" 2>&1 &
+    SERVE_PID=$!
+    disown "$SERVE_PID" # silence job-control noise from the kill -9 below
+    SERVE_ADDR=
+    for _ in $(seq 100); do
+        SERVE_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "$SERVE_LOG")
+        [ -n "$SERVE_ADDR" ] && break
+        sleep 0.1
+    done
+    [ -n "$SERVE_ADDR" ] || { echo "serve leg: server never announced its address"; exit 1; }
+}
+smoke() { target/release/serve_smoke --addr "$SERVE_ADDR" "$@"; }
+
+serve_start server1.log
+RUN_REQ='{"study": "fig3", "quick": true, "len": 60000}'
+smoke --post /run --body "$RUN_REQ" > "$SERVE_OUT/miss.txt" 2> "$SERVE_OUT/miss.err"
+grep -q "cache=miss" "$SERVE_OUT/miss.err" || { echo "serve leg: first request must execute"; exit 1; }
+smoke --post /run --body "$RUN_REQ" > "$SERVE_OUT/hit.txt" 2> "$SERVE_OUT/hit.err"
+grep -q "cache=hit" "$SERVE_OUT/hit.err" || { echo "serve leg: repeat request must hit the cache"; exit 1; }
+cmp "$SERVE_OUT/miss.txt" "$SERVE_OUT/hit.txt"
+
+# Byte-identity: the served body is exactly the CLI's stdout.
+env BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
+    target/release/branch-lab run fig3 --quick --len 60000 > "$SERVE_OUT/cli.txt"
+cmp "$SERVE_OUT/miss.txt" "$SERVE_OUT/cli.txt" \
+    || { echo "serve leg: served body differs from CLI stdout"; exit 1; }
+
+# Two concurrent identical requests on a fresh key: exactly one may
+# report cache=miss (the execution); the other joins or hits.
+CONC_REQ='{"study": "fig4", "quick": true, "len": 60000}'
+smoke --post /run --body "$CONC_REQ" --concurrent 2 > "$SERVE_OUT/conc.txt" 2> "$SERVE_OUT/conc.err"
+[ "$(grep -c 'cache=miss' "$SERVE_OUT/conc.err")" -eq 1 ] \
+    || { echo "serve leg: concurrent identical requests must execute once"; cat "$SERVE_OUT/conc.err"; exit 1; }
+
+# The counters agree: two executions total (fig3 once, fig4 once)
+# across four study requests.
+smoke --get /metrics > "$SERVE_OUT/metrics.json" 2> /dev/null
+grep -q '"serve.exec": 2' "$SERVE_OUT/metrics.json" \
+    || { echo "serve leg: expected exactly 2 executions"; cat "$SERVE_OUT/metrics.json"; exit 1; }
+
+# Chaos: kill -9, corrupt the fig3 entry on disk as a torn write would,
+# restart on the same cache directory.
+kill -9 "$SERVE_PID" 2> /dev/null || true
+wait "$SERVE_PID" 2> /dev/null || true
+FIG3_KEY=$(sed -n 's/.*key=\([0-9a-f]\{16\}\)/\1/p' "$SERVE_OUT/miss.err" | head -n 1)
+FIG3_ENTRY="$SERVE_OUT/cache/$FIG3_KEY.blr"
+[ -f "$FIG3_ENTRY" ] || { echo "serve leg: fig3 entry never persisted"; exit 1; }
+dd if=/dev/zero of="$FIG3_ENTRY" bs=1 count=8 seek=40 conv=notrunc 2> /dev/null
+
+serve_start server2.log
+smoke --post /run --body "$RUN_REQ" > "$SERVE_OUT/regen.txt" 2> "$SERVE_OUT/regen.err"
+grep -q "cache=miss" "$SERVE_OUT/regen.err" \
+    || { echo "serve leg: corrupt entry must re-execute, not serve"; exit 1; }
+grep -q "quarantined corrupt cache entry" "$SERVE_OUT/server2.log" \
+    || { echo "serve leg: corrupt entry must be quarantined"; exit 1; }
+[ -f "$SERVE_OUT/cache/$FIG3_KEY.blr.corrupt" ] \
+    || { echo "serve leg: quarantine file missing"; exit 1; }
+cmp "$SERVE_OUT/regen.txt" "$SERVE_OUT/cli.txt" \
+    || { echo "serve leg: regenerated body differs from CLI stdout"; exit 1; }
+
+# The intact fig4 entry survived the kill -9 and serves from disk.
+smoke --post /run --body "$CONC_REQ" > "$SERVE_OUT/survivor.txt" 2> "$SERVE_OUT/survivor.err"
+grep -q "cache=hit-disk" "$SERVE_OUT/survivor.err" \
+    || { echo "serve leg: intact entry must survive restart"; exit 1; }
+cmp "$SERVE_OUT/survivor.txt" "$SERVE_OUT/conc.txt"
+kill -9 "$SERVE_PID" 2> /dev/null || true
+wait "$SERVE_PID" 2> /dev/null || true
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

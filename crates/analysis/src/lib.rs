@@ -15,6 +15,8 @@
 //! * [`RecurrenceAnalysis`] — median recurrence intervals (Fig. 9);
 //! * [`RegValueAnalysis`] — register-value distributions (Fig. 10).
 
+#![warn(missing_docs)]
+
 mod accuracy_spread;
 mod alloc_stats;
 mod depgraph;

@@ -30,6 +30,7 @@ pub mod exec;
 mod experiment;
 mod parallel;
 mod report;
+pub mod serve;
 mod study;
 
 pub use characterize::{

@@ -1,0 +1,347 @@
+//! A minimal, dependency-free HTTP/1.1 subset for `branch-lab serve`.
+//!
+//! The workspace is offline-green, so the server cannot lean on hyper or
+//! tokio; it implements exactly the slice of HTTP/1.1 the study protocol
+//! needs: one request per connection (`Connection: close` semantics),
+//! `GET`/`POST`, header parsing, and `Content-Length`-framed bodies.
+//! Requests that violate the subset produce structured [`HttpError`]s
+//! which the server maps to 4xx responses — a malformed peer can never
+//! panic a worker.
+//!
+//! Hard limits keep a hostile peer from ballooning memory, mirroring the
+//! decode hardening of the trace codec: request lines and headers are
+//! capped at [`MAX_HEAD_BYTES`], bodies at [`MAX_BODY_BYTES`], and both
+//! caps are checked *before* allocation.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on a request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a request could not be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The connection closed before a full request arrived.
+    UnexpectedEof,
+    /// The request line was not `METHOD PATH HTTP/1.x`.
+    BadRequestLine(String),
+    /// A header line had no `:` separator.
+    BadHeader(String),
+    /// The request line + headers exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// `Content-Length` was missing/unparseable on a body-carrying
+    /// method, or exceeded [`MAX_BODY_BYTES`].
+    BadContentLength,
+    /// Transport error while reading.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            HttpError::BadRequestLine(line) => write!(f, "malformed request line: {line:?}"),
+            HttpError::BadHeader(line) => write!(f, "malformed header: {line:?}"),
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::BadContentLength => write!(f, "missing or oversized Content-Length"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, without query string (e.g. `/run`).
+    pub path: String,
+    /// Raw query string (empty when absent), undecoded.
+    pub query: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty for bodyless requests).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the (lower-cased) header `name`, if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length`/`Connection` are added by
+    /// [`Response::write_to`]).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the given status, content type and body.
+    #[must_use]
+    pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".to_string(), content_type.to_string())],
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` plain-text response.
+    #[must_use]
+    pub fn text(body: impl Into<Vec<u8>>) -> Response {
+        Response::new(200, "text/plain; charset=utf-8", body)
+    }
+
+    /// A `200 OK` JSON response.
+    #[must_use]
+    pub fn json(body: impl Into<Vec<u8>>) -> Response {
+        Response::new(200, "application/json", body)
+    }
+
+    /// An error response; the body is `detail` plus a newline.
+    #[must_use]
+    pub fn error(status: u16, detail: &str) -> Response {
+        Response::new(status, "text/plain; charset=utf-8", format!("{detail}\n"))
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The standard reason phrase for the status code.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response (status line, headers, framing, body) to
+    /// `out`. Always closes the connection (`Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures.
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        write!(out, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        write!(out, "Content-Length: {}\r\n", self.body.len())?;
+        write!(out, "Connection: close\r\n\r\n")?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// Reads one request from `stream` (blocking, one request per
+/// connection).
+///
+/// # Errors
+///
+/// Returns a structured [`HttpError`] for every malformed or oversized
+/// input — never panics, never allocates proportionally to a hostile
+/// `Content-Length` beyond [`MAX_BODY_BYTES`].
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+
+    let read_line = |reader: &mut BufReader<&mut TcpStream>,
+                         line: &mut String,
+                         head_bytes: &mut usize|
+     -> Result<(), HttpError> {
+        line.clear();
+        let n = reader
+            .read_line(line)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::UnexpectedEof);
+        }
+        *head_bytes += n;
+        if *head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(())
+    };
+
+    read_line(&mut reader, &mut line, &mut head_bytes)?;
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_uppercase(), t.to_string(), v),
+        _ => return Err(HttpError::BadRequestLine(line.clone())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequestLine(line.clone()));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        read_line(&mut reader, &mut line, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader(line.clone()));
+        };
+        headers.push((name.trim().to_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(name, _)| name == "content-length")
+        .map(|(_, value)| value.parse::<usize>().map_err(|_| HttpError::BadContentLength))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BadContentLength);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => HttpError::UnexpectedEof,
+                _ => HttpError::Io(e.to_string()),
+            })?;
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Feeds raw bytes through a real socket pair and parses them.
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Close the write half so short inputs hit EOF.
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = parse(
+            b"POST /run?manifest=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.query, "manifest=1");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_bodyless_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_inputs_are_structured_errors() {
+        assert!(matches!(parse(b"\r\n\r\n"), Err(HttpError::BadRequestLine(_))));
+        assert!(matches!(
+            parse(b"GET /x SPDY/9\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nnocolon\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: zzz\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        ));
+        assert!(matches!(parse(b""), Err(HttpError::UnexpectedEof)));
+        assert!(matches!(parse(b"GET /x HT"), Err(HttpError::BadRequestLine(_))));
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected_before_allocation() {
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            u64::MAX
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(HttpError::BadContentLength)
+        ));
+        let long_header = format!("GET /x HTTP/1.1\r\nh: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(
+            parse(long_header.as_bytes()),
+            Err(HttpError::HeadTooLarge)
+        ));
+        // Body shorter than its declared length: EOF, not a hang/panic.
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nab"),
+            Err(HttpError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn response_serialization_includes_framing() {
+        let mut out = Vec::new();
+        Response::text("hello")
+            .with_header("X-Test", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("X-Test: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+    }
+}

@@ -33,6 +33,8 @@ pub fn help_text() -> String {
          \x20   branch-lab all [FLAGS]              run all report studies, with retries,\n\
          \x20                                       a resume checkpoint and merged manifests\n\
          \x20   branch-lab sweep [SWEEP FLAGS]      single-pass predictor sweep on one workload\n\
+         \x20   branch-lab serve [SERVE FLAGS]      HTTP study server with a content-addressed\n\
+         \x20                                       result cache (see DESIGN.md \"Serving\")\n\
          \x20   branch-lab help                     this text\n\
          \n\
          Every per-study binary (fig1, table2, ...) accepts the same FLAGS and is\n\
@@ -57,6 +59,13 @@ pub fn help_text() -> String {
          \x20   --scales N,M,..        pipeline scale factors (default 1)\n\
          \x20   --len N                instructions to trace (default 200,000)\n\
          \n\
+         SERVE FLAGS (each overrides its BRANCH_LAB_SERVE_* variable):\n\
+         \x20   --addr HOST:PORT       listen address (default 127.0.0.1:7878; :0 = any free port)\n\
+         \x20   --workers N            worker threads (default: cores, capped at 8)\n\
+         \x20   --cache-dir DIR        persist results to disk under DIR (default memory-only)\n\
+         \x20   --cache-budget BYTES   per-tier cache budget, e.g. 64M (default unbounded)\n\
+         \x20   --deadline-secs N      default per-request execution deadline (0 = none)\n\
+         \n\
          ENVIRONMENT:\n\
          \x20   BRANCH_LAB_THREADS             worker threads for parallel studies\n\
          \x20   BRANCH_LAB_TRACE_DIR           shared on-disk trace cache directory\n\
@@ -67,8 +76,13 @@ pub fn help_text() -> String {
          \x20                                 traces evict and stream from disk when over\n\
          \x20   BRANCH_LAB_KEEP_GOING         all-runner: same as --keep-going\n\
          \x20   BRANCH_LAB_CHILD_TIMEOUT_SECS all-runner: same as --timeout-secs (0 = none)\n\
-         \x20   BRANCH_LAB_RETRY_DELAY_MS     all-runner: retry backoff base (default 500)\n\
+         \x20   BRANCH_LAB_RETRY_DELAY_MS     all-runner: retry backoff base in ms (default 500);\n\
+         \x20                                 read by Backoff::from_env, not serve (no retries)\n\
          \x20   BRANCH_LAB_UPDATE_GOLDEN      golden tests: rewrite fixtures instead of diffing\n\
+         \x20   BRANCH_LAB_SERVE_ADDR         serve: listen address (default 127.0.0.1:7878)\n\
+         \x20   BRANCH_LAB_SERVE_WORKERS      serve: worker threads (default: cores, capped at 8)\n\
+         \x20   BRANCH_LAB_SERVE_CACHE_DIR    serve: result-cache directory (default memory-only)\n\
+         \x20   BRANCH_LAB_SERVE_CACHE_BUDGET serve: per-tier cache budget, e.g. 64M\n\
          \n\
          WORKLOADS:\n",
     );
@@ -198,6 +212,23 @@ fn cmd_sweep(args: Vec<String>) {
         .collect();
 
     let _run = bp_metrics::RunGuard::begin("sweep");
+    print!("{}", sweep_report(&spec, &specs, &scales, len).render());
+}
+
+/// Builds the single-pass predictor-sweep report: one table, one row per
+/// predictor, accuracy plus IPC at each pipeline scale.
+///
+/// Shared by `branch-lab sweep` and the serve-mode `/sweep` endpoint;
+/// the heading format is load-bearing — [`bp_core::Report::render`] of
+/// this report is exactly the CLI's stdout, which is what makes served
+/// sweep responses byte-identical to the CLI.
+#[must_use]
+pub fn sweep_report(
+    spec: &bp_workloads::WorkloadSpec,
+    specs: &[PredictorSpec],
+    scales: &[u32],
+    len: usize,
+) -> bp_core::Report {
     let trace = spec.cached_trace(0, len);
     let mut built: Vec<Box<dyn DirectionPredictor>> =
         specs.iter().map(PredictorSpec::build).collect();
@@ -209,7 +240,7 @@ fn cmd_sweep(args: Vec<String>) {
     header.extend(scales.iter().map(|s| format!("ipc@{s}x")));
     let mut table = Table::new(header.iter().map(String::as_str).collect());
     let mut ipc: Vec<Vec<f64>> = Vec::new();
-    for &scale in &scales {
+    for &scale in scales {
         ipc.push(
             sweep
                 .simulate_many(&lanes, &base.scaled(scale))
@@ -218,23 +249,28 @@ fn cmd_sweep(args: Vec<String>) {
                 .collect(),
         );
     }
-    for (pi, spec) in specs.iter().enumerate() {
+    for (pi, pred) in specs.iter().enumerate() {
         let mispredicts = flags[pi].iter().filter(|&&f| f).count();
         let total = flags[pi].len().max(1);
         let mut row = vec![
-            spec.label(),
+            pred.label(),
             format!("{:.3}", 1.0 - mispredicts as f64 / total as f64),
         ];
         row.extend(ipc.iter().map(|per_scale| format!("{:.3}", per_scale[pi])));
         table.row(row);
     }
-    println!(
-        "\n== sweep: {} ({} insts, {} conditional branches, one replay pass) ==",
-        spec.name,
-        trace.len(),
-        sweep.cond_branch_count()
+    let mut report = bp_core::Report::new();
+    report.section(
+        format!(
+            "sweep: {} ({} insts, {} conditional branches, one replay pass)",
+            spec.name,
+            trace.len(),
+            sweep.cond_branch_count()
+        ),
+        "sweep",
+        table,
     );
-    print!("{}", table.render());
+    report
 }
 
 /// The `branch-lab` binary's entry point.
@@ -257,6 +293,7 @@ pub fn main() {
         }
         "all" => all_runner::run_from(args),
         "sweep" => cmd_sweep(args),
+        "serve" => crate::serve::run_from(args),
         "help" | "--help" | "-h" => print!("{}", help_text()),
         other => {
             eprintln!("unknown command '{other}'; try `branch-lab help`");

@@ -18,6 +18,7 @@ pub mod all_runner;
 pub mod cli;
 pub mod registry;
 pub mod reports;
+pub mod serve;
 pub mod studies;
 
 /// Parsed command-line options shared by every study invocation.

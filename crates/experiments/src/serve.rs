@@ -1,0 +1,727 @@
+//! `branch-lab serve` — registry-driven study serving over HTTP.
+//!
+//! The substrate (hardened HTTP/1.1 parsing, the content-addressed
+//! two-tier [`ResultCache`], [`Singleflight`] coalescing, the worker-pool
+//! [`Server`]) lives in [`bp_core::serve`]; this module supplies the
+//! request semantics, because only the experiments crate knows the study
+//! registry:
+//!
+//! * the JSON request schema mirroring the `run` / `sweep` CLI flags;
+//! * cache-key derivation ([`study_key`] / [`sweep_key`]) from exactly
+//!   the inputs a study is a pure function of — study name, dataset
+//!   shape, probe/sweep config, and the workload-suite trace digest
+//!   ([`bp_workloads::suite_digest`]);
+//! * dispatch through the fault-tolerant executor ([`bp_core::exec`])
+//!   with per-request deadlines and cooperative cancellation;
+//! * byte-identity: a served body is [`bp_core::Report::render`] output,
+//!   which is exactly what the equivalent CLI invocation prints.
+//!
+//! # Routes
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness: `ok` |
+//! | `GET /studies` | the registry as JSON |
+//! | `GET /metrics` | counter snapshot as JSON |
+//! | `POST /run` | run (or serve cached) one study |
+//! | `POST /sweep` | run (or serve cached) a predictor sweep |
+//! | `GET /result/<key>` | cached report body by key, no execution |
+//! | `GET /result/<key>/manifest` | cached metrics manifest by key |
+//!
+//! Every `/run`, `/sweep`, and `/result` response carries
+//! `X-Branch-Lab-Key` (the content hash) and `X-Branch-Lab-Cache`
+//! (`miss` = executed now, `hit` / `hit-disk` = served from cache,
+//! `join` = coalesced onto a concurrent identical request).
+//!
+//! Counters: `serve.exec` (studies actually executed), `serve.dedup_join`
+//! (requests coalesced onto an in-flight execution),
+//! `serve.deadline_expired` (requests answered 504), plus the
+//! `serve.request` / `serve.http_error` / `serve.cache.*` families from
+//! the substrate.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bp_core::cancel::CancelToken;
+use bp_core::exec::{self, ExecOptions, Outcome, Task};
+use bp_core::serve::cache::{CacheEntry, CacheKey, ResultCache, Tier};
+use bp_core::serve::http::{Request, Response};
+use bp_core::serve::{Flight, Handler, Server, Singleflight};
+use bp_core::{DatasetConfig, StudyCtx, StudyKind, StudyRegistry};
+use bp_metrics::json::{self, Value};
+use bp_metrics::{Counter, CounterBaseline};
+use bp_predictors::PredictorSpec;
+use bp_workloads::{find_workload, suite_digest, workload_names};
+
+use crate::{cli, registry, Cli};
+
+/// Default listen address when neither `--addr` nor
+/// `BRANCH_LAB_SERVE_ADDR` is set.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+/// Server configuration, resolved from `BRANCH_LAB_SERVE_*` environment
+/// variables with command-line flags taking precedence.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads draining the shared listener.
+    pub workers: usize,
+    /// Disk tier directory for the result cache; `None` = memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-tier resident-byte budget; `None` = unbounded.
+    pub cache_budget: Option<u64>,
+    /// Default per-request execution deadline; a request's
+    /// `deadline_secs` field overrides it. `None` = no deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl ServeOptions {
+    /// Resolves options from the environment, then applies `args`
+    /// (flags win over environment variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags or values.
+    #[must_use]
+    pub fn resolve(args: Vec<String>) -> ServeOptions {
+        let env = |name: &str| std::env::var(name).ok().filter(|v| !v.is_empty());
+        let mut opts = ServeOptions {
+            addr: env("BRANCH_LAB_SERVE_ADDR").unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+            workers: env("BRANCH_LAB_SERVE_WORKERS").map_or_else(default_workers, |v| {
+                v.parse().expect("BRANCH_LAB_SERVE_WORKERS must be an integer")
+            }),
+            cache_dir: env("BRANCH_LAB_SERVE_CACHE_DIR").map(PathBuf::from),
+            cache_budget: env("BRANCH_LAB_SERVE_CACHE_BUDGET").map(|v| {
+                parse_budget(&v).expect("BRANCH_LAB_SERVE_CACHE_BUDGET must be bytes with optional K/M/G suffix")
+            }),
+            deadline: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--addr" => opts.addr = it.next().expect("--addr needs HOST:PORT"),
+                "--workers" => {
+                    opts.workers = it
+                        .next()
+                        .expect("--workers needs a count")
+                        .parse()
+                        .expect("--workers must be an integer");
+                }
+                "--cache-dir" => {
+                    opts.cache_dir = Some(PathBuf::from(it.next().expect("--cache-dir needs a directory")));
+                }
+                "--cache-budget" => {
+                    let v = it.next().expect("--cache-budget needs bytes (K/M/G suffix ok)");
+                    opts.cache_budget =
+                        Some(parse_budget(&v).expect("--cache-budget must be bytes with optional K/M/G suffix"));
+                }
+                "--deadline-secs" => {
+                    let secs: u64 = it
+                        .next()
+                        .expect("--deadline-secs needs a value")
+                        .parse()
+                        .expect("--deadline-secs must be an integer");
+                    opts.deadline = (secs > 0).then(|| Duration::from_secs(secs));
+                }
+                "--help" | "-h" => {
+                    print!("{}", cli::help_text());
+                    std::process::exit(0);
+                }
+                other => panic!(
+                    "unknown serve argument {other}; supported: --addr HOST:PORT --workers N \
+                     --cache-dir DIR --cache-budget BYTES --deadline-secs N"
+                ),
+            }
+        }
+        opts
+    }
+}
+
+fn default_workers() -> usize {
+    // Floor of 2: with one worker, concurrent identical requests would
+    // serialize on the accept loop and the singleflight path (and its
+    // dedup guarantee) could never engage.
+    std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8))
+}
+
+/// `512`, `64K`, `8M`, `1G` → bytes (same grammar as
+/// `BRANCH_LAB_MEM_BUDGET`).
+fn parse_budget(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    let (digits, shift) = match raw.chars().last()? {
+        'k' | 'K' => (&raw[..raw.len() - 1], 10u32),
+        'm' | 'M' => (&raw[..raw.len() - 1], 20),
+        'g' | 'G' => (&raw[..raw.len() - 1], 30),
+        _ => (raw, 0),
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_shl(shift).filter(|&b| b > 0)
+}
+
+/// Derives the content-address of one registry study run.
+///
+/// Components are exactly the inputs the result is a pure function of:
+/// the study name, the dataset shape ([`DatasetConfig`] fields — so two
+/// flag spellings of the same dataset share a key), the probe arguments,
+/// and the workload-suite digest (so changing trace generators
+/// invalidates every cached result).
+#[must_use]
+pub fn study_key(study: &str, dataset: &DatasetConfig, args: &[String]) -> CacheKey {
+    CacheKey::builder()
+        .component("kind", "study")
+        .component("study", study)
+        .component("trace_len", dataset.trace_len)
+        .component("slice_len", dataset.slice.len())
+        .component(
+            "max_inputs",
+            dataset.max_inputs.map_or_else(|| "none".to_owned(), |n| n.to_string()),
+        )
+        .component("args", args.join("\u{1f}"))
+        .component("traces", format!("{:016x}", suite_digest()))
+        .finish()
+}
+
+/// Derives the content-address of one predictor sweep.
+///
+/// Predictor labels must already be canonical ([`PredictorSpec::parse`]
+/// then [`PredictorSpec::label`]), so spelling variants of the same
+/// predictor share a key. Predictor *order* stays significant — it is
+/// row order in the output.
+#[must_use]
+pub fn sweep_key(workload: &str, labels: &[String], scales: &[u32], len: usize) -> CacheKey {
+    let scales: Vec<String> = scales.iter().map(ToString::to_string).collect();
+    CacheKey::builder()
+        .component("kind", "sweep")
+        .component("workload", workload)
+        .component("predictors", labels.join(","))
+        .component("scales", scales.join(","))
+        .component("len", len)
+        .component("traces", format!("{:016x}", suite_digest()))
+        .finish()
+}
+
+/// A parsed `POST /run` body.
+#[derive(Debug)]
+struct RunRequest {
+    study: String,
+    cli: Cli,
+    deadline: Option<Duration>,
+}
+
+/// A parsed `POST /sweep` body.
+#[derive(Debug)]
+struct SweepRequest {
+    workload: String,
+    specs: Vec<PredictorSpec>,
+    scales: Vec<u32>,
+    len: usize,
+    deadline: Option<Duration>,
+}
+
+/// Rejects unknown fields so schema typos fail loudly instead of
+/// silently running the default configuration (and caching it).
+fn check_fields(obj: &BTreeMap<String, Value>, allowed: &[&str]) -> Result<(), String> {
+    for name in obj.keys() {
+        if !allowed.contains(&name.as_str()) {
+            return Err(format!(
+                "unknown field \"{name}\"; supported: {}",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn field_u64(obj: &BTreeMap<String, Value>, name: &str) -> Result<Option<u64>, String> {
+    match obj.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field \"{name}\" must be a non-negative integer")),
+    }
+}
+
+fn field_bool(obj: &BTreeMap<String, Value>, name: &str) -> Result<bool, String> {
+    match obj.get(name) {
+        None | Some(Value::Null) => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("field \"{name}\" must be a boolean")),
+    }
+}
+
+fn field_str(obj: &BTreeMap<String, Value>, name: &str) -> Result<Option<String>, String> {
+    match obj.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| format!("field \"{name}\" must be a string")),
+    }
+}
+
+/// A list field accepting either a JSON array of strings or one
+/// comma-separated string — both CLI habits appear in the wild.
+fn field_list(obj: &BTreeMap<String, Value>, name: &str) -> Result<Vec<String>, String> {
+    match obj.get(name) {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(Value::Str(s)) => Ok(s
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(str::to_owned)
+            .collect()),
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => Ok(s.clone()),
+                Value::Num(n) => Ok(n.clone()),
+                _ => Err(format!("field \"{name}\" must contain strings")),
+            })
+            .collect(),
+        Some(_) => Err(format!("field \"{name}\" must be an array or comma-separated string")),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<BTreeMap<String, Value>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = json::parse(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    value
+        .as_obj()
+        .cloned()
+        .ok_or_else(|| "body must be a JSON object".to_string())
+}
+
+fn parse_deadline(obj: &BTreeMap<String, Value>) -> Result<Option<Duration>, String> {
+    Ok(field_u64(obj, "deadline_secs")?
+        .filter(|&s| s > 0)
+        .map(Duration::from_secs))
+}
+
+impl RunRequest {
+    fn parse(body: &[u8]) -> Result<RunRequest, String> {
+        let obj = parse_body(body)?;
+        check_fields(&obj, &["study", "len", "quick", "args", "deadline_secs"])?;
+        let study = field_str(&obj, "study")?.ok_or("missing required field \"study\"")?;
+        let len = field_u64(&obj, "len")?;
+        if let Some(len) = len {
+            if len < 10 {
+                return Err("field \"len\" must be at least 10".to_string());
+            }
+        }
+        let cli = Cli {
+            len: len.map(|n| n as usize),
+            quick: field_bool(&obj, "quick")?,
+            csv: None,
+            rest: field_list(&obj, "args")?,
+        };
+        Ok(RunRequest { study, cli, deadline: parse_deadline(&obj)? })
+    }
+}
+
+impl SweepRequest {
+    fn parse(body: &[u8]) -> Result<SweepRequest, String> {
+        let obj = parse_body(body)?;
+        check_fields(&obj, &["workload", "predictors", "scales", "len", "deadline_secs"])?;
+        let workload = field_str(&obj, "workload")?.ok_or("missing required field \"workload\"")?;
+        let predictors = field_list(&obj, "predictors")?;
+        if predictors.is_empty() {
+            return Err("field \"predictors\" must name at least one predictor".to_string());
+        }
+        let specs = predictors
+            .iter()
+            .map(|p| PredictorSpec::parse(p).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let scales_raw = field_list(&obj, "scales")?;
+        let scales = if scales_raw.is_empty() {
+            vec![1]
+        } else {
+            scales_raw
+                .iter()
+                .map(|s| s.parse().map_err(|_| format!("bad scale \"{s}\": must be an integer")))
+                .collect::<Result<Vec<u32>, _>>()?
+        };
+        let len = field_u64(&obj, "len")?.map_or(200_000, |n| n as usize);
+        if len < 10 {
+            return Err("field \"len\" must be at least 10".to_string());
+        }
+        Ok(SweepRequest { workload, specs, scales, len, deadline: parse_deadline(&obj)? })
+    }
+}
+
+/// The serve-mode request handler: registry dispatch in front of the
+/// content-addressed cache, with singleflight coalescing and executor
+/// deadlines.
+pub struct StudyService {
+    registry: StudyRegistry,
+    cache: ResultCache,
+    flights: Singleflight<(Arc<CacheEntry>, bool)>,
+    default_deadline: Option<Duration>,
+    m_exec: Counter,
+    m_join: Counter,
+    m_deadline: Counter,
+}
+
+impl StudyService {
+    /// A service over `registry` with the given cache configuration and
+    /// default per-request deadline.
+    #[must_use]
+    pub fn new(
+        registry: StudyRegistry,
+        cache_dir: Option<PathBuf>,
+        cache_budget: Option<u64>,
+        default_deadline: Option<Duration>,
+    ) -> StudyService {
+        StudyService {
+            registry,
+            cache: ResultCache::new(cache_dir, cache_budget),
+            flights: Singleflight::new(),
+            default_deadline,
+            m_exec: Counter::get("serve.exec"),
+            m_join: Counter::get("serve.dedup_join"),
+            m_deadline: Counter::get("serve.deadline_expired"),
+        }
+    }
+
+    /// Serves `key` from cache, or coalesces onto / leads one execution
+    /// of `work` through the fault-tolerant executor.
+    fn dispatch<F>(&self, key: CacheKey, label: &str, deadline: Option<Duration>, work: F) -> Response
+    where
+        F: FnOnce(&CancelToken) -> Result<(Vec<u8>, String), String>,
+    {
+        if let Some((entry, tier)) = self.cache.get(key) {
+            let source = match tier {
+                Tier::Memory => "hit",
+                Tier::Disk => "hit-disk",
+            };
+            return entry_response(&entry, source);
+        }
+        let deadline = deadline.or(self.default_deadline);
+        let mut work = Some(work);
+        let (result, flight) = self.flights.run(key.raw(), || {
+            // Double-checked: another leader may have finished (and
+            // stored) between our miss and taking the slot.
+            if let Some(entry) = self.cache.peek(key) {
+                return Ok((entry, false));
+            }
+            self.m_exec.incr();
+            let mut output: Option<(Vec<u8>, String)> = None;
+            let mut body = work.take();
+            let task = Task::new(label, |token| {
+                let run = body.take().expect("executor runs the single attempt once");
+                output = Some(run(token)?);
+                Ok(())
+            });
+            let opts = ExecOptions { deadline, ..ExecOptions::default() };
+            let report = exec::run(vec![task], &opts)
+                .pop()
+                .expect("one task in, one report out");
+            match report.outcome {
+                Outcome::Ok => {
+                    let (body, manifest) = output.expect("successful task produced output");
+                    Ok((self.cache.store(CacheEntry { key, body, manifest }), true))
+                }
+                Outcome::Failed(detail) => Err(detail),
+                Outcome::Resumed | Outcome::NotRun => Err("task did not run".to_string()),
+            }
+        });
+        if flight == Flight::Joined {
+            self.m_join.incr();
+        }
+        match result {
+            Ok((entry, executed)) => {
+                let source = match flight {
+                    Flight::Joined => "join",
+                    Flight::Led if executed => "miss",
+                    Flight::Led => "hit",
+                };
+                entry_response(&entry, source)
+            }
+            Err(detail) if detail.contains("deadline expired") => {
+                self.m_deadline.incr();
+                Response::error(504, &format!("deadline expired: {detail}"))
+                    .with_header("X-Branch-Lab-Key", &key.hex())
+            }
+            Err(detail) => Response::error(500, &detail).with_header("X-Branch-Lab-Key", &key.hex()),
+        }
+    }
+
+    fn run_endpoint(&self, req: &Request) -> Response {
+        let parsed = match RunRequest::parse(&req.body) {
+            Ok(p) => p,
+            Err(e) => return Response::error(400, &e),
+        };
+        let Some(study) = self.registry.get(&parsed.study) else {
+            return Response::error(
+                404,
+                &format!(
+                    "unknown study \"{}\"; available: {}",
+                    parsed.study,
+                    self.registry.names().join(", ")
+                ),
+            );
+        };
+        let info = study.info();
+        if info.kind != StudyKind::Probe {
+            if let Some(first) = parsed.cli.rest.first() {
+                return Response::error(
+                    400,
+                    &format!("study \"{}\" takes no positional args (got \"{first}\")", info.name),
+                );
+            }
+        }
+        let dataset = parsed.cli.dataset();
+        let key = study_key(info.name, &dataset, &parsed.cli.rest);
+        let args = parsed.cli.rest.clone();
+        self.dispatch(key, info.name, parsed.deadline, move |token| {
+            let baseline = CounterBaseline::take();
+            let mut ctx = StudyCtx::with_cancel(dataset, token.clone());
+            ctx.args = args;
+            let report = study.run(&ctx);
+            let body = report.render().into_bytes();
+            Ok((body, manifest_json(&baseline, info.name, &dataset, key)))
+        })
+    }
+
+    fn sweep_endpoint(&self, req: &Request) -> Response {
+        let parsed = match SweepRequest::parse(&req.body) {
+            Ok(p) => p,
+            Err(e) => return Response::error(400, &e),
+        };
+        let Some(spec) = find_workload(&parsed.workload) else {
+            return Response::error(
+                404,
+                &format!(
+                    "unknown workload \"{}\"; available: {}",
+                    parsed.workload,
+                    workload_names().join(", ")
+                ),
+            );
+        };
+        let labels: Vec<String> = parsed.specs.iter().map(PredictorSpec::label).collect();
+        let key = sweep_key(&spec.name, &labels, &parsed.scales, parsed.len);
+        let SweepRequest { specs, scales, len, deadline, .. } = parsed;
+        self.dispatch(key, "sweep", deadline, move |_token| {
+            let baseline = CounterBaseline::take();
+            let report = cli::sweep_report(&spec, &specs, &scales, len);
+            let body = report.render().into_bytes();
+            let mut info = BTreeMap::new();
+            info.insert("workload".to_owned(), spec.name.clone());
+            info.insert("len".to_owned(), len.to_string());
+            info.insert("key".to_owned(), key.hex());
+            info.insert("source".to_owned(), "serve".to_owned());
+            Ok((body, baseline.capture_delta("sweep", info).to_json()))
+        })
+    }
+
+    fn result_endpoint(&self, path: &str) -> Response {
+        let rest = path.strip_prefix("/result/").unwrap_or_default();
+        let (hex, manifest) = match rest.strip_suffix("/manifest") {
+            Some(hex) => (hex, true),
+            None => (rest, false),
+        };
+        let Some(key) = CacheKey::from_hex(hex) else {
+            return Response::error(400, "result keys are 16 lower-hex digits");
+        };
+        let Some((entry, tier)) = self.cache.get(key) else {
+            return Response::error(404, &format!("no cached result under {}", key.hex()));
+        };
+        let source = match tier {
+            Tier::Memory => "hit",
+            Tier::Disk => "hit-disk",
+        };
+        if manifest {
+            Response::json(entry.manifest.clone().into_bytes())
+                .with_header("X-Branch-Lab-Key", &key.hex())
+                .with_header("X-Branch-Lab-Cache", source)
+        } else {
+            entry_response(&entry, source)
+        }
+    }
+
+    fn studies_endpoint(&self) -> Response {
+        let list: Vec<Value> = self
+            .registry
+            .studies()
+            .map(|s| {
+                let info = s.info();
+                let mut obj = BTreeMap::new();
+                obj.insert("name".to_owned(), Value::Str(info.name.to_owned()));
+                obj.insert(
+                    "kind".to_owned(),
+                    Value::Str(
+                        match info.kind {
+                            StudyKind::Report => "report",
+                            StudyKind::Standalone => "standalone",
+                            StudyKind::Probe => "probe",
+                        }
+                        .to_owned(),
+                    ),
+                );
+                obj.insert("title".to_owned(), Value::Str(info.title.to_owned()));
+                Value::Obj(obj)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("studies".to_owned(), Value::Arr(list));
+        root.insert("workloads".to_owned(), Value::Arr(
+            workload_names().into_iter().map(Value::Str).collect(),
+        ));
+        Response::json(Value::Obj(root).to_json().into_bytes())
+    }
+}
+
+fn metrics_endpoint() -> Response {
+    let mut counters = BTreeMap::new();
+    for (name, value) in bp_metrics::snapshot_counters() {
+        counters.insert(name, Value::uint(value));
+    }
+    let mut root = BTreeMap::new();
+    root.insert("counters".to_owned(), Value::Obj(counters));
+    Response::json(Value::Obj(root).to_json().into_bytes())
+}
+
+fn entry_response(entry: &CacheEntry, source: &str) -> Response {
+    Response::text(entry.body.clone())
+        .with_header("X-Branch-Lab-Key", &entry.key.hex())
+        .with_header("X-Branch-Lab-Cache", source)
+}
+
+/// The per-request manifest: the same info block `branch-lab run` emits
+/// (dataset shape), plus the cache key, captured as a delta so a
+/// long-lived server attributes counters to the request that moved them.
+fn manifest_json(
+    baseline: &CounterBaseline,
+    study: &str,
+    dataset: &DatasetConfig,
+    key: CacheKey,
+) -> String {
+    let mut info = BTreeMap::new();
+    info.insert("trace_len".to_owned(), dataset.trace_len.to_string());
+    info.insert("slice_len".to_owned(), dataset.slice.len().to_string());
+    info.insert(
+        "max_inputs".to_owned(),
+        dataset.max_inputs.map_or_else(|| "none".to_owned(), |n| n.to_string()),
+    );
+    info.insert("key".to_owned(), key.hex());
+    info.insert("source".to_owned(), "serve".to_owned());
+    baseline.capture_delta(study, info).to_json()
+}
+
+impl Handler for StudyService {
+    fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::text("ok\n"),
+            ("GET", "/studies") => self.studies_endpoint(),
+            ("GET", "/metrics") => metrics_endpoint(),
+            ("POST", "/run") => self.run_endpoint(req),
+            ("POST", "/sweep") => self.sweep_endpoint(req),
+            ("GET", path) if path.starts_with("/result/") => self.result_endpoint(path),
+            ("POST" | "PUT" | "DELETE", "/healthz" | "/studies" | "/metrics")
+            | ("GET" | "PUT" | "DELETE", "/run" | "/sweep") => {
+                Response::error(405, &format!("method {} not allowed on {}", req.method, req.path))
+            }
+            _ => Response::error(404, &format!("no route for {} {}", req.method, req.path)),
+        }
+    }
+}
+
+/// The `branch-lab serve` entry point: resolve options, bind, announce,
+/// serve forever.
+pub fn run_from(args: Vec<String>) {
+    let opts = ServeOptions::resolve(args);
+    // The serve.* counters are the operational surface (`GET /metrics`);
+    // they must count even when BRANCH_LAB_METRICS is unset.
+    bp_metrics::force_enable();
+    let service = Arc::new(StudyService::new(
+        registry::registry(),
+        opts.cache_dir.clone(),
+        opts.cache_budget,
+        opts.deadline,
+    ));
+    let server = match Server::bind(&opts.addr, opts.workers, service) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("branch-lab serve: cannot bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "branch-lab serve: listening on http://{} ({} workers, cache: {})",
+        server.local_addr(),
+        opts.workers,
+        opts.cache_dir
+            .as_ref()
+            .map_or_else(|| "memory-only".to_owned(), |d| d.display().to_string()),
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_grammar_matches_mem_budget() {
+        assert_eq!(parse_budget("512"), Some(512));
+        assert_eq!(parse_budget("4K"), Some(4096));
+        assert_eq!(parse_budget(" 2m "), Some(2 << 20));
+        assert_eq!(parse_budget("1G"), Some(1 << 30));
+        assert_eq!(parse_budget("0"), None);
+        assert_eq!(parse_budget("lots"), None);
+    }
+
+    #[test]
+    fn run_request_rejects_unknown_fields_and_bad_values() {
+        assert!(RunRequest::parse(b"{\"study\": \"fig3\"}").is_ok());
+        assert!(RunRequest::parse(b"not json").is_err());
+        assert!(RunRequest::parse(b"{}").unwrap_err().contains("study"));
+        assert!(RunRequest::parse(b"{\"study\": \"fig3\", \"typo\": 1}")
+            .unwrap_err()
+            .contains("unknown field"));
+        assert!(RunRequest::parse(b"{\"study\": \"fig3\", \"len\": 3}")
+            .unwrap_err()
+            .contains("at least 10"));
+    }
+
+    #[test]
+    fn sweep_request_accepts_both_list_spellings() {
+        let a = SweepRequest::parse(
+            b"{\"workload\": \"w\", \"predictors\": \"gshare, bimodal\", \"scales\": \"1,4\"}",
+        )
+        .unwrap();
+        let b = SweepRequest::parse(
+            b"{\"workload\": \"w\", \"predictors\": [\"gshare\", \"bimodal\"], \"scales\": [1, 4]}",
+        )
+        .unwrap();
+        assert_eq!(a.specs.len(), 2);
+        assert_eq!(a.scales, vec![1, 4]);
+        assert_eq!(b.scales, a.scales);
+        assert_eq!(a.len, 200_000);
+    }
+
+    #[test]
+    fn keys_canonicalize_datasets_not_flag_spellings() {
+        // `--len 1000000` and the standard default describe the same
+        // dataset; the keys must agree because they derive from the
+        // resolved `DatasetConfig`, not the flag spelling.
+        let plain = Cli::default();
+        let spelled = Cli { len: Some(1_000_000), ..Cli::default() };
+        assert_eq!(
+            study_key("fig3", &plain.dataset(), &[]),
+            study_key("fig3", &spelled.dataset(), &[])
+        );
+        // But a different study, dataset scale, or argument list never
+        // collides.
+        let base = study_key("fig3", &plain.dataset(), &[]);
+        let quick = Cli { quick: true, ..Cli::default() };
+        assert_ne!(base, study_key("fig1", &plain.dataset(), &[]));
+        assert_ne!(base, study_key("fig3", &quick.dataset(), &[]));
+        assert_ne!(base, study_key("fig3", &plain.dataset(), &["600".to_owned()]));
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`HybridPredictor`] — the deployment model: TAGE-SC-L left in place,
 //!   helpers overriding designated IPs (§V-D).
 
+#![warn(missing_docs)]
+
 mod cnn;
 mod encoder;
 mod hybrid;

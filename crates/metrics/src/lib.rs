@@ -26,6 +26,8 @@
 //! are deterministic across thread counts — only the timing fields vary
 //! (see [`manifest::normalize`]).
 
+#![warn(missing_docs)]
+
 pub mod cancel;
 pub mod faultpoint;
 pub mod json;

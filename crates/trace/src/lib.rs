@@ -23,6 +23,8 @@
 //! assert_eq!(trace[0].class, InstClass::Branch);
 //! ```
 
+#![warn(missing_docs)]
+
 mod codec_v3;
 mod isa;
 mod reader;

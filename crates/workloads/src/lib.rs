@@ -27,6 +27,8 @@
 //! assert_eq!(trace.insts(), leela.trace(0, 10_000).insts());
 //! ```
 
+#![warn(missing_docs)]
+
 mod disasm;
 mod interp;
 pub mod motifs;
@@ -41,5 +43,6 @@ pub use program::{Block, BlockId, Op, Program, ProgramBuilder, Terminator, CODE_
 pub use spec::{Family, MotifSet, WorkloadSpec};
 pub use store::{StoreReader, StoreStats, TraceKey, TraceStore};
 pub use suite::{
-    find_workload, lcf_suite, specint_suite, workload_names, LCF_TRACE_LEN, SPECINT_TRACE_LEN,
+    find_workload, lcf_suite, specint_suite, suite_digest, workload_names, LCF_TRACE_LEN,
+    SPECINT_TRACE_LEN,
 };

@@ -34,36 +34,132 @@ impl fmt::Display for BlockId {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Op {
     /// `dst = imm`
-    MovI { dst: Reg, imm: u64 },
+    MovI {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate operand.
+        imm: u64,
+    },
     /// `dst = a + b`
-    Add { dst: Reg, a: Reg, b: Reg },
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+    },
     /// `dst = a - b`
-    Sub { dst: Reg, a: Reg, b: Reg },
+    Sub {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+    },
     /// `dst = a * b` (multi-cycle in the timing model)
-    Mul { dst: Reg, a: Reg, b: Reg },
+    Mul {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+    },
     /// `dst = a ^ b`
-    Xor { dst: Reg, a: Reg, b: Reg },
+    Xor {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+    },
     /// `dst = a & b`
-    And { dst: Reg, a: Reg, b: Reg },
+    And {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+    },
     /// `dst = a | b`
-    Or { dst: Reg, a: Reg, b: Reg },
+    Or {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+    },
     /// `dst = a + imm`
-    AddI { dst: Reg, a: Reg, imm: u64 },
+    AddI {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Immediate operand.
+        imm: u64,
+    },
     /// `dst = a * imm` (multi-cycle)
-    MulI { dst: Reg, a: Reg, imm: u64 },
+    MulI {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Immediate operand.
+        imm: u64,
+    },
     /// `dst = a & imm`
-    AndI { dst: Reg, a: Reg, imm: u64 },
+    AndI {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Immediate operand.
+        imm: u64,
+    },
     /// `dst = a % m`
     ///
     /// `m` must be non-zero (validated at build time by
     /// [`ProgramBuilder::push`]).
-    Rem { dst: Reg, a: Reg, m: u64 },
+    Rem {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Modulus (non-zero).
+        m: u64,
+    },
     /// `dst = a >> sh`
-    ShrI { dst: Reg, a: Reg, sh: u32 },
+    ShrI {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Shift amount in bits.
+        sh: u32,
+    },
     /// `dst = mem[(a + offset) mod memsize]`
-    Load { dst: Reg, base: Reg, offset: u64 },
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Word offset added to the base register.
+        offset: u64,
+    },
     /// `mem[(base + offset) mod memsize] = src`
-    Store { src: Reg, base: Reg, offset: u64 },
+    Store {
+        /// Register whose value is stored.
+        src: Reg,
+        /// Base-address register.
+        base: Reg,
+        /// Word offset added to the base register.
+        offset: u64,
+    },
     /// No operation (pipeline filler).
     Nop,
 }

@@ -482,6 +482,43 @@ pub fn workload_names() -> Vec<String> {
         .collect()
 }
 
+/// A content digest of every workload definition in both suites (FNV-1a
+/// 64 over each spec's full parameter set, in suite order).
+///
+/// Traces are pure functions of `(workload spec, input, len)`, so this
+/// digest stands in for the digest of every trace the suites can
+/// produce: any change to a workload's generator parameters — motif
+/// mix, phase structure, input count, memory size — changes the digest,
+/// and therefore invalidates every cached study result derived from the
+/// old traces (`branch-lab serve` folds it into its content-addressed
+/// cache keys).
+///
+/// # Examples
+///
+/// ```
+/// // Stable within a build.
+/// assert_eq!(bp_workloads::suite_digest(), bp_workloads::suite_digest());
+/// ```
+#[must_use]
+pub fn suite_digest() -> u64 {
+    static DIGEST: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *DIGEST.get_or_init(|| {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for spec in specint_suite().iter().chain(lcf_suite().iter()) {
+            // The derived Debug form covers every field of the spec
+            // (including nested motif sets), so no parameter can change
+            // without changing the digest.
+            for b in format!("{spec:?}").bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,298 @@
+//! Integration tests for `branch-lab serve`: cache-key determinism, the
+//! end-to-end HTTP loop, singleflight coalescing, byte-identity with the
+//! CLI's report rendering, and corrupt-entry quarantine across server
+//! instances.
+//!
+//! Each test binds its own ephemeral-port server over its own
+//! `StudyService`, and uses a study/len combination unique to that test
+//! so cache keys never collide across tests sharing the process-global
+//! metrics counters.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bp_core::serve::cache::CacheKey;
+use bp_core::serve::Server;
+use bp_core::{DatasetConfig, StudyCtx};
+use bp_experiments::serve::{study_key, sweep_key, StudyService};
+use bp_experiments::{registry, Cli};
+
+/// A served response, parsed just enough for assertions.
+struct Reply {
+    status: u16,
+    cache: String,
+    key: String,
+    body: Vec<u8>,
+}
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header/body separator");
+    let head = std::str::from_utf8(&raw[..split]).unwrap();
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let find = |name: &str| {
+        head.lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.trim().to_string())
+            .unwrap_or_default()
+    };
+    Reply {
+        status,
+        cache: find("x-branch-lab-cache"),
+        key: find("x-branch-lab-key"),
+        body: raw[split + 4..].to_vec(),
+    }
+}
+
+fn serve(cache_dir: Option<PathBuf>) -> (Server, std::net::SocketAddr) {
+    let service = Arc::new(StudyService::new(registry::registry(), cache_dir, None, None));
+    let server = Server::bind("127.0.0.1:0", 4, service).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bp-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn keys_are_deterministic_across_threads_and_orderings() {
+    let dataset = Cli { quick: true, ..Cli::default() }.dataset();
+    let args = vec!["600".to_owned(), "0".to_owned()];
+    let reference = study_key("calibrate", &dataset, &args);
+    // Recomputation from any thread, any number of times, agrees.
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..100 {
+                    assert_eq!(study_key("calibrate", &dataset, &args), reference);
+                }
+            });
+        }
+    });
+    // KeyBuilder component order is canonicalized away: the same
+    // components inserted in any permutation hash identically.
+    let forward = CacheKey::builder()
+        .component("study", "fig7")
+        .component("trace_len", 1000)
+        .component("args", "a b")
+        .finish();
+    let backward = CacheKey::builder()
+        .component("args", "a b")
+        .component("trace_len", 1000)
+        .component("study", "fig7")
+        .finish();
+    assert_eq!(forward, backward);
+}
+
+#[test]
+fn any_single_field_change_changes_the_key() {
+    let base_cfg = DatasetConfig::standard();
+    let base = study_key("fig7", &base_cfg, &[]);
+    assert_ne!(base, study_key("fig8", &base_cfg, &[]), "study name");
+    assert_ne!(
+        base,
+        study_key("fig7", &base_cfg.with_trace_len(999_990), &[]),
+        "trace length"
+    );
+    assert_ne!(
+        base,
+        study_key("fig7", &DatasetConfig { max_inputs: Some(1), ..base_cfg }, &[]),
+        "input cap"
+    );
+    assert_ne!(base, study_key("fig7", &base_cfg, &["x".to_owned()]), "args");
+
+    let labels = vec!["gshare".to_owned(), "bimodal".to_owned()];
+    let sweep_base = sweep_key("streaming", &labels, &[1, 4], 50_000);
+    assert_ne!(sweep_base, sweep_key("looping", &labels, &[1, 4], 50_000), "workload");
+    assert_ne!(
+        sweep_base,
+        sweep_key("streaming", &labels, &[1, 8], 50_000),
+        "scales"
+    );
+    assert_ne!(
+        sweep_base,
+        sweep_key("streaming", &labels, &[1, 4], 50_001),
+        "len"
+    );
+    assert_ne!(
+        sweep_base,
+        sweep_key("streaming", &["gshare".to_owned()], &[1, 4], 50_000),
+        "predictor list"
+    );
+    // Predictor order is row order in the output — it stays significant.
+    let reversed = vec!["bimodal".to_owned(), "gshare".to_owned()];
+    assert_ne!(sweep_base, sweep_key("streaming", &reversed, &[1, 4], 50_000));
+}
+
+#[test]
+fn served_study_is_byte_identical_to_direct_render_and_caches() {
+    let (server, addr) = serve(None);
+    let body = r#"{"study": "fig3", "quick": true, "len": 20000}"#;
+
+    let miss = request(addr, "POST", "/run", body);
+    assert_eq!(miss.status, 200, "{}", String::from_utf8_lossy(&miss.body));
+    assert_eq!(miss.cache, "miss");
+
+    // The served body is exactly Report::render() of the same study on
+    // the same dataset — which is exactly the CLI's stdout.
+    let cli = Cli { quick: true, len: Some(20_000), ..Cli::default() };
+    let expected = registry::registry()
+        .get("fig3")
+        .unwrap()
+        .run(&StudyCtx::new(cli.dataset()))
+        .render();
+    assert_eq!(miss.body, expected.as_bytes(), "served body != CLI render");
+
+    // A repeat request hits the cache, same key, same bytes.
+    let hit = request(addr, "POST", "/run", body);
+    assert_eq!(hit.status, 200);
+    assert_eq!(hit.cache, "hit");
+    assert_eq!(hit.key, miss.key);
+    assert_eq!(hit.body, miss.body);
+
+    // JSON field order canonicalizes to the same key.
+    let reordered = r#"{"len": 20000, "quick": true, "study": "fig3"}"#;
+    let spelled = request(addr, "POST", "/run", reordered);
+    assert_eq!(spelled.cache, "hit");
+    assert_eq!(spelled.key, miss.key);
+
+    // The cached result and its manifest are addressable by key.
+    let direct = request(addr, "GET", &format!("/result/{}", miss.key), "");
+    assert_eq!(direct.status, 200);
+    assert_eq!(direct.body, miss.body);
+    let manifest = request(addr, "GET", &format!("/result/{}/manifest", miss.key), "");
+    assert_eq!(manifest.status, 200);
+    let text = String::from_utf8(manifest.body).unwrap();
+    assert!(text.contains("\"counters\""), "manifest lacks counters: {text}");
+    assert!(text.contains("\"source\": \"serve\""), "{text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_requests_execute_once() {
+    let (server, addr) = serve(None);
+    // A len unique to this test keeps the key fresh.
+    let body = r#"{"study": "fig3", "quick": true, "len": 21000}"#;
+    let replies: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| request(addr, "POST", "/run", body)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let misses = replies.iter().filter(|r| r.cache == "miss").count();
+    assert_eq!(misses, 1, "exactly one request may execute the study");
+    for reply in &replies {
+        assert_eq!(reply.status, 200);
+        assert!(
+            matches!(reply.cache.as_str(), "miss" | "join" | "hit"),
+            "unexpected cache source {}",
+            reply.cache
+        );
+        assert_eq!(reply.body, replies[0].body, "coalesced bodies must agree");
+        assert_eq!(reply.key, replies[0].key);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_fail_closed() {
+    let (server, addr) = serve(None);
+    assert_eq!(request(addr, "POST", "/run", "not json").status, 400);
+    assert_eq!(request(addr, "POST", "/run", "{}").status, 400);
+    assert_eq!(
+        request(addr, "POST", "/run", r#"{"study": "fig3", "quikc": true}"#).status,
+        400,
+        "typo'd fields must not silently run (and cache) the default config"
+    );
+    assert_eq!(
+        request(addr, "POST", "/run", r#"{"study": "zzz"}"#).status,
+        404
+    );
+    assert_eq!(
+        request(addr, "POST", "/sweep", r#"{"workload": "streaming"}"#).status,
+        400,
+        "sweep without predictors"
+    );
+    assert_eq!(request(addr, "GET", "/result/zzzz", "").status, 400);
+    assert_eq!(
+        request(addr, "GET", "/result/0123456789abcdef", "").status,
+        404
+    );
+    assert_eq!(request(addr, "GET", "/run", "").status, 405);
+    assert_eq!(request(addr, "POST", "/healthz", "").status, 405);
+    assert_eq!(request(addr, "GET", "/nope", "").status, 404);
+    // The server is still healthy after all of that.
+    let health = request(addr, "GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, b"ok\n");
+    server.shutdown();
+}
+
+#[test]
+fn corrupt_disk_entries_quarantine_and_regenerate_across_instances() {
+    let dir = temp_dir("quarantine");
+    let body = r#"{"study": "fig3", "quick": true, "len": 22000}"#;
+
+    let (server, addr) = serve(Some(dir.clone()));
+    let first = request(addr, "POST", "/run", body);
+    assert_eq!(first.status, 200);
+    assert_eq!(first.cache, "miss");
+    server.shutdown();
+
+    // Corrupt the persisted entry the way a torn write would.
+    let path = dir.join(format!("{}.blr", first.key));
+    assert!(path.exists(), "entry must have persisted to {}", path.display());
+    let mut raw = std::fs::read(&path).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0xff;
+    std::fs::write(&path, &raw).unwrap();
+
+    // A fresh instance must never serve the damaged bytes: it
+    // quarantines, re-executes, and returns the same result as before.
+    let (server, addr) = serve(Some(dir.clone()));
+    let regen = request(addr, "POST", "/run", body);
+    assert_eq!(regen.status, 200);
+    assert_eq!(regen.cache, "miss", "corrupt entry must not serve as a hit");
+    assert_eq!(regen.key, first.key);
+    assert_eq!(regen.body, first.body);
+    assert!(
+        dir.join(format!("{}.blr.corrupt", first.key)).exists(),
+        "damaged entry must be quarantined for post-mortem"
+    );
+
+    // And the regenerated entry is immediately durable again: a third
+    // instance serves it from disk without executing.
+    server.shutdown();
+    let (server, addr) = serve(Some(dir.clone()));
+    let disk = request(addr, "POST", "/run", body);
+    assert_eq!(disk.status, 200);
+    assert_eq!(disk.cache, "hit-disk");
+    assert_eq!(disk.body, first.body);
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
