@@ -43,6 +43,28 @@ BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
     cargo test --release -q --test differential --test grid_parity
 cargo test --release -q -p bp-pipeline --test lane_properties
 
+echo "== sampled replay =="
+# The sampled-replay gates: streamed-vs-materialized feature parity, the
+# full-suite standard-scale containment sweep, and the ≥2M-branch
+# streamed trace reconstructing MPKI within tolerance of its full-replay
+# golden — all from the release build so the scale runs stay fast.
+BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" \
+    cargo test --release -q --test sampled_replay -- --include-ignored
+
+# The sampled study report must be byte-identical at any thread count
+# (workloads run sequentially precisely so thread scheduling can't
+# reorder or perturb the table).
+SAMPLED_OUT=target/ci-sampled
+rm -rf "$SAMPLED_OUT" && mkdir -p "$SAMPLED_OUT"
+BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" BRANCH_LAB_THREADS=1 \
+    target/release/branch-lab run sampled --quick > "$SAMPLED_OUT/t1.txt"
+BRANCH_LAB_TRACE_DIR="${BRANCH_LAB_TRACE_DIR:-target/ci-traces}" BRANCH_LAB_THREADS=4 \
+    target/release/branch-lab run sampled --quick > "$SAMPLED_OUT/t4.txt"
+cmp "$SAMPLED_OUT/t1.txt" "$SAMPLED_OUT/t4.txt" \
+    || { echo "sampled leg: report must be byte-identical across thread counts"; exit 1; }
+grep -q "sampled replay: interval" "$SAMPLED_OUT/t1.txt" \
+    || { echo "sampled leg: report missing the resolved sampling banner"; exit 1; }
+
 echo "== fault injection =="
 cargo test --release -q --test fault_tolerance
 

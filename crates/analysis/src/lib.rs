@@ -9,6 +9,8 @@
 //! * [`BinSpec`]/[`Histogram`] — the rare-branch distributions (Fig. 3);
 //! * [`accuracy_spread`] — accuracy spread vs execution count (Fig. 4);
 //! * [`cluster_slices`] — SimPoint-style phase clustering (Table I);
+//! * [`simpoint`] — representative selection (medoids + weights) for
+//!   sampled replay;
 //! * [`DependencyAnalysis`] — operand dependency branches and their
 //!   history-position distributions (§IV-A, Table III, Fig. 6);
 //! * [`compute_alloc_stats`] — TAGE allocation thrashing (§IV-A);
@@ -27,6 +29,7 @@ mod phase;
 mod profile;
 mod recurrence;
 mod regvals;
+pub mod simpoint;
 
 pub use accuracy_spread::{
     accuracy_spread, accuracy_spread_from_points, spread_points, SpreadBin, SpreadPoint,
@@ -36,7 +39,8 @@ pub use depgraph::{DepBranchReport, DependencyAnalysis, DEFAULT_WINDOW};
 pub use h2p::{paper_equivalent, H2pCriteria};
 pub use heavy_hitters::{rank_heavy_hitters, top_n_fraction, HeavyHitter};
 pub use histograms::{BinSpec, Histogram};
-pub use phase::{bbv, cluster_slices, kmeans, PhaseConfig, PhaseLabels};
+pub use phase::{bbv, cluster_slices, kmeans, kmeans_with, KmeansScratch, PhaseConfig, PhaseLabels};
+pub use simpoint::{select_simpoints, simpoints_from_profiles, Representative, SimPoints};
 pub use profile::{BranchProfile, IpStats};
 pub use recurrence::RecurrenceAnalysis;
 pub use regvals::{RegValueAnalysis, RegValueDist, PAPER_TRACKED_REGS};

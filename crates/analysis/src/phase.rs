@@ -1,14 +1,40 @@
 //! SimPoint-style phase clustering (Sherwood et al.), used by Table I's
-//! "Avg # Phases" and by phase-conditioned helper predictors (§V-B).
+//! "Avg # Phases", by phase-conditioned helper predictors (§V-B), and —
+//! through [`crate::simpoint`] — by the sampled-replay path.
 //!
 //! Each slice is summarized by a basic-block-vector (BBV) analogue — a
 //! normalized frequency vector of branch IPs hashed into a fixed number of
 //! dimensions — and slices are clustered with deterministic k-means using
 //! farthest-first seeding. The number of phases is chosen by the elbow
 //! criterion: the smallest k whose incremental distortion improvement
-//! falls below a threshold.
+//! falls below a threshold. Feature extraction is streamed: slices become
+//! [`bp_trace::IntervalProfile`]s computed block-wise off a
+//! [`bp_trace::TraceReader`], so clustering a trace never materializes it.
+//!
+//! # Determinism contract
+//!
+//! Clustering is bit-reproducible across runs, platforms, and thread
+//! counts. The contract, which [`kmeans`] and every consumer rely on:
+//!
+//! * **Seeding** is farthest-first starting from point 0. Each further
+//!   seed maximizes the running minimum squared distance to the chosen
+//!   seeds; among equally-far candidates the *highest* index wins
+//!   (matching `Iterator::max_by`, which keeps the last maximum).
+//! * **Assignment** scans centroids in index order and keeps the
+//!   *lowest*-index centroid among equally-near ones (matching
+//!   `Iterator::min_by`, which keeps the first minimum).
+//! * **Comparisons** use `f64::total_cmp`, so ties and signed zeros
+//!   order identically everywhere; accumulation order (points in slice
+//!   order, coordinates in dimension order) is fixed, so floating-point
+//!   sums are bit-stable.
+//! * **Labels** from [`cluster_slices`] are renumbered densely in order
+//!   of first appearance.
+//!
+//! The reusable scratch buffers ([`KmeansScratch`]) change none of this:
+//! they hold the same intermediate values the per-iteration allocations
+//! used to, in the same order.
 
-use bp_trace::{RetiredInst, SliceConfig, Trace};
+use bp_trace::{profile_intervals, RetiredInst, SliceConfig, Trace};
 
 /// Parameters for phase clustering.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -42,6 +68,10 @@ pub struct PhaseLabels {
 }
 
 /// Computes the normalized branch-frequency vector of one slice.
+///
+/// The bucket function is [`bp_trace::bbv_bucket`] — the same one the
+/// streamed [`bp_trace::profile_intervals`] extractor uses, so in-memory
+/// and streamed features are bit-identical by construction.
 #[must_use]
 pub fn bbv(insts: &[RetiredInst], dims: usize) -> Vec<f64> {
     assert!(dims > 0, "dims must be positive");
@@ -49,9 +79,7 @@ pub fn bbv(insts: &[RetiredInst], dims: usize) -> Vec<f64> {
     let mut total = 0.0f64;
     for inst in insts {
         if inst.is_conditional_branch() {
-            // Multiplicative hash of the IP into a bucket.
-            let h = (inst.ip >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            v[(h >> 32) as usize % dims] += 1.0;
+            v[bp_trace::bbv_bucket(inst.ip, dims)] += 1.0;
             total += 1.0;
         }
     }
@@ -63,13 +91,43 @@ pub fn bbv(insts: &[RetiredInst], dims: usize) -> Vec<f64> {
     v
 }
 
-fn dist2(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn dist2(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Reusable buffers for [`kmeans_with`]: centroids, the farthest-first
+/// running minimum distances, and the per-iteration accumulation sums.
+///
+/// One scratch serves any number of clusterings (the elbow loop reuses
+/// it across every trial k); buffers grow to the largest problem seen
+/// and are overwritten, never reallocated, on reuse.
+#[derive(Default)]
+pub struct KmeansScratch {
+    /// Flattened `k × dims` centroid matrix.
+    centroids: Vec<f64>,
+    /// Per-point minimum squared distance to the seeds chosen so far.
+    min_dist: Vec<f64>,
+    /// Flattened `k × dims` coordinate sums for the update step.
+    sums: Vec<f64>,
+    /// Per-cluster member counts for the update step.
+    counts: Vec<usize>,
+}
+
+impl KmeansScratch {
+    /// An empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        KmeansScratch::default()
+    }
 }
 
 /// Deterministic k-means with farthest-first initialization. Returns the
 /// per-point labels and the final distortion (sum of squared distances to
 /// assigned centroids).
+///
+/// Allocates fresh scratch; hot paths (the elbow loop, sampled-replay
+/// planning) should hold a [`KmeansScratch`] and call [`kmeans_with`].
+/// See the module docs for the determinism contract.
 ///
 /// # Panics
 ///
@@ -77,54 +135,88 @@ fn dist2(a: &[f64], b: &[f64]) -> f64 {
 /// have inconsistent dimensionality.
 #[must_use]
 pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize) -> (Vec<usize>, f64) {
+    kmeans_with(points, k, iters, &mut KmeansScratch::new())
+}
+
+/// [`kmeans`] against caller-owned scratch buffers: bit-identical
+/// results, no per-iteration allocation.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or greater than the number of points, or points
+/// have inconsistent dimensionality.
+#[must_use]
+pub fn kmeans_with(
+    points: &[Vec<f64>],
+    k: usize,
+    iters: usize,
+    scratch: &mut KmeansScratch,
+) -> (Vec<usize>, f64) {
     assert!(k >= 1 && k <= points.len(), "k must be in 1..=#points");
     let dims = points[0].len();
     assert!(points.iter().all(|p| p.len() == dims), "dim mismatch");
 
-    // Farthest-first seeding from point 0 (deterministic).
-    let mut centroids: Vec<Vec<f64>> = vec![points[0].clone()];
-    while centroids.len() < k {
-        let (far_idx, _) = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let d = centroids
-                    .iter()
-                    .map(|c| dist2(p, c))
-                    .fold(f64::INFINITY, f64::min);
-                (i, d)
-            })
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("non-empty points");
-        centroids.push(points[far_idx].clone());
+    // Farthest-first seeding from point 0. `min_dist` carries each
+    // point's distance to its nearest chosen seed, updated incrementally
+    // — the same running minimum the fold over all seeds produced.
+    scratch.centroids.clear();
+    scratch.centroids.extend_from_slice(&points[0]);
+    scratch.min_dist.clear();
+    scratch.min_dist.extend(points.iter().map(|p| dist2(p, &points[0])));
+    let mut seeds = 1;
+    while seeds < k {
+        let mut far = (0usize, f64::NEG_INFINITY);
+        for (i, &d) in scratch.min_dist.iter().enumerate() {
+            // `!= Less` keeps the last maximum, as `max_by` did.
+            if d.total_cmp(&far.1) != std::cmp::Ordering::Less {
+                far = (i, d);
+            }
+        }
+        scratch.centroids.extend_from_slice(&points[far.0]);
+        seeds += 1;
+        let new = &scratch.centroids[(seeds - 1) * dims..seeds * dims];
+        for (slot, p) in scratch.min_dist.iter_mut().zip(points) {
+            *slot = slot.min(dist2(p, new));
+        }
     }
 
     let mut labels = vec![0usize; points.len()];
+    scratch.sums.clear();
+    scratch.sums.resize(k * dims, 0.0);
+    scratch.counts.clear();
+    scratch.counts.resize(k, 0);
     for _ in 0..iters {
-        // Assign.
+        // Assign: first-minimum centroid in index order.
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
-            let best = (0..k)
-                .min_by(|&a, &b| dist2(p, &centroids[a]).total_cmp(&dist2(p, &centroids[b])))
-                .expect("k >= 1");
+            let mut best = 0usize;
+            let mut best_d = dist2(p, &scratch.centroids[..dims]);
+            for c in 1..k {
+                let d = dist2(p, &scratch.centroids[c * dims..(c + 1) * dims]);
+                if d.total_cmp(&best_d) == std::cmp::Ordering::Less {
+                    best = c;
+                    best_d = d;
+                }
+            }
             if labels[i] != best {
                 labels[i] = best;
                 changed = true;
             }
         }
-        // Update.
-        let mut sums = vec![vec![0.0f64; dims]; k];
-        let mut counts = vec![0usize; k];
+        // Update: accumulate in point order, coordinate order.
+        scratch.sums.iter_mut().for_each(|s| *s = 0.0);
+        scratch.counts.iter_mut().for_each(|c| *c = 0);
         for (p, &l) in points.iter().zip(&labels) {
-            counts[l] += 1;
-            for (s, x) in sums[l].iter_mut().zip(p) {
+            scratch.counts[l] += 1;
+            for (s, x) in scratch.sums[l * dims..(l + 1) * dims].iter_mut().zip(p) {
                 *s += x;
             }
         }
         for c in 0..k {
-            if counts[c] > 0 {
-                for (ci, s) in centroids[c].iter_mut().zip(&sums[c]) {
-                    *ci = s / counts[c] as f64;
+            if scratch.counts[c] > 0 {
+                let sums = &scratch.sums[c * dims..(c + 1) * dims];
+                for (ci, s) in scratch.centroids[c * dims..(c + 1) * dims].iter_mut().zip(sums) {
+                    *ci = s / scratch.counts[c] as f64;
                 }
             }
         }
@@ -135,12 +227,17 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize) -> (Vec<usize>, f64) 
     let distortion = points
         .iter()
         .zip(&labels)
-        .map(|(p, &l)| dist2(p, &centroids[l]))
+        .map(|(p, &l)| dist2(p, &scratch.centroids[l * dims..(l + 1) * dims]))
         .sum();
     (labels, distortion)
 }
 
 /// Clusters the slices of `trace` into phases.
+///
+/// Features are extracted by the streamed profiler
+/// ([`bp_trace::profile_intervals`]) over the trace's reader; the phase
+/// count and labels are selected by [`crate::simpoint::elbow_labels`].
+/// Output is bit-identical to the historical materialized-slice path.
 ///
 /// # Examples
 ///
@@ -157,44 +254,11 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize) -> (Vec<usize>, f64) 
 /// ```
 #[must_use]
 pub fn cluster_slices(trace: &Trace, slice: SliceConfig, config: PhaseConfig) -> PhaseLabels {
-    let points: Vec<Vec<f64>> = trace.slices(slice).map(|s| bbv(s, config.dims)).collect();
-    if points.is_empty() {
-        return PhaseLabels {
-            labels: Vec::new(),
-            num_phases: 0,
-        };
-    }
-    let kmax = config.max_phases.min(points.len());
-    let mut best = kmeans(&points, 1, 20);
-    let base_distortion = best.1;
-    let mut prev_distortion = best.1;
-    for k in 2..=kmax {
-        let trial = kmeans(&points, k, 20);
-        // Scree test: improvement is measured against the k=1 distortion,
-        // so self-similar micro-structure inside tight clusters does not
-        // keep splitting forever.
-        let improvement = if base_distortion > 0.0 {
-            (prev_distortion - trial.1) / base_distortion
-        } else {
-            0.0
-        };
-        if improvement < config.improvement_threshold {
-            break;
-        }
-        prev_distortion = trial.1;
-        best = trial;
-    }
-    // Renumber labels densely in order of first appearance.
-    let mut remap = std::collections::HashMap::new();
-    let mut labels = Vec::with_capacity(best.0.len());
-    for l in best.0 {
-        let next = remap.len();
-        labels.push(*remap.entry(l).or_insert(next));
-    }
-    PhaseLabels {
-        labels,
-        num_phases: remap.len(),
-    }
+    let profiles = profile_intervals(trace.reader(), slice.len(), config.dims)
+        .expect("in-memory reader cannot fail");
+    let points: Vec<Vec<f64>> = profiles.iter().map(bp_trace::IntervalProfile::normalized_bbv).collect();
+    let (labels, num_phases) = crate::simpoint::elbow_labels(&points, &config);
+    PhaseLabels { labels, num_phases }
 }
 
 #[cfg(test)]
@@ -241,6 +305,22 @@ mod tests {
         let b = kmeans(&pts, 3, 30);
         assert_eq!(a.0, b.0);
         assert!((a.1 - b.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One scratch driven through ascending k must reproduce the
+        // fresh-scratch result exactly — the elbow loop depends on it.
+        let pts: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 11) as f64 * 0.3, (i % 5) as f64, (i % 3) as f64 * 2.0])
+            .collect();
+        let mut scratch = KmeansScratch::new();
+        for k in 1..=6 {
+            let reused = kmeans_with(&pts, k, 25, &mut scratch);
+            let fresh = kmeans(&pts, k, 25);
+            assert_eq!(reused.0, fresh.0, "k={k}");
+            assert_eq!(reused.1.to_bits(), fresh.1.to_bits(), "k={k}");
+        }
     }
 
     #[test]

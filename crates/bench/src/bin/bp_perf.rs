@@ -26,7 +26,12 @@
 //! * `sweep/interleave-2trace` — pure replay throughput: two prepared
 //!   traces' 16-lane chunk cursors round-robined through
 //!   `simulate_interleaved` (flags and preparation outside the timed
-//!   region).
+//!   region);
+//! * `sample/cluster` — the sampled-replay planning pass: streamed
+//!   per-interval BBV profiling plus SimPoint medoid selection;
+//! * `sample/replay-weighted` — the sampled-replay execution pass:
+//!   warmed segment preparation, the functional predictor-warming walk,
+//!   and the weighted reconstruction, from a fixed plan.
 //!
 //! Default mode records `BENCH_<date>.json` in the current directory
 //! (schema `bp-perf/v1`, see `bp_bench::perf`); `--check-baseline`
@@ -369,6 +374,74 @@ fn run_suite(opts: &Options) -> PerfReport {
                 .flatten()
                 .map(|s| s.cycles)
                 .sum::<u64>()
+        },
+    ));
+
+    // Sampled replay, split at its natural seam: planning (streamed
+    // interval profiling + medoid selection — pure analysis, no replay)
+    // and execution (segment preparation with functional cache warming,
+    // the whole-stream predictor walk, weighted reconstruction). Both
+    // walk every record of the pinned trace, so rec/s compares directly
+    // with the full-replay benchmarks above: the execution entry's win
+    // over `end_to_end/tage-sc-l-8kb` is the sampling payoff.
+    let phase_cfg = bp_analysis::PhaseConfig { max_phases: 4, ..bp_analysis::PhaseConfig::default() };
+    let sample_interval = TRACE_LEN / 20;
+    // The planning pass alone finishes in single-digit milliseconds —
+    // too short for a stable median against CPU frequency jitter — so
+    // each sample runs it several times and declares the records to
+    // match.
+    let cluster_reps = 8u64;
+    measurements.push(perf::measure(
+        "sample/cluster",
+        spec_trace.len() as u64 * cluster_reps,
+        spec_branches * cluster_reps,
+        warmup,
+        samples,
+        || {
+            let mut sum = 0u64;
+            for _ in 0..cluster_reps {
+                let profiles =
+                    bp_trace::profile_intervals(spec_trace.reader(), sample_interval, phase_cfg.dims)
+                        .expect("in-memory reader cannot fail");
+                let simpoints = bp_analysis::simpoints_from_profiles(&profiles, &phase_cfg);
+                sum += simpoints.representatives.iter().map(|r| r.interval as u64 + 1).sum::<u64>();
+            }
+            sum
+        },
+    ));
+    let sample_plan = {
+        let profiles = bp_trace::profile_intervals(spec_trace.reader(), sample_interval, phase_cfg.dims)
+            .expect("in-memory reader cannot fail");
+        let simpoints = bp_analysis::simpoints_from_profiles(&profiles, &phase_cfg);
+        bp_pipeline::SamplePlan {
+            interval_len: sample_interval,
+            warmup: sample_interval / 5,
+            segments: simpoints
+                .representatives
+                .iter()
+                .map(|r| bp_pipeline::SampleSegment {
+                    interval: r.interval,
+                    weight: r.weight,
+                    spread: r.spread,
+                })
+                .collect(),
+        }
+    };
+    measurements.push(perf::measure(
+        "sample/replay-weighted",
+        spec_trace.len() as u64,
+        spec_branches,
+        warmup,
+        samples,
+        || {
+            let sampled = bp_pipeline::SampledReplay::prepare(spec_trace.reader(), &cfg, &sample_plan)
+                .expect("in-memory reader cannot fail");
+            let lanes = sampled
+                .warmed_lanes(spec_trace.reader(), &mut TageScL::kb8())
+                .expect("in-memory reader cannot fail");
+            let lane_refs: Vec<&[bool]> = lanes.iter().map(Vec::as_slice).collect();
+            let est = sampled.simulate_weighted(&lane_refs, &cfg);
+            est.est_branches as u64
         },
     ));
 

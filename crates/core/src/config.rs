@@ -69,6 +69,86 @@ impl Default for DatasetConfig {
     }
 }
 
+/// SimPoint-style sampled-replay configuration.
+///
+/// When enabled, replay-backed studies cluster fixed-length intervals by
+/// BBV, simulate one medoid representative per phase (preceded by an
+/// architectural warm-up prefix whose contribution is discarded), and
+/// reconstruct whole-trace MPKI/IPC as cluster-weighted estimates with
+/// confidence intervals. `None` fields resolve against the dataset via
+/// [`SamplingConfig::resolve`], so the same config adapts to `--quick`
+/// and `--len` scales.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Master switch; `false` means full replay everywhere.
+    pub enabled: bool,
+    /// Clustering interval length in instructions (`None` = 1/20 of the
+    /// trace length, giving 20 intervals per trace).
+    pub interval_len: Option<usize>,
+    /// Architectural warm-up prefix per representative, in instructions,
+    /// discarded from the statistics (`None` = 1/5 of the interval).
+    pub warmup: Option<usize>,
+    /// Cap on phases (= representatives). The default of 4 keeps worst-case
+    /// coverage at `4 × 1.2 × interval / trace = 24%` of the records.
+    pub max_phases: usize,
+}
+
+impl SamplingConfig {
+    /// Sampling off — the default.
+    #[must_use]
+    pub fn disabled() -> Self {
+        SamplingConfig {
+            enabled: false,
+            interval_len: None,
+            warmup: None,
+            max_phases: 4,
+        }
+    }
+
+    /// Sampling on with every knob at its dataset-relative default.
+    #[must_use]
+    pub fn enabled() -> Self {
+        SamplingConfig {
+            enabled: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Concrete interval geometry for a dataset: every `None` is replaced
+    /// by its dataset-relative default. Execution and cache-key
+    /// canonicalization both go through this, so an explicit knob equal to
+    /// its default is indistinguishable from leaving it unset.
+    #[must_use]
+    pub fn resolve(&self, dataset: &DatasetConfig) -> ResolvedSampling {
+        let interval_len = self
+            .interval_len
+            .unwrap_or_else(|| (dataset.trace_len / 20).max(1))
+            .max(1);
+        ResolvedSampling {
+            interval_len,
+            warmup: self.warmup.unwrap_or(interval_len / 5),
+            max_phases: self.max_phases.max(1),
+        }
+    }
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// [`SamplingConfig`] with every knob resolved to a concrete number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedSampling {
+    /// Clustering interval length in instructions.
+    pub interval_len: usize,
+    /// Warm-up prefix per representative, in instructions.
+    pub warmup: usize,
+    /// Cap on phases (= representatives).
+    pub max_phases: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +163,29 @@ mod tests {
     fn with_trace_len_rescales_slices() {
         let c = DatasetConfig::standard().with_trace_len(500_000);
         assert_eq!(c.slice.len(), 50_000);
+    }
+
+    #[test]
+    fn sampling_resolves_dataset_relative_defaults() {
+        let standard = DatasetConfig::standard();
+        let r = SamplingConfig::enabled().resolve(&standard);
+        assert_eq!(r.interval_len, 50_000);
+        assert_eq!(r.warmup, 10_000);
+        assert_eq!(r.max_phases, 4);
+        // Explicit values pass through; explicit-equal-to-default
+        // canonicalizes to the same resolved shape.
+        let explicit = SamplingConfig {
+            interval_len: Some(50_000),
+            warmup: Some(10_000),
+            ..SamplingConfig::enabled()
+        };
+        assert_eq!(explicit.resolve(&standard), r);
+        let custom = SamplingConfig {
+            interval_len: Some(10_000),
+            warmup: None,
+            ..SamplingConfig::enabled()
+        };
+        assert_eq!(custom.resolve(&standard).warmup, 2_000);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use characterize::{
     characterize_input, characterize_workload, characterize_workload_with, InputCharacterization,
     WorkloadCharacterization,
 };
-pub use config::DatasetConfig;
+pub use config::{DatasetConfig, ResolvedSampling, SamplingConfig};
 pub use experiment::{
     hetero_grid_study, hetero_grid_study_with, ipc_of, rare_oracle_study, rare_oracle_study_with,
     scaling_study, scaling_study_with, storage_scaling_study, storage_scaling_study_with,

@@ -13,7 +13,7 @@
 //! studies themselves are registered by `bp-experiments`, which owns the
 //! figure/table computations.
 
-use crate::config::DatasetConfig;
+use crate::config::{DatasetConfig, SamplingConfig};
 use crate::report::Report;
 
 /// How a study is invoked and accounted.
@@ -50,6 +50,9 @@ pub struct StudyCtx {
     pub dataset: DatasetConfig,
     /// Positional arguments, used by [`StudyKind::Probe`] studies only.
     pub args: Vec<String>,
+    /// Sampled-replay configuration; disabled by default. Studies that
+    /// support sampling resolve it against [`StudyCtx::dataset`].
+    pub sampling: SamplingConfig,
     /// Cancellation handle for this run. Defaults to an inert token; the
     /// fault-tolerant executor (`bp_core::exec`) arms it with deadlines
     /// and installs it as the cancel scope, so long studies stop at the
@@ -64,6 +67,7 @@ impl StudyCtx {
         StudyCtx {
             dataset,
             args: Vec::new(),
+            sampling: SamplingConfig::disabled(),
             cancel: bp_metrics::cancel::CancelToken::new(),
         }
     }
@@ -74,6 +78,7 @@ impl StudyCtx {
         StudyCtx {
             dataset,
             args: Vec::new(),
+            sampling: SamplingConfig::disabled(),
             cancel,
         }
     }

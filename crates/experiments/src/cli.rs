@@ -41,9 +41,16 @@ pub fn help_text() -> String {
          equivalent to `branch-lab run <study>`.\n\
          \n\
          FLAGS (report studies):\n\
-         \x20   --len N        instructions per workload trace (default 1,000,000)\n\
-         \x20   --quick        reduced dataset scale for smoke runs\n\
-         \x20   --csv DIR      also write each table as CSV under DIR\n\
+         \x20   --len N               instructions per workload trace (default 1,000,000)\n\
+         \x20   --quick               reduced dataset scale for smoke runs\n\
+         \x20   --csv DIR             also write each table as CSV under DIR\n\
+         \x20   --sampled             SimPoint-style sampled replay: simulate only\n\
+         \x20                         representative intervals, reconstruct weighted\n\
+         \x20                         MPKI/IPC with confidence intervals\n\
+         \x20   --sample-interval N   clustering interval in instructions (default len/20)\n\
+         \x20   --sample-warmup N     warm-up prefix per interval, discarded from stats\n\
+         \x20                         (default interval/5)\n\
+         \x20   --sample-phases N     cap on phases = representatives (default 4)\n\
          Probe studies (calibrate, debug_ipc) take positional arguments instead;\n\
          `branch-lab list` shows them in brackets.\n\
          \n\
@@ -79,6 +86,10 @@ pub fn help_text() -> String {
          \x20   BRANCH_LAB_RETRY_DELAY_MS     all-runner: retry backoff base in ms (default 500);\n\
          \x20                                 read by Backoff::from_env, not serve (no retries)\n\
          \x20   BRANCH_LAB_UPDATE_GOLDEN      golden tests: rewrite fixtures instead of diffing\n\
+         \x20   BRANCH_LAB_SAMPLE             1 = default-enable --sampled (flags win)\n\
+         \x20   BRANCH_LAB_SAMPLE_INTERVAL    default for --sample-interval\n\
+         \x20   BRANCH_LAB_SAMPLE_WARMUP      default for --sample-warmup\n\
+         \x20   BRANCH_LAB_SAMPLE_PHASES      default for --sample-phases\n\
          \x20   BRANCH_LAB_SERVE_ADDR         serve: listen address (default 127.0.0.1:7878)\n\
          \x20   BRANCH_LAB_SERVE_WORKERS      serve: worker threads (default: cores, capped at 8)\n\
          \x20   BRANCH_LAB_SERVE_CACHE_DIR    serve: result-cache directory (default memory-only)\n\
@@ -122,16 +133,22 @@ pub fn run_study(name: &str, args: Vec<String>) {
     match study.info().kind {
         StudyKind::Report | StudyKind::Standalone => {
             if let Some(first) = cli.rest.first() {
-                panic!("unknown argument {first}; supported: --len N --quick --csv DIR");
+                panic!(
+                    "unknown argument {first}; supported: --len N --quick --csv DIR \
+                     --sampled --sample-interval N --sample-warmup N --sample-phases N"
+                );
             }
             let _run = cli.metrics_run(name);
-            let report = study.run(&StudyCtx::new(cli.dataset()));
+            let mut ctx = StudyCtx::new(cli.dataset());
+            ctx.sampling = cli.sampling;
+            let report = study.run(&ctx);
             cli.emit_report(&report);
         }
         StudyKind::Probe => {
             let _run = bp_metrics::RunGuard::begin(name);
             let mut ctx = StudyCtx::new(cli.dataset());
             ctx.args.clone_from(&cli.rest);
+            ctx.sampling = cli.sampling;
             let report = study.run(&ctx);
             cli.emit_report(&report);
         }

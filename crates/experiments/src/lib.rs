@@ -12,7 +12,7 @@
 
 use std::path::PathBuf;
 
-use bp_core::{DatasetConfig, Report, ReportItem, Table};
+use bp_core::{DatasetConfig, Report, ReportItem, SamplingConfig, Table};
 
 pub mod all_runner;
 pub mod cli;
@@ -33,6 +33,9 @@ pub struct Cli {
     /// Positional arguments (consumed by probe studies such as
     /// `calibrate`; rejected by report studies).
     pub rest: Vec<String>,
+    /// Sampled-replay options (`--sampled` and friends; environment
+    /// defaults come from `BRANCH_LAB_SAMPLE*`, flags win).
+    pub sampling: SamplingConfig,
 }
 
 impl Cli {
@@ -46,6 +49,33 @@ impl Cli {
         Cli::parse_from(std::env::args().skip(1))
     }
 
+    /// Sampling options taken from the environment: `BRANCH_LAB_SAMPLE=1`
+    /// enables sampling, `BRANCH_LAB_SAMPLE_INTERVAL` /
+    /// `BRANCH_LAB_SAMPLE_WARMUP` / `BRANCH_LAB_SAMPLE_PHASES` override
+    /// the knobs. Command-line flags win over the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a numeric variable holds a non-integer.
+    #[must_use]
+    pub fn sampling_from_env() -> SamplingConfig {
+        let num = |name: &str| -> Option<usize> {
+            std::env::var(name)
+                .ok()
+                .map(|v| v.parse().unwrap_or_else(|_| panic!("{name} must be an integer")))
+        };
+        let mut s = SamplingConfig::disabled();
+        if let Ok(v) = std::env::var("BRANCH_LAB_SAMPLE") {
+            s.enabled = !matches!(v.as_str(), "" | "0" | "false" | "off");
+        }
+        s.interval_len = num("BRANCH_LAB_SAMPLE_INTERVAL");
+        s.warmup = num("BRANCH_LAB_SAMPLE_WARMUP");
+        if let Some(p) = num("BRANCH_LAB_SAMPLE_PHASES") {
+            s.max_phases = p;
+        }
+        s
+    }
+
     /// Parses an explicit argument list (no binary name).
     ///
     /// `--help` prints the shared help text and exits. Unknown `--flags`
@@ -57,7 +87,10 @@ impl Cli {
     /// Panics (with a usage message) on malformed arguments.
     #[must_use]
     pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
-        let mut cli = Cli::default();
+        let mut cli = Cli {
+            sampling: Cli::sampling_from_env(),
+            ..Cli::default()
+        };
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -70,12 +103,31 @@ impl Cli {
                     let v = args.next().expect("--csv needs a directory");
                     cli.csv = Some(PathBuf::from(v));
                 }
+                "--sampled" => cli.sampling.enabled = true,
+                "--sample-interval" => {
+                    let v = args.next().expect("--sample-interval needs a value");
+                    cli.sampling.interval_len =
+                        Some(v.parse().expect("--sample-interval must be an integer"));
+                }
+                "--sample-warmup" => {
+                    let v = args.next().expect("--sample-warmup needs a value");
+                    cli.sampling.warmup =
+                        Some(v.parse().expect("--sample-warmup must be an integer"));
+                }
+                "--sample-phases" => {
+                    let v = args.next().expect("--sample-phases needs a value");
+                    cli.sampling.max_phases =
+                        v.parse().expect("--sample-phases must be an integer");
+                }
                 "--help" | "-h" => {
                     print!("{}", cli::help_text());
                     std::process::exit(0);
                 }
                 other if other.starts_with('-') => {
-                    panic!("unknown argument {other}; supported: --len N --quick --csv DIR")
+                    panic!(
+                        "unknown argument {other}; supported: --len N --quick --csv DIR \
+                         --sampled --sample-interval N --sample-warmup N --sample-phases N"
+                    )
                 }
                 other => cli.rest.push(other.to_owned()),
             }
@@ -112,6 +164,13 @@ impl Cli {
             cfg.max_inputs.map_or_else(|| "none".to_owned(), |n| n.to_string()),
         );
         guard.info("quick", self.quick);
+        if self.sampling.enabled {
+            let r = self.sampling.resolve(&cfg);
+            guard.info("sampled", true);
+            guard.info("sample_interval", r.interval_len);
+            guard.info("sample_warmup", r.warmup);
+            guard.info("sample_phases", r.max_phases);
+        }
         guard
     }
 
@@ -170,5 +229,21 @@ mod tests {
         assert!(cli.quick);
         assert_eq!(cli.len, Some(5000));
         assert_eq!(cli.rest, vec!["200000".to_owned()]);
+    }
+
+    #[test]
+    fn parse_from_reads_sampling_flags() {
+        let cli = Cli::parse_from(
+            ["--sampled", "--sample-interval", "5000", "--sample-phases", "3"].map(String::from),
+        );
+        assert!(cli.sampling.enabled);
+        assert_eq!(cli.sampling.interval_len, Some(5000));
+        assert_eq!(cli.sampling.warmup, None);
+        assert_eq!(cli.sampling.max_phases, 3);
+        // Sampling knobs without --sampled stay latent (resolved but
+        // disabled) so env/flag defaults compose.
+        let cli = Cli::parse_from(["--sample-warmup", "100"].map(String::from));
+        assert!(!cli.sampling.enabled);
+        assert_eq!(cli.sampling.warmup, Some(100));
     }
 }

@@ -149,6 +149,14 @@ pub fn registry() -> StudyRegistry {
     );
     reg.register(Box::new(FnStudy::new(
         StudyInfo {
+            name: "sampled",
+            title: "Sampled replay: SimPoint-style weighted MPKI/IPC vs full-replay goldens",
+            kind: StudyKind::Standalone,
+        },
+        |ctx| studies::sampled_report(&ctx.dataset, &ctx.sampling),
+    )));
+    reg.register(Box::new(FnStudy::new(
+        StudyInfo {
             name: "calibrate",
             title: "Probe: per-workload accuracy/branch statistics ([len])",
             kind: StudyKind::Probe,

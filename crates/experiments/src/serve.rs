@@ -49,7 +49,7 @@ use bp_core::exec::{self, ExecOptions, Outcome, Task};
 use bp_core::serve::cache::{CacheEntry, CacheKey, ResultCache, Tier};
 use bp_core::serve::http::{Request, Response};
 use bp_core::serve::{Flight, Handler, Server, Singleflight};
-use bp_core::{DatasetConfig, StudyCtx, StudyKind, StudyRegistry};
+use bp_core::{DatasetConfig, SamplingConfig, StudyCtx, StudyKind, StudyRegistry};
 use bp_metrics::json::{self, Value};
 use bp_metrics::{Counter, CounterBaseline};
 use bp_predictors::PredictorSpec;
@@ -161,16 +161,33 @@ fn parse_budget(raw: &str) -> Option<u64> {
     n.checked_shl(shift).filter(|&b| b > 0)
 }
 
+/// Version of the cache-key component schema. Bump whenever the set or
+/// meaning of key components changes (a new dimension, a renamed field,
+/// a different canonicalization), so entries persisted by an older
+/// binary can never alias a newer request that hashes the same bytes by
+/// coincidence. History: 1 = original study/sweep components; 2 = added
+/// the sampling dimension to study keys.
+pub const KEY_SCHEMA_VERSION: u32 = 2;
+
 /// Derives the content-address of one registry study run.
 ///
 /// Components are exactly the inputs the result is a pure function of:
-/// the study name, the dataset shape ([`DatasetConfig`] fields — so two
-/// flag spellings of the same dataset share a key), the probe arguments,
-/// and the workload-suite digest (so changing trace generators
-/// invalidates every cached result).
+/// the key-schema version, the study name, the dataset shape
+/// ([`DatasetConfig`] fields — so two flag spellings of the same dataset
+/// share a key), the probe arguments, the *resolved* sampling
+/// configuration (so `--sampled` results never collide with full-replay
+/// results, while an explicit knob equal to its default shares the
+/// default's key), and the workload-suite digest (so changing trace
+/// generators invalidates every cached result).
 #[must_use]
-pub fn study_key(study: &str, dataset: &DatasetConfig, args: &[String]) -> CacheKey {
-    CacheKey::builder()
+pub fn study_key(
+    study: &str,
+    dataset: &DatasetConfig,
+    args: &[String],
+    sampling: &SamplingConfig,
+) -> CacheKey {
+    let mut builder = CacheKey::builder()
+        .component("schema", KEY_SCHEMA_VERSION)
         .component("kind", "study")
         .component("study", study)
         .component("trace_len", dataset.trace_len)
@@ -179,9 +196,18 @@ pub fn study_key(study: &str, dataset: &DatasetConfig, args: &[String]) -> Cache
             "max_inputs",
             dataset.max_inputs.map_or_else(|| "none".to_owned(), |n| n.to_string()),
         )
-        .component("args", args.join("\u{1f}"))
-        .component("traces", format!("{:016x}", suite_digest()))
-        .finish()
+        .component("args", args.join("\u{1f}"));
+    if sampling.enabled {
+        let r = sampling.resolve(dataset);
+        builder = builder
+            .component("sampling", "on")
+            .component("sample_interval", r.interval_len)
+            .component("sample_warmup", r.warmup)
+            .component("sample_phases", r.max_phases);
+    } else {
+        builder = builder.component("sampling", "off");
+    }
+    builder.component("traces", format!("{:016x}", suite_digest())).finish()
 }
 
 /// Derives the content-address of one predictor sweep.
@@ -194,6 +220,7 @@ pub fn study_key(study: &str, dataset: &DatasetConfig, args: &[String]) -> Cache
 pub fn sweep_key(workload: &str, labels: &[String], scales: &[u32], len: usize) -> CacheKey {
     let scales: Vec<String> = scales.iter().map(ToString::to_string).collect();
     CacheKey::builder()
+        .component("schema", KEY_SCHEMA_VERSION)
         .component("kind", "sweep")
         .component("workload", workload)
         .component("predictors", labels.join(","))
@@ -304,7 +331,20 @@ fn parse_deadline(obj: &BTreeMap<String, Value>) -> Result<Option<Duration>, Str
 impl RunRequest {
     fn parse(body: &[u8]) -> Result<RunRequest, String> {
         let obj = parse_body(body)?;
-        check_fields(&obj, &["study", "len", "quick", "args", "deadline_secs"])?;
+        check_fields(
+            &obj,
+            &[
+                "study",
+                "len",
+                "quick",
+                "args",
+                "deadline_secs",
+                "sampled",
+                "sample_interval",
+                "sample_warmup",
+                "sample_phases",
+            ],
+        )?;
         let study = field_str(&obj, "study")?.ok_or("missing required field \"study\"")?;
         let len = field_u64(&obj, "len")?;
         if let Some(len) = len {
@@ -312,11 +352,21 @@ impl RunRequest {
                 return Err("field \"len\" must be at least 10".to_string());
             }
         }
+        let mut sampling = SamplingConfig {
+            enabled: field_bool(&obj, "sampled")?,
+            ..SamplingConfig::disabled()
+        };
+        sampling.interval_len = field_u64(&obj, "sample_interval")?.map(|n| n as usize);
+        sampling.warmup = field_u64(&obj, "sample_warmup")?.map(|n| n as usize);
+        if let Some(p) = field_u64(&obj, "sample_phases")? {
+            sampling.max_phases = p as usize;
+        }
         let cli = Cli {
             len: len.map(|n| n as usize),
             quick: field_bool(&obj, "quick")?,
             csv: None,
             rest: field_list(&obj, "args")?,
+            sampling,
         };
         Ok(RunRequest { study, cli, deadline: parse_deadline(&obj)? })
     }
@@ -474,12 +524,14 @@ impl StudyService {
             }
         }
         let dataset = parsed.cli.dataset();
-        let key = study_key(info.name, &dataset, &parsed.cli.rest);
+        let sampling = parsed.cli.sampling;
+        let key = study_key(info.name, &dataset, &parsed.cli.rest, &sampling);
         let args = parsed.cli.rest.clone();
         self.dispatch(key, info.name, parsed.deadline, move |token| {
             let baseline = CounterBaseline::take();
             let mut ctx = StudyCtx::with_cancel(dataset, token.clone());
             ctx.args = args;
+            ctx.sampling = sampling;
             let report = study.run(&ctx);
             let body = report.render().into_bytes();
             Ok((body, manifest_json(&baseline, info.name, &dataset, key)))
@@ -710,18 +762,63 @@ mod tests {
         // `--len 1000000` and the standard default describe the same
         // dataset; the keys must agree because they derive from the
         // resolved `DatasetConfig`, not the flag spelling.
+        let off = SamplingConfig::disabled();
         let plain = Cli::default();
         let spelled = Cli { len: Some(1_000_000), ..Cli::default() };
         assert_eq!(
-            study_key("fig3", &plain.dataset(), &[]),
-            study_key("fig3", &spelled.dataset(), &[])
+            study_key("fig3", &plain.dataset(), &[], &off),
+            study_key("fig3", &spelled.dataset(), &[], &off)
         );
         // But a different study, dataset scale, or argument list never
         // collides.
-        let base = study_key("fig3", &plain.dataset(), &[]);
+        let base = study_key("fig3", &plain.dataset(), &[], &off);
         let quick = Cli { quick: true, ..Cli::default() };
-        assert_ne!(base, study_key("fig1", &plain.dataset(), &[]));
-        assert_ne!(base, study_key("fig3", &quick.dataset(), &[]));
-        assert_ne!(base, study_key("fig3", &plain.dataset(), &["600".to_owned()]));
+        assert_ne!(base, study_key("fig1", &plain.dataset(), &[], &off));
+        assert_ne!(base, study_key("fig3", &quick.dataset(), &[], &off));
+        assert_ne!(base, study_key("fig3", &plain.dataset(), &["600".to_owned()], &off));
+    }
+
+    #[test]
+    fn sampling_is_a_key_dimension_with_resolved_canonicalization() {
+        let dataset = Cli::default().dataset();
+        let off = SamplingConfig::disabled();
+        let on = SamplingConfig::enabled();
+        // Sampled and full runs of the same study must never share a
+        // cache entry.
+        let full = study_key("sampled", &dataset, &[], &off);
+        let sampled = study_key("sampled", &dataset, &[], &on);
+        assert_ne!(full, sampled);
+        // Spelling the resolved defaults explicitly is the same request.
+        let resolved = on.resolve(&dataset);
+        let explicit = SamplingConfig {
+            interval_len: Some(resolved.interval_len),
+            warmup: Some(resolved.warmup),
+            ..on
+        };
+        assert_eq!(sampled, study_key("sampled", &dataset, &[], &explicit));
+        // Any resolved knob change is a different result.
+        let coarser = SamplingConfig { interval_len: Some(resolved.interval_len * 2), ..on };
+        assert_ne!(sampled, study_key("sampled", &dataset, &[], &coarser));
+        let fewer = SamplingConfig { max_phases: 2, ..on };
+        assert_ne!(sampled, study_key("sampled", &dataset, &[], &fewer));
+        // Sampling knobs without `enabled` stay latent — same key as off.
+        let latent = SamplingConfig { interval_len: Some(12_345), ..off };
+        assert_eq!(full, study_key("sampled", &dataset, &[], &latent));
+    }
+
+    #[test]
+    fn run_request_parses_sampling_fields() {
+        let req = RunRequest::parse(
+            b"{\"study\": \"sampled\", \"sampled\": true, \"sample_interval\": 5000, \
+              \"sample_phases\": 3}",
+        )
+        .unwrap();
+        assert!(req.cli.sampling.enabled);
+        assert_eq!(req.cli.sampling.interval_len, Some(5000));
+        assert_eq!(req.cli.sampling.warmup, None);
+        assert_eq!(req.cli.sampling.max_phases, 3);
+        let err = RunRequest::parse(b"{\"study\": \"sampled\", \"sample_intervel\": 1}")
+            .unwrap_err();
+        assert!(err.contains("unknown field"), "{err}");
     }
 }

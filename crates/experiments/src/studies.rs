@@ -15,16 +15,20 @@ use bp_analysis::{
     BranchProfile, DependencyAnalysis, H2pCriteria, RegValueAnalysis, DEFAULT_WINDOW,
     PAPER_TRACKED_REGS,
 };
-use bp_core::{f3, DatasetConfig, Report, Table};
+use bp_core::{f3, DatasetConfig, Report, ResolvedSampling, SamplingConfig, Table};
 use bp_helpers::{
     train_helper, CnnNet, HistoryEncoder, HybridPredictor, PhaseHelper, PhaseHelperConfig,
     TrainerConfig,
 };
-use bp_pipeline::{run, PipelineConfig, SweepReplay};
-use bp_predictors::{
-    measure, sweep_flags, sweep_measure, DirectionPredictor, PerfectPredictor, Predictor,
-    PredictorSpec, TageConfig, TageScL, TageSclConfig,
+use bp_analysis::{simpoints_from_profiles, PhaseConfig};
+use bp_pipeline::{
+    run, PipelineConfig, SampledReplay, SampledStats, SamplePlan, SampleSegment, SweepReplay,
 };
+use bp_predictors::{
+    measure, misprediction_flags, sweep_flags, sweep_measure, DirectionPredictor,
+    PerfectPredictor, Predictor, PredictorSpec, TageConfig, TageScL, TageSclConfig,
+};
+use bp_trace::profile_intervals;
 use bp_trace::Trace;
 use bp_workloads::{lcf_suite, specint_suite, WorkloadSpec};
 
@@ -686,5 +690,142 @@ pub fn debug_ipc_report(which: &str, len: usize) -> Report {
             stats[1].ipc() / stats[0].ipc()
         ));
     }
+    report
+}
+
+/// One workload's sampled-vs-full comparison: the full-replay golden and
+/// the SimPoint-style weighted reconstruction, side by side.
+pub struct SampledComparison {
+    /// Intervals the trace divides into at the resolved interval length.
+    pub intervals: usize,
+    /// Representatives actually simulated (phases found, EOF-capped).
+    pub segments: usize,
+    /// Full-replay golden MPKI under TAGE-SC-L 8KB.
+    pub golden_mpki: f64,
+    /// Full-replay golden IPC at the Skylake baseline.
+    pub golden_ipc: f64,
+    /// The weighted sampled estimates with confidence half-widths.
+    pub est: SampledStats,
+}
+
+impl SampledComparison {
+    /// Relative MPKI reconstruction error against the golden.
+    #[must_use]
+    pub fn mpki_rel_err(&self) -> f64 {
+        (self.est.mpki - self.golden_mpki).abs() / self.golden_mpki.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Runs one workload both ways — full replay and sampled replay — under
+/// a fresh TAGE-SC-L 8KB each, and returns the comparison.
+///
+/// The sampled side is the production path end to end: streamed interval
+/// profiles ([`bp_trace::profile_intervals`]), medoid selection
+/// ([`bp_analysis::simpoint`]), single-pass segment extraction, a
+/// functionally-warmed predictor pass
+/// ([`bp_pipeline::SampledReplay::warmed_lanes`] — the predictor trains
+/// over the whole stream, only pipeline replay is sampled), and weighted
+/// reconstruction ([`bp_pipeline::SampledReplay::simulate_weighted`]).
+#[must_use]
+pub fn sampled_comparison(
+    spec: &WorkloadSpec,
+    cfg: &DatasetConfig,
+    sampling: &ResolvedSampling,
+) -> SampledComparison {
+    let trace = spec.cached_trace(0, cfg.trace_len);
+    let base = PipelineConfig::skylake();
+
+    // Full-replay golden.
+    let flags = misprediction_flags(&mut TageScL::kb8(), &trace);
+    let sweep = SweepReplay::new(&trace, &base);
+    let golden = sweep.simulate(&flags, &base);
+
+    // Sampled path.
+    let phase_cfg = PhaseConfig {
+        max_phases: sampling.max_phases,
+        ..PhaseConfig::default()
+    };
+    let profiles = profile_intervals(trace.reader(), sampling.interval_len, phase_cfg.dims)
+        .expect("in-memory reader cannot fail");
+    let simpoints = simpoints_from_profiles(&profiles, &phase_cfg);
+    let plan = SamplePlan {
+        interval_len: sampling.interval_len,
+        warmup: sampling.warmup,
+        segments: simpoints
+            .representatives
+            .iter()
+            .map(|r| SampleSegment {
+                interval: r.interval,
+                weight: r.weight,
+                spread: r.spread,
+            })
+            .collect(),
+    };
+    let sampled =
+        SampledReplay::prepare(trace.reader(), &base, &plan).expect("in-memory reader cannot fail");
+    let lanes = sampled
+        .warmed_lanes(trace.reader(), &mut TageScL::kb8())
+        .expect("in-memory reader cannot fail");
+    let lane_refs: Vec<&[bool]> = lanes.iter().map(Vec::as_slice).collect();
+    let est = sampled.simulate_weighted(&lane_refs, &base);
+
+    SampledComparison {
+        intervals: profiles.len(),
+        segments: sampled.num_segments(),
+        golden_mpki: golden.mpki(),
+        golden_ipc: golden.ipc(),
+        est,
+    }
+}
+
+/// Sampled-replay validation study: every suite workload replayed in
+/// full (the golden) and via SimPoint-style sampling, with the weighted
+/// reconstruction, its confidence interval, and the achieved error side
+/// by side. Workloads run sequentially so the report is byte-identical
+/// at any `BRANCH_LAB_THREADS` setting.
+#[must_use]
+pub fn sampled_report(cfg: &DatasetConfig, sampling: &SamplingConfig) -> Report {
+    let resolved = sampling.resolve(cfg);
+    let mut report = Report::new();
+    report.note(format!(
+        "sampled replay: interval {} insts, warmup {} insts, max {} phases",
+        resolved.interval_len, resolved.warmup, resolved.max_phases
+    ));
+    let mut table = Table::new(vec![
+        "workload", "ivals", "reps", "cover", "mpki", "mpki-est", "+/-", "err%", "in-ci", "ipc",
+        "ipc-est",
+    ]);
+    let mut worst_err = 0.0f64;
+    let mut contained = 0usize;
+    let mut total = 0usize;
+    for spec in specint_suite().iter().chain(lcf_suite().iter()) {
+        let c = sampled_comparison(spec, cfg, &resolved);
+        let within = c.est.mpki_contains(c.golden_mpki);
+        worst_err = worst_err.max(c.mpki_rel_err());
+        contained += usize::from(within);
+        total += 1;
+        table.row(vec![
+            spec.name.to_owned(),
+            c.intervals.to_string(),
+            c.segments.to_string(),
+            format!("{:.1}%", c.est.coverage() * 100.0),
+            f3(c.golden_mpki),
+            f3(c.est.mpki),
+            f3(c.est.mpki_half),
+            format!("{:.2}", c.mpki_rel_err() * 100.0),
+            if within { "yes" } else { "NO" }.to_owned(),
+            f3(c.golden_ipc),
+            f3(c.est.ipc),
+        ]);
+    }
+    report.section(
+        "sampled replay vs full-replay golden (TAGE-SC-L 8KB, Skylake baseline)",
+        "sampled",
+        table,
+    );
+    report.note(format!(
+        "golden contained in {contained}/{total} intervals; worst MPKI error {:.2}%",
+        worst_err * 100.0
+    ));
     report
 }

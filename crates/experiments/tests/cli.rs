@@ -45,10 +45,10 @@ fn registry_covers_every_study_binary() {
         vec![
             "table1", "fig1", "fig2", "table2", "baselines", "grid", "fig3", "fig4",
             "fig5", "table3", "fig6", "alloc_stats", "fig7", "fig8", "fig9", "fig10",
-            "helpers", "ablation", "calibrate", "debug_ipc",
+            "helpers", "ablation", "sampled", "calibrate", "debug_ipc",
         ]
     );
-    for standalone in ["baselines", "grid"] {
+    for standalone in ["baselines", "grid", "sampled"] {
         assert_eq!(
             reg.get(standalone).unwrap().info().kind,
             StudyKind::Standalone

@@ -26,13 +26,15 @@
 mod cache;
 mod config;
 pub mod lanes;
+mod sampled;
 mod scoreboard;
 mod sweep;
 
 pub use cache::{CacheConfig, CacheModel};
 pub use config::PipelineConfig;
+pub use sampled::{SampledReplay, SampledStats, SamplePlan, SampleSegment};
 pub use scoreboard::{simulate, SimStats};
-pub use sweep::{simulate_interleaved, InterleaveGroup, SweepReplay};
+pub use sweep::{simulate_interleaved, InterleaveGroup, RangePreparer, SweepReplay};
 
 use bp_predictors::{misprediction_flags, DirectionPredictor};
 use bp_trace::Trace;

@@ -1,0 +1,630 @@
+//! SimPoint-style sampled replay: simulate only representative
+//! intervals, reconstruct whole-trace MPKI/IPC by cluster weight.
+//!
+//! The paper's studies replay every branch of every trace; at the 10B
+//! scale that is the cost every figure pays. [`SampledReplay`] instead
+//! prepares only the representative intervals a clustering planner
+//! selected (one medoid per phase, e.g. `bp_analysis::simpoint`), each
+//! with an architectural warm-up prefix whose contribution is discarded
+//! from the statistics, and combines the per-interval measurements into
+//! a weighted whole-trace estimate with a reported confidence interval.
+//!
+//! The planner is deliberately decoupled: this module consumes a
+//! [`SamplePlan`] (interval geometry plus `(interval, weight, spread)`
+//! tuples) so the pipeline crate stays free of clustering and predictor
+//! dependencies. The experiments layer trains predictors over each
+//! segment's records ([`SampledReplay::segment_trace`]) exactly as it
+//! would over a full trace.
+//!
+//! # Cost and memory model
+//!
+//! One streaming pass over the [`TraceReader`] extracts every segment's
+//! records; peak memory and all replay work scale with the *sampled*
+//! records (`segments × (warmup + interval)`), never the trace length.
+//! The pass itself is O(trace) *time* but O(1) extra memory: it runs
+//! the cache model and store-forwarding map over every record
+//! ([`RangePreparer`] — *functional warming*), because a mid-trace
+//! excerpt prepared cold would see systematically slower loads than the
+//! full replay does. The same applies to predictor state:
+//! [`SampledReplay::warmed_lanes`] trains the direction predictor over
+//! the whole stream and collects misprediction flags only inside the
+//! segments. Only the expensive part — pipeline replay, which dominates
+//! full-trace studies — is confined to the sampled records.
+//!
+//! # Error model
+//!
+//! Warm-up is subtracted by replaying each segment twice — once whole,
+//! once only its warm-up prefix — and differencing the counters; both
+//! replays come from the same warmed pass, so the prefix latencies are
+//! identical and the subtraction is exact. The residual boundary effect
+//! (the pipeline starts from an empty scoreboard at the splice) is
+//! covered by a fixed relative floor, and phase-internal dispersion by
+//! a term proportional to the weighted mean BBV spread the planner
+//! measured. The reconstruction-error suite (`tests/sampled_replay.rs`)
+//! gates that the resulting MPKI interval contains the full-replay
+//! golden across the workload suite; IPC bars are reported best-effort
+//! (the scoreboard splice error does not shrink with spread, so they
+//! carry a wider floor and are not gated).
+
+use bp_predictors::DirectionPredictor;
+use bp_trace::{ReadTraceError, RetiredInst, Trace, TraceReader};
+
+use crate::config::PipelineConfig;
+use crate::sweep::{RangePreparer, SweepReplay};
+
+/// Relative half-width floor on the MPKI estimate: covers predictor
+/// cold-start inside the warm-up prefix and interval-boundary effects.
+const MPKI_REL_FLOOR: f64 = 0.025;
+
+/// Relative half-width floor on the IPC estimate: MPKI's floor plus the
+/// warm-up cycle-splice residual (the pipeline starts from an empty
+/// scoreboard at each segment boundary instead of overlapping with the
+/// preceding interval, a cycle error the warm-up subtraction only
+/// partially cancels). IPC bars are reported but not gated — see the
+/// error-model notes above.
+const IPC_REL_FLOOR: f64 = 0.10;
+
+/// Scale from weighted mean BBV spread (normalized-frequency space) to
+/// relative error: clusters whose members sit further from their medoid
+/// get proportionally wider bars. Calibrated against the full-replay
+/// goldens of the 15-workload suite at the standard dataset scale so
+/// every workload's MPKI interval contains its golden
+/// (`branch-lab run sampled`); the binding workload leaves ~10% margin.
+const SPREAD_COEFF: f64 = 3.5;
+
+/// One representative interval in a [`SamplePlan`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleSegment {
+    /// Index of the representative interval (interval `i` covers records
+    /// `[i × interval_len, (i + 1) × interval_len)`).
+    pub interval: usize,
+    /// The represented cluster's share of all intervals; weights across
+    /// the plan sum to 1.
+    pub weight: f64,
+    /// Mean BBV distance from cluster members to this representative
+    /// (the planner's dispersion measure; widens the error bars).
+    pub spread: f64,
+}
+
+/// Which intervals to replay, and how to weight them back together.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SamplePlan {
+    /// Interval length in instructions (the clustering granularity).
+    pub interval_len: usize,
+    /// Architectural warm-up prefix per segment, in instructions, taken
+    /// from the records preceding the interval and discarded from the
+    /// statistics. Clamped at the trace head.
+    pub warmup: usize,
+    /// The representative intervals, one per phase.
+    pub segments: Vec<SampleSegment>,
+}
+
+/// A prepared representative segment: its records (for predictor
+/// training), the whole-segment replay, and the warm-up-only replay
+/// whose counters are subtracted back out.
+struct PreparedSegment {
+    seg: SampleSegment,
+    trace: Trace,
+    first_record: u64,
+    warmup_records: usize,
+    full: SweepReplay,
+    warm: Option<SweepReplay>,
+}
+
+/// Sampled counterpart of [`SweepReplay`]: prepared representative
+/// segments plus the weights that reconstruct whole-trace estimates.
+pub struct SampledReplay {
+    segments: Vec<PreparedSegment>,
+    total_records: u64,
+    sampled_records: u64,
+}
+
+impl SampledReplay {
+    /// Extracts and prepares every planned segment in one streaming pass
+    /// over `reader`.
+    ///
+    /// Segments beyond the end of the stream are dropped; a final
+    /// segment the stream truncates is kept at its actual length (the
+    /// planner derived the plan from the same stream, so its ragged-tail
+    /// rule already matches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ReadTraceError`] from the underlying stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's `interval_len` is zero.
+    pub fn prepare<R: TraceReader>(
+        mut reader: R,
+        config: &PipelineConfig,
+        plan: &SamplePlan,
+    ) -> Result<Self, ReadTraceError> {
+        assert!(plan.interval_len > 0, "interval length must be positive");
+        let meta = reader.meta().clone();
+        // Per-segment record ranges [lo, hi) and collection buffers.
+        struct Pending {
+            seg: SampleSegment,
+            lo: u64,
+            hi: u64,
+            records: Vec<RetiredInst>,
+        }
+        let mut pending: Vec<Pending> = plan
+            .segments
+            .iter()
+            .map(|&seg| {
+                let start = (seg.interval * plan.interval_len) as u64;
+                Pending {
+                    seg,
+                    lo: start.saturating_sub(plan.warmup as u64),
+                    hi: start + plan.interval_len as u64,
+                    records: Vec::new(),
+                }
+            })
+            .collect();
+        // Two prepared ranges per segment — the whole segment and its
+        // warm-up prefix — share one functionally warmed pass: the cache
+        // model and forwarding map train over *every* record, so a
+        // mid-trace excerpt sees the load latencies the full replay
+        // would, and the prefix replay stays a strict prefix of the full
+        // one (identical latencies, so the warm-up subtraction is exact).
+        let ranges: Vec<(u64, u64)> = pending
+            .iter()
+            .flat_map(|p| {
+                let interval_start = (p.seg.interval * plan.interval_len) as u64;
+                [(p.lo, p.hi), (p.lo, interval_start)]
+            })
+            .collect();
+        let mut preparer = RangePreparer::new(config, &ranges);
+        let mut offset = 0u64;
+        while let Some(chunk) = reader.next_chunk()? {
+            bp_metrics::cancel::checkpoint("sampled.prepare");
+            preparer.feed(chunk);
+            let end = offset + chunk.len() as u64;
+            for p in &mut pending {
+                // Warm-up prefixes may overlap a neighbouring segment's
+                // interval, so every segment slices the chunk
+                // independently.
+                let lo = p.lo.max(offset);
+                let hi = p.hi.min(end);
+                if lo < hi {
+                    let a = (lo - offset) as usize;
+                    let b = (hi - offset) as usize;
+                    p.records.extend_from_slice(&chunk[a..b]);
+                }
+            }
+            offset = end;
+        }
+        let mut replays = preparer.finish().into_iter();
+        let mut segments = Vec::with_capacity(pending.len());
+        let mut sampled_records = 0u64;
+        for p in pending {
+            let full = replays.next().expect("one replay per planned range");
+            let warm = replays.next().expect("one replay per planned range");
+            if p.records.is_empty() {
+                continue;
+            }
+            let interval_start = (p.seg.interval * plan.interval_len) as u64;
+            let warmup_records = (interval_start - p.lo) as usize;
+            let mut trace = Trace::new(meta.clone());
+            for inst in &p.records {
+                trace.push(*inst);
+            }
+            sampled_records += p.records.len() as u64;
+            segments.push(PreparedSegment {
+                seg: p.seg,
+                trace,
+                first_record: p.lo,
+                warmup_records,
+                full,
+                warm: (!warm.is_empty()).then_some(warm),
+            });
+        }
+        Ok(SampledReplay { segments, total_records: offset, sampled_records })
+    }
+
+    /// Number of prepared segments (dropped-at-EOF segments excluded).
+    #[must_use]
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Records of segment `i` — warm-up prefix plus interval — for
+    /// training predictors exactly as a full replay would.
+    #[must_use]
+    pub fn segment_trace(&self, i: usize) -> &Trace {
+        &self.segments[i].trace
+    }
+
+    /// Conditional branches in segment `i` (warm-up plus interval); a
+    /// flag stream for [`SampledReplay::simulate_weighted`] must have
+    /// exactly this many entries.
+    #[must_use]
+    pub fn segment_branches(&self, i: usize) -> usize {
+        self.segments[i].full.cond_branch_count()
+    }
+
+    /// Record range `[start, end)` of segment `i` in whole-stream
+    /// coordinates (warm-up prefix included).
+    #[must_use]
+    pub fn segment_record_range(&self, i: usize) -> (u64, u64) {
+        let p = &self.segments[i];
+        (p.first_record, p.first_record + p.trace.len() as u64)
+    }
+
+    /// One functionally-warmed predictor pass: streams the *whole* trace
+    /// through `predictor` — training it continuously, exactly as a full
+    /// replay would — and collects one misprediction-flag lane per
+    /// segment covering exactly that segment's records.
+    ///
+    /// This is the SimPoint warming discipline: predictor training is
+    /// cheap and runs over everything (constant memory — nothing is
+    /// buffered outside segment ranges), while the expensive pipeline
+    /// replay happens only on the representatives. Without it each
+    /// segment would replay under a cold predictor and the reconstruction
+    /// would systematically overestimate MPKI.
+    ///
+    /// `reader` must stream the same trace the replay was prepared from;
+    /// each returned lane then has exactly
+    /// [`SampledReplay::segment_branches`] entries, ready for
+    /// [`SampledReplay::simulate_weighted`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ReadTraceError`] from the underlying stream.
+    pub fn warmed_lanes<R: TraceReader>(
+        &self,
+        mut reader: R,
+        predictor: &mut dyn DirectionPredictor,
+    ) -> Result<Vec<Vec<bool>>, ReadTraceError> {
+        let mut lanes: Vec<Vec<bool>> = self
+            .segments
+            .iter()
+            .map(|p| Vec::with_capacity(p.full.cond_branch_count()))
+            .collect();
+        let ranges: Vec<(u64, u64)> =
+            (0..self.segments.len()).map(|i| self.segment_record_range(i)).collect();
+        let mut offset = 0u64;
+        while let Some(chunk) = reader.next_chunk()? {
+            bp_metrics::cancel::checkpoint("sampled.warm");
+            for (j, inst) in chunk.iter().enumerate() {
+                if !inst.is_conditional_branch() {
+                    continue;
+                }
+                let taken = inst.branch.expect("conditional branch carries info").taken;
+                let flag = predictor.predict_and_train(inst.ip, taken) != taken;
+                let idx = offset + j as u64;
+                // Warm-up prefixes may overlap a neighbouring interval,
+                // so a branch can land in more than one lane.
+                for (lane, &(lo, hi)) in lanes.iter_mut().zip(&ranges) {
+                    if idx >= lo && idx < hi {
+                        lane.push(flag);
+                    }
+                }
+            }
+            offset += chunk.len() as u64;
+        }
+        Ok(lanes)
+    }
+
+    /// Records consumed from the stream (the full trace length).
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Records extracted into segments — the work actually simulated.
+    #[must_use]
+    pub fn sampled_records(&self) -> u64 {
+        self.sampled_records
+    }
+
+    /// Fraction of the trace actually simulated (warm-ups included).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total_records == 0 {
+            0.0
+        } else {
+            self.sampled_records as f64 / self.total_records as f64
+        }
+    }
+
+    /// Replays every segment under its misprediction flags (one stream
+    /// per segment, warm-up branches first), subtracts the warm-up
+    /// prefix, and reconstructs weighted whole-trace estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flags` does not hold one stream per segment or a
+    /// stream's length differs from [`SampledReplay::segment_branches`].
+    #[must_use]
+    pub fn simulate_weighted(&self, flags: &[&[bool]], config: &PipelineConfig) -> SampledStats {
+        assert_eq!(flags.len(), self.segments.len(), "one flag stream per segment");
+        let mut est_insts = 0.0f64;
+        let mut est_cycles = 0.0f64;
+        let mut est_mispredicts = 0.0f64;
+        let mut est_branches = 0.0f64;
+        let mut weighted_spread = 0.0f64;
+        let mut weight_total = 0.0f64;
+        for (p, &lane) in self.segments.iter().zip(flags) {
+            assert_eq!(
+                lane.len(),
+                p.full.cond_branch_count(),
+                "flag stream length must match segment branches"
+            );
+            let full = p.full.simulate(lane, config);
+            let (wi, wc, wb, wm) = match &p.warm {
+                Some(warm) => {
+                    let prefix = warm.simulate(&lane[..warm.cond_branch_count()], config);
+                    (prefix.instructions, prefix.cycles, prefix.cond_branches, prefix.mispredictions)
+                }
+                None => (0, 0, 0, 0),
+            };
+            debug_assert_eq!(wi as usize, p.warmup_records);
+            let w = p.seg.weight;
+            est_insts += w * (full.instructions - wi) as f64;
+            est_cycles += w * (full.cycles - wc) as f64;
+            est_branches += w * (full.cond_branches - wb) as f64;
+            est_mispredicts += w * (full.mispredictions - wm) as f64;
+            weighted_spread += w * p.seg.spread;
+            weight_total += w;
+        }
+        let mpki = if est_insts > 0.0 { est_mispredicts * 1000.0 / est_insts } else { 0.0 };
+        let ipc = if est_cycles > 0.0 { est_insts / est_cycles } else { 0.0 };
+        // Spread is weighted by the weights present (EOF-dropped
+        // segments shrink the total), keeping the term a mean.
+        let mean_spread = if weight_total > 0.0 { weighted_spread / weight_total } else { 0.0 };
+        let dispersion = SPREAD_COEFF * mean_spread;
+        SampledStats {
+            mpki,
+            mpki_half: (MPKI_REL_FLOOR + dispersion) * mpki,
+            ipc,
+            ipc_half: (IPC_REL_FLOOR + dispersion) * ipc,
+            est_branches,
+            segments: self.segments.len(),
+            sampled_records: self.sampled_records,
+            total_records: self.total_records,
+        }
+    }
+}
+
+/// Weighted whole-trace estimates with confidence half-widths.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampledStats {
+    /// Estimated mispredictions per kilo-instruction.
+    pub mpki: f64,
+    /// Half-width of the MPKI confidence interval.
+    pub mpki_half: f64,
+    /// Estimated instructions per cycle.
+    pub ipc: f64,
+    /// Half-width of the IPC confidence interval.
+    pub ipc_half: f64,
+    /// Weighted per-interval conditional-branch estimate (diagnostic).
+    pub est_branches: f64,
+    /// Segments replayed.
+    pub segments: usize,
+    /// Records extracted and simulated (warm-ups included).
+    pub sampled_records: u64,
+    /// Records in the full stream.
+    pub total_records: u64,
+}
+
+impl SampledStats {
+    /// Whether the MPKI interval `mpki ± mpki_half` contains `golden`.
+    #[must_use]
+    pub fn mpki_contains(&self, golden: f64) -> bool {
+        (self.mpki - golden).abs() <= self.mpki_half
+    }
+
+    /// Whether the IPC interval `ipc ± ipc_half` contains `golden`.
+    #[must_use]
+    pub fn ipc_contains(&self, golden: f64) -> bool {
+        (self.ipc - golden).abs() <= self.ipc_half
+    }
+
+    /// Fraction of the trace simulated.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total_records == 0 {
+            0.0
+        } else {
+            self.sampled_records as f64 / self.total_records as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_trace::{InstClass, TraceMeta};
+
+    fn synthetic(len: usize) -> Trace {
+        let mut t = Trace::new(TraceMeta::new("sampled", 0));
+        for i in 0..len {
+            let ip = 0x40 + (i as u64 % 41) * 4;
+            if i % 4 == 0 {
+                t.push(RetiredInst::cond_branch(ip, i % 3 != 0, 0x800, Some(1), None));
+            } else {
+                t.push(RetiredInst::op(
+                    ip,
+                    InstClass::Alu,
+                    Some(bp_trace::Reg::new(1)),
+                    None,
+                    Some(bp_trace::Reg::new(2)),
+                    i as u64,
+                ));
+            }
+        }
+        t
+    }
+
+    fn plan_all(len: usize, interval: usize, warmup: usize) -> SamplePlan {
+        // Every interval selected with equal weight: the reconstruction
+        // must then equal a per-interval replay stitched together.
+        let n = len / interval;
+        SamplePlan {
+            interval_len: interval,
+            warmup,
+            segments: (0..n)
+                .map(|i| SampleSegment { interval: i, weight: 1.0 / n as f64, spread: 0.0 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn prepare_extracts_expected_ranges() {
+        let t = synthetic(1000);
+        let plan = SamplePlan {
+            interval_len: 100,
+            warmup: 30,
+            segments: vec![
+                SampleSegment { interval: 0, weight: 0.5, spread: 0.0 },
+                SampleSegment { interval: 4, weight: 0.5, spread: 0.0 },
+            ],
+        };
+        let cfg = PipelineConfig::skylake();
+        let sr = SampledReplay::prepare(t.reader(), &cfg, &plan).unwrap();
+        assert_eq!(sr.num_segments(), 2);
+        // Interval 0 has no room for warm-up; interval 4 gets 30 records.
+        assert_eq!(sr.segment_trace(0).len(), 100);
+        assert_eq!(sr.segment_trace(1).len(), 130);
+        assert_eq!(sr.total_records(), 1000);
+        assert_eq!(sr.sampled_records(), 230);
+        assert_eq!(sr.segment_trace(1).insts(), &t.insts()[370..500]);
+    }
+
+    #[test]
+    fn chunking_is_immaterial() {
+        // The same plan over a re-chunked stream must extract identical
+        // segments — chunk boundaries carry no meaning.
+        struct Chunked<'a> {
+            t: &'a Trace,
+            at: usize,
+            step: usize,
+        }
+        impl TraceReader for Chunked<'_> {
+            fn meta(&self) -> &TraceMeta {
+                self.t.meta()
+            }
+            fn len_hint(&self) -> Option<u64> {
+                None
+            }
+            fn next_chunk(&mut self) -> Result<Option<&[RetiredInst]>, ReadTraceError> {
+                if self.at >= self.t.len() {
+                    return Ok(None);
+                }
+                let end = (self.at + self.step).min(self.t.len());
+                let chunk = &self.t.insts()[self.at..end];
+                self.at = end;
+                Ok(Some(chunk))
+            }
+        }
+        let t = synthetic(997);
+        let plan = SamplePlan {
+            interval_len: 100,
+            warmup: 25,
+            segments: vec![
+                SampleSegment { interval: 2, weight: 0.6, spread: 0.0 },
+                SampleSegment { interval: 8, weight: 0.4, spread: 0.0 },
+            ],
+        };
+        let cfg = PipelineConfig::skylake();
+        let whole = SampledReplay::prepare(t.reader(), &cfg, &plan).unwrap();
+        for step in [1, 7, 64, 997] {
+            let chunked = SampledReplay::prepare(Chunked { t: &t, at: 0, step }, &cfg, &plan).unwrap();
+            assert_eq!(chunked.num_segments(), whole.num_segments());
+            for i in 0..whole.num_segments() {
+                assert_eq!(
+                    chunked.segment_trace(i).insts(),
+                    whole.segment_trace(i).insts(),
+                    "step {step}, segment {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_coverage_plan_reconstructs_exactly() {
+        // With every interval selected, zero warm-up, and equal weights,
+        // the weighted per-interval sums telescope into the exact
+        // aggregate branch/instruction counts.
+        let t = synthetic(800);
+        let cfg = PipelineConfig::skylake();
+        let plan = plan_all(800, 100, 0);
+        let sr = SampledReplay::prepare(t.reader(), &cfg, &plan).unwrap();
+        let lanes: Vec<Vec<bool>> =
+            (0..sr.num_segments()).map(|i| vec![false; sr.segment_branches(i)]).collect();
+        let refs: Vec<&[bool]> = lanes.iter().map(Vec::as_slice).collect();
+        let stats = sr.simulate_weighted(&refs, &cfg);
+        assert_eq!(stats.segments, 8);
+        assert!((stats.coverage() - 1.0).abs() < 1e-12);
+        // 8 intervals × weight 1/8 × 100 insts = mean interval = 100.
+        assert!((stats.est_branches - 25.0).abs() < 1e-9);
+        assert_eq!(stats.mpki, 0.0);
+        assert!(stats.ipc > 0.0);
+    }
+
+    #[test]
+    fn warmup_is_subtracted_from_the_estimate() {
+        let t = synthetic(600);
+        let cfg = PipelineConfig::skylake();
+        let with = SamplePlan {
+            interval_len: 100,
+            warmup: 50,
+            segments: vec![SampleSegment { interval: 3, weight: 1.0, spread: 0.0 }],
+        };
+        let sr = SampledReplay::prepare(t.reader(), &cfg, &with).unwrap();
+        let lane = vec![true; sr.segment_branches(0)];
+        let stats = sr.simulate_weighted(&[&lane], &cfg);
+        // All flags set: interval mispredictions = interval branches =
+        // 25 per 100-inst interval, never the warm-up's 12-13 extra.
+        assert!((stats.est_branches - 25.0).abs() < 1e-9);
+        assert!((stats.mpki - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segments_past_eof_are_dropped() {
+        let t = synthetic(300);
+        let cfg = PipelineConfig::skylake();
+        let plan = SamplePlan {
+            interval_len: 100,
+            warmup: 0,
+            segments: vec![
+                SampleSegment { interval: 1, weight: 0.5, spread: 0.0 },
+                SampleSegment { interval: 9, weight: 0.5, spread: 0.0 },
+            ],
+        };
+        let sr = SampledReplay::prepare(t.reader(), &cfg, &plan).unwrap();
+        assert_eq!(sr.num_segments(), 1);
+    }
+
+    #[test]
+    fn error_bars_widen_with_spread() {
+        let t = synthetic(400);
+        let cfg = PipelineConfig::skylake();
+        let mut plan = plan_all(400, 100, 0);
+        let sr = SampledReplay::prepare(t.reader(), &cfg, &plan).unwrap();
+        let lanes: Vec<Vec<bool>> =
+            (0..sr.num_segments()).map(|i| vec![true; sr.segment_branches(i)]).collect();
+        let refs: Vec<&[bool]> = lanes.iter().map(Vec::as_slice).collect();
+        let tight = sr.simulate_weighted(&refs, &cfg);
+        for s in &mut plan.segments {
+            s.spread = 0.05;
+        }
+        let sr = SampledReplay::prepare(t.reader(), &cfg, &plan).unwrap();
+        let loose = sr.simulate_weighted(&refs, &cfg);
+        assert!(loose.mpki_half > tight.mpki_half);
+        assert!(loose.ipc_half > tight.ipc_half);
+        assert!(tight.mpki_contains(tight.mpki));
+    }
+
+    #[test]
+    #[should_panic(expected = "one flag stream per segment")]
+    fn lane_count_mismatch_panics() {
+        let t = synthetic(200);
+        let cfg = PipelineConfig::skylake();
+        let plan = plan_all(200, 100, 0);
+        let sr = SampledReplay::prepare(t.reader(), &cfg, &plan).unwrap();
+        let _ = sr.simulate_weighted(&[], &cfg);
+    }
+}

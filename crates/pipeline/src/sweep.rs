@@ -135,6 +135,226 @@ pub struct SweepReplay {
     mul_latency: u32,
 }
 
+/// Compact store bookkeeping to the stores some load forwards from: only
+/// their ready cycles are ever read back, so the rest drop their
+/// `KIND_STORE` bit (and lane-vector write) outright. Returns the number
+/// of store slots the replay loop must track.
+fn compact_store_links(insts: &mut [PreparedInst], stores: u32) -> u32 {
+    let mut remap = vec![u32::MAX; stores as usize];
+    for inst in insts.iter() {
+        if inst.kind & KIND_LOAD_FWD != 0 {
+            remap[inst.link as usize] = 0;
+        }
+    }
+    let mut forwarded = 0u32;
+    for slot in &mut remap {
+        if *slot == 0 {
+            *slot = forwarded;
+            forwarded += 1;
+        }
+    }
+    for inst in insts.iter_mut() {
+        if inst.kind & KIND_LOAD_FWD != 0 {
+            inst.link = remap[inst.link as usize];
+        } else if inst.kind & KIND_STORE != 0 {
+            match remap[inst.link as usize] {
+                u32::MAX => inst.kind &= !KIND_STORE,
+                new => inst.link = new,
+            }
+        }
+    }
+    forwarded
+}
+
+/// One record range being collected by a [`RangePreparer`].
+struct RangeAcc {
+    lo: u64,
+    hi: u64,
+    insts: Vec<PreparedInst>,
+    /// Global store ordinal when the range began (links below it point
+    /// at stores outside the range and are dropped).
+    stores_before: u64,
+    started: bool,
+    /// `(l2 hits, memory accesses)` cache counters at range entry/exit,
+    /// for the per-range bandwidth floor.
+    cache_before: (u64, u64),
+    cache_after: (u64, u64),
+    latency_sum: u64,
+    cond_branches: usize,
+}
+
+/// Incremental multi-range preparation with *functionally warmed*
+/// microarchitectural state.
+///
+/// [`SweepReplay::prepare`] starts its cache model and store-forwarding
+/// map cold, which is exact for whole traces but systematically biases a
+/// mid-trace excerpt: its first thousands of loads would miss a cache
+/// the full replay has long since warmed. `RangePreparer` instead runs
+/// one cache model and one forwarding map continuously over the *entire*
+/// stream — feeding every record — while emitting prepared instructions
+/// only for the requested record ranges. Sampled replay
+/// ([`crate::SampledReplay`]) uses this so a representative interval's
+/// load latencies are the ones the full replay would have seen.
+///
+/// Ranges may overlap (a warm-up prefix sharing records with a
+/// neighbouring interval); each range accounts independently. A load
+/// whose forwarding store precedes the range keeps its cache latency but
+/// drops the forwarding link — the store's ready cycle does not exist
+/// inside the excerpt.
+pub struct RangePreparer {
+    cache: CacheModel,
+    last_store: AddrMap,
+    stores: u64,
+    offset: u64,
+    accs: Vec<RangeAcc>,
+    cache_config: CacheConfig,
+    mul_latency: u32,
+}
+
+impl RangePreparer {
+    /// A preparer collecting `ranges` (each `[lo, hi)` in record
+    /// coordinates) under `config`'s cache hierarchy and multiply
+    /// latency.
+    #[must_use]
+    pub fn new(config: &PipelineConfig, ranges: &[(u64, u64)]) -> Self {
+        RangePreparer {
+            cache: CacheModel::new(config.cache.clone()),
+            last_store: AddrMap::with_capacity(1024),
+            stores: 0,
+            offset: 0,
+            accs: ranges
+                .iter()
+                .map(|&(lo, hi)| RangeAcc {
+                    lo,
+                    hi,
+                    insts: Vec::new(),
+                    stores_before: 0,
+                    started: false,
+                    cache_before: (0, 0),
+                    cache_after: (0, 0),
+                    latency_sum: 0,
+                    cond_branches: 0,
+                })
+                .collect(),
+            cache_config: config.cache.clone(),
+            mul_latency: config.mul_latency,
+        }
+    }
+
+    /// Feeds the next records of the stream, in order. Every record
+    /// advances the warmed cache/forwarding state; records inside a
+    /// range are additionally prepared into it.
+    pub fn feed(&mut self, chunk: &[bp_trace::RetiredInst]) {
+        for inst in chunk {
+            let idx = self.offset;
+            for acc in &mut self.accs {
+                if !acc.started && idx >= acc.lo && idx < acc.hi {
+                    acc.started = true;
+                    acc.stores_before = self.stores;
+                    let (_, l2, mem) = self.cache.stats();
+                    acc.cache_before = (l2, mem);
+                }
+            }
+            let latency = match inst.class {
+                InstClass::Load => self.cache.access(inst.mem_addr),
+                InstClass::Mul => self.mul_latency,
+                InstClass::Store => {
+                    let _ = self.cache.access(inst.mem_addr);
+                    1
+                }
+                _ => 1,
+            };
+            let mut fwd_store: Option<u64> = None;
+            let mut store_ord: Option<u64> = None;
+            match inst.class {
+                InstClass::Load => fwd_store = self.last_store.get(inst.mem_addr),
+                InstClass::Store => {
+                    store_ord = Some(self.stores);
+                    self.last_store.insert(inst.mem_addr, self.stores);
+                    self.stores += 1;
+                }
+                _ => {}
+            }
+            let cond = inst.is_conditional_branch();
+            for acc in &mut self.accs {
+                if idx < acc.lo || idx >= acc.hi {
+                    continue;
+                }
+                let mut kind = 0u8;
+                let mut link = u32::MAX;
+                if let Some(g) = fwd_store {
+                    if g >= acc.stores_before {
+                        kind |= KIND_LOAD_FWD;
+                        link = (g - acc.stores_before) as u32;
+                    }
+                }
+                if let Some(g) = store_ord {
+                    kind |= KIND_STORE;
+                    link = (g - acc.stores_before) as u32;
+                }
+                if cond {
+                    kind |= KIND_BRANCH;
+                    acc.cond_branches += 1;
+                }
+                acc.latency_sum += u64::from(latency);
+                let (_, l2, mem) = self.cache.stats();
+                acc.cache_after = (l2, mem);
+                acc.insts.push(PreparedInst {
+                    src1: inst.src1.map_or(ZERO_SLOT, |r| r.index() as u8),
+                    src2: inst.src2.map_or(ZERO_SLOT, |r| r.index() as u8),
+                    dst: inst.dst.map_or(DUMP_SLOT, |r| r.index() as u8),
+                    kind,
+                    latency,
+                    link,
+                });
+            }
+            self.offset += 1;
+        }
+    }
+
+    /// Records fed so far.
+    #[must_use]
+    pub fn records_fed(&self) -> u64 {
+        self.offset
+    }
+
+    /// Finishes the pass: one [`SweepReplay`] per requested range, in
+    /// order. A range the stream never reached yields an empty replay
+    /// ([`SweepReplay::is_empty`]).
+    #[must_use]
+    pub fn finish(self) -> Vec<SweepReplay> {
+        let cache_config = self.cache_config;
+        let mul_latency = self.mul_latency;
+        self.accs
+            .into_iter()
+            .map(|mut acc| {
+                let stores = acc
+                    .insts
+                    .iter()
+                    .filter(|i| i.kind & KIND_STORE != 0)
+                    .count() as u32;
+                let forwarded = compact_store_links(&mut acc.insts, stores);
+                // Per-range bandwidth floor from the cache-counter deltas
+                // this range's accesses produced.
+                let l2_accesses =
+                    (acc.cache_after.0 + acc.cache_after.1) - (acc.cache_before.0 + acc.cache_before.1);
+                let misses = acc.cache_after.1 - acc.cache_before.1;
+                let floor_cycles = (l2_accesses * u64::from(cache_config.l2_service))
+                    .max(misses * u64::from(cache_config.mem_service));
+                SweepReplay {
+                    insts: acc.insts,
+                    cond_branches: acc.cond_branches,
+                    store_slots: forwarded as usize,
+                    floor_cycles,
+                    latency_sum: acc.latency_sum,
+                    cache: cache_config.clone(),
+                    mul_latency,
+                }
+            })
+            .collect()
+    }
+}
+
 impl SweepReplay {
     /// Prepares `trace` for replay under `config`'s cache hierarchy and
     /// multiply latency (both fixed across [`PipelineConfig::scaled`]
@@ -220,32 +440,7 @@ impl SweepReplay {
                 });
             }
         }
-        // Compact store bookkeeping to the stores some load forwards
-        // from: only their ready cycles are ever read back, so the rest
-        // drop their `KIND_STORE` bit (and lane-vector write) outright.
-        let mut remap = vec![u32::MAX; stores as usize];
-        for inst in &insts {
-            if inst.kind & KIND_LOAD_FWD != 0 {
-                remap[inst.link as usize] = 0;
-            }
-        }
-        let mut forwarded = 0u32;
-        for slot in &mut remap {
-            if *slot == 0 {
-                *slot = forwarded;
-                forwarded += 1;
-            }
-        }
-        for inst in &mut insts {
-            if inst.kind & KIND_LOAD_FWD != 0 {
-                inst.link = remap[inst.link as usize];
-            } else if inst.kind & KIND_STORE != 0 {
-                match remap[inst.link as usize] {
-                    u32::MAX => inst.kind &= !KIND_STORE,
-                    new => inst.link = new,
-                }
-            }
-        }
+        let forwarded = compact_store_links(&mut insts, stores);
         Ok(SweepReplay {
             insts,
             cond_branches,

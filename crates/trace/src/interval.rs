@@ -1,0 +1,180 @@
+//! Streamed per-interval feature extraction for SimPoint-style sampling.
+//!
+//! The paper's workloads are 10B-instruction traces; clustering their
+//! phases must not require materializing a `Vec<RetiredInst>`. This
+//! module computes one [`IntervalProfile`] per fixed-length interval
+//! (basic-block-vector counts plus branch/instruction totals) directly
+//! off any [`TraceReader`](crate::TraceReader), chunk by chunk, so peak
+//! memory is `intervals × dims` counters regardless of trace length.
+//!
+//! Interval boundaries follow the same rule as [`Slices`](crate::Slices):
+//! full intervals first, and a ragged final interval is kept only when it
+//! covers at least half the configured length. Together with the exact
+//! integer accumulation in [`IntervalProfile::normalized_bbv`], this
+//! makes streamed profiles bit-identical to `bp_analysis::bbv` computed
+//! over materialized slices — the parity the property tests pin.
+
+use crate::record::RetiredInst;
+use crate::serialize::ReadTraceError;
+use crate::TraceReader;
+
+/// The multiplicative hash spreading a branch IP into a BBV bucket.
+///
+/// This is the single definition of the bucket function; the analysis
+/// layer's `bbv()` and the streamed extractor below both call it, so the
+/// two feature paths cannot drift apart.
+#[must_use]
+pub fn bbv_bucket(ip: u64, dims: usize) -> usize {
+    let h = (ip >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 32) as usize % dims
+}
+
+/// Per-interval features: BBV bucket counts plus branch and instruction
+/// totals, accumulated as exact integers.
+///
+/// Counts stay `u64` so profiles of any realistic interval length are
+/// exact; [`IntervalProfile::normalized_bbv`] divides once at the end,
+/// which (for counts below 2^53) is bit-identical to the
+/// increment-then-normalize float path used by in-memory BBVs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntervalProfile {
+    /// Conditional-branch count per BBV bucket.
+    pub bbv: Vec<u64>,
+    /// Dynamic conditional branches in the interval.
+    pub branches: u64,
+    /// Instructions in the interval (equals the interval length except
+    /// for a kept ragged tail).
+    pub insts: u64,
+}
+
+impl IntervalProfile {
+    fn new(dims: usize) -> Self {
+        IntervalProfile { bbv: vec![0; dims], branches: 0, insts: 0 }
+    }
+
+    /// The normalized branch-frequency vector of this interval — each
+    /// bucket's share of the interval's conditional branches (all zeros
+    /// for a branch-free interval).
+    #[must_use]
+    pub fn normalized_bbv(&self) -> Vec<f64> {
+        let total = self.branches as f64;
+        self.bbv
+            .iter()
+            .map(|&c| {
+                // Exactly `c as f64 / total` == repeated `+= 1.0` then
+                // `/= total`: both operands are exact integers in f64.
+                if self.branches == 0 { 0.0 } else { c as f64 / total }
+            })
+            .collect()
+    }
+}
+
+/// Streams `reader` to exhaustion, computing one [`IntervalProfile`] per
+/// `interval_len`-instruction window with `dims` BBV buckets.
+///
+/// Chunk boundaries carry no meaning: any chunking of the same record
+/// sequence produces identical profiles. A trailing partial interval is
+/// kept only if it covers at least half of `interval_len`, matching
+/// [`Slices`](crate::Slices) so per-interval statistics stay comparable.
+///
+/// # Errors
+///
+/// Propagates any [`ReadTraceError`] from the underlying stream.
+///
+/// # Panics
+///
+/// Panics if `interval_len` or `dims` is zero.
+pub fn profile_intervals<R: TraceReader>(
+    mut reader: R,
+    interval_len: usize,
+    dims: usize,
+) -> Result<Vec<IntervalProfile>, ReadTraceError> {
+    assert!(interval_len > 0, "interval length must be positive");
+    assert!(dims > 0, "dims must be positive");
+    let mut profiles = Vec::new();
+    let mut current = IntervalProfile::new(dims);
+    while let Some(chunk) = reader.next_chunk()? {
+        let mut rest: &[RetiredInst] = chunk;
+        while !rest.is_empty() {
+            let room = interval_len - current.insts as usize;
+            let (head, tail) = rest.split_at(room.min(rest.len()));
+            for inst in head {
+                if inst.is_conditional_branch() {
+                    current.bbv[bbv_bucket(inst.ip, dims)] += 1;
+                    current.branches += 1;
+                }
+            }
+            current.insts += head.len() as u64;
+            if current.insts as usize == interval_len {
+                profiles.push(std::mem::replace(&mut current, IntervalProfile::new(dims)));
+            }
+            rest = tail;
+        }
+    }
+    // Ragged tail: same keep-rule as `Slices`.
+    if current.insts > 0 && current.insts as usize * 2 >= interval_len {
+        profiles.push(current);
+    }
+    Ok(profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Trace, TraceMeta};
+
+    fn branchy(len: usize) -> Trace {
+        let mut t = Trace::new(TraceMeta::new("interval", 0));
+        for i in 0..len {
+            t.push(RetiredInst::cond_branch(
+                0x40 + (i as u64 % 53) * 4,
+                i % 3 != 0,
+                0x800,
+                Some(1),
+                None,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn profiles_follow_slice_tail_rule() {
+        let t = branchy(130);
+        // 130 insts at interval 50: two full + one kept 30-inst tail.
+        let p = profile_intervals(t.reader(), 50, 8).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].insts, 50);
+        assert_eq!(p[2].insts, 30);
+        // 120 insts at interval 50: the 20-inst tail is dropped.
+        let p = profile_intervals(branchy(120).reader(), 50, 8).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn branch_totals_match_bucket_sums() {
+        let t = branchy(500);
+        for p in profile_intervals(t.reader(), 100, 16).unwrap() {
+            assert_eq!(p.bbv.iter().sum::<u64>(), p.branches);
+            assert_eq!(p.branches, p.insts); // every record is a branch
+        }
+    }
+
+    #[test]
+    fn normalized_bbv_sums_to_one() {
+        let t = branchy(200);
+        let p = profile_intervals(t.reader(), 200, 32).unwrap();
+        let sum: f64 = p[0].normalized_bbv().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_interval_normalizes_to_zero() {
+        let mut t = Trace::new(TraceMeta::new("quiet", 0));
+        for i in 0..64 {
+            t.push(RetiredInst::op(0x1000 + i * 4, crate::InstClass::Alu, None, None, None, 7));
+        }
+        let p = profile_intervals(t.reader(), 64, 8).unwrap();
+        assert_eq!(p[0].branches, 0);
+        assert!(p[0].normalized_bbv().iter().all(|&x| x == 0.0));
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod codec_v3;
+mod interval;
 mod isa;
 mod reader;
 mod record;
@@ -34,6 +35,7 @@ mod slice;
 mod trace;
 
 pub use codec_v3::{TraceWriter, BLOCK_RECORDS, MAX_BLOCK_PAYLOAD};
+pub use interval::{bbv_bucket, profile_intervals, IntervalProfile};
 pub use isa::{BranchKind, Cond, InstClass, Reg, NUM_REGS};
 pub use reader::{BptrReader, SharedReader, SliceReader, TraceReader};
 pub use record::{BranchInfo, RetiredInst};

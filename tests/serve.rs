@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use bp_core::serve::cache::CacheKey;
 use bp_core::serve::Server;
-use bp_core::{DatasetConfig, StudyCtx};
+use bp_core::{DatasetConfig, SamplingConfig, StudyCtx};
 use bp_experiments::serve::{study_key, sweep_key, StudyService};
 use bp_experiments::{registry, Cli};
 
@@ -81,13 +81,14 @@ fn temp_dir(tag: &str) -> PathBuf {
 fn keys_are_deterministic_across_threads_and_orderings() {
     let dataset = Cli { quick: true, ..Cli::default() }.dataset();
     let args = vec!["600".to_owned(), "0".to_owned()];
-    let reference = study_key("calibrate", &dataset, &args);
+    let off = SamplingConfig::disabled();
+    let reference = study_key("calibrate", &dataset, &args, &off);
     // Recomputation from any thread, any number of times, agrees.
     std::thread::scope(|scope| {
         for _ in 0..8 {
             scope.spawn(|| {
                 for _ in 0..100 {
-                    assert_eq!(study_key("calibrate", &dataset, &args), reference);
+                    assert_eq!(study_key("calibrate", &dataset, &args, &off), reference);
                 }
             });
         }
@@ -110,19 +111,25 @@ fn keys_are_deterministic_across_threads_and_orderings() {
 #[test]
 fn any_single_field_change_changes_the_key() {
     let base_cfg = DatasetConfig::standard();
-    let base = study_key("fig7", &base_cfg, &[]);
-    assert_ne!(base, study_key("fig8", &base_cfg, &[]), "study name");
+    let off = SamplingConfig::disabled();
+    let base = study_key("fig7", &base_cfg, &[], &off);
+    assert_ne!(base, study_key("fig8", &base_cfg, &[], &off), "study name");
     assert_ne!(
         base,
-        study_key("fig7", &base_cfg.with_trace_len(999_990), &[]),
+        study_key("fig7", &base_cfg.with_trace_len(999_990), &[], &off),
         "trace length"
     );
     assert_ne!(
         base,
-        study_key("fig7", &DatasetConfig { max_inputs: Some(1), ..base_cfg }, &[]),
+        study_key("fig7", &DatasetConfig { max_inputs: Some(1), ..base_cfg }, &[], &off),
         "input cap"
     );
-    assert_ne!(base, study_key("fig7", &base_cfg, &["x".to_owned()]), "args");
+    assert_ne!(base, study_key("fig7", &base_cfg, &["x".to_owned()], &off), "args");
+    assert_ne!(
+        base,
+        study_key("fig7", &base_cfg, &[], &SamplingConfig::enabled()),
+        "sampling"
+    );
 
     let labels = vec!["gshare".to_owned(), "bimodal".to_owned()];
     let sweep_base = sweep_key("streaming", &labels, &[1, 4], 50_000);
